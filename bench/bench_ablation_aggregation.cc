@@ -1,0 +1,71 @@
+// Ablation — aggregation-tree geometry (§3.2, §5.2).
+//
+// The paper uses a 4-level tree with 7 nodes under the controller and
+// fanout 4.  This bench sweeps the geometry for the top-10K query over
+// 112 agents and shows the trade-off the paper describes: wider trees
+// serialize more merging at each parent (toward the direct query's
+// behaviour); deeper trees pay more per-level transfer latency but spread
+// the aggregation compute.  It also reports the direct query as the
+// degenerate "fanout = everyone" case.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/query_bench_common.h"
+
+namespace pathdump {
+namespace {
+
+int Main() {
+  bench::Banner("Ablation: aggregation-tree fanout/depth for the top-10K query",
+                "paper picks (top=7, fanout=4); direct = degenerate flat tree");
+
+  int entries = bench::EntriesFromEnv(60000);
+  auto tb = bench::BuildQueryTestbed(112, entries);
+  Controller::QueryFn query = [](EdgeAgent& agent) -> QueryResult {
+    return agent.TopK(10000, TimeRange::All());
+  };
+
+  bench::Section("112 hosts, avg of 3 runs");
+  std::printf("%-24s %10s %12s %14s\n", "geometry", "depth", "resp (s)", "resp bytes (MB)");
+
+  struct Geometry {
+    const char* name;
+    int top;
+    int fanout;
+  };
+  const Geometry geos[] = {
+      {"top=7 fanout=2", 7, 2},  {"top=7 fanout=4 (paper)", 7, 4},
+      {"top=7 fanout=8", 7, 8},  {"top=14 fanout=4", 14, 4},
+      {"top=28 fanout=4", 28, 4}, {"top=4 fanout=4", 4, 4},
+  };
+  for (const Geometry& g : geos) {
+    double time = 0;
+    size_t bytes = 0;
+    int depth = 0;
+    for (int r = 0; r < 3; ++r) {
+      auto [res, stats] = tb->controller.ExecuteMultiLevel(tb->hosts, query, g.top, g.fanout);
+      time += stats.response_time_seconds;
+      bytes = stats.response_bytes;
+      depth = BuildAggregationTree(tb->hosts, g.top, g.fanout).depth();
+    }
+    std::printf("%-24s %10d %12.3f %14.2f\n", g.name, depth, time / 3, double(bytes) / 1e6);
+  }
+  {
+    double time = 0;
+    size_t bytes = 0;
+    for (int r = 0; r < 3; ++r) {
+      auto [res, stats] = tb->controller.Execute(tb->hosts, query);
+      time += stats.response_time_seconds;
+      bytes = stats.response_bytes;
+    }
+    std::printf("%-24s %10d %12.3f %14.2f\n", "direct (flat)", 1, time / 3,
+                double(bytes) / 1e6);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathdump
+
+int main() { return pathdump::Main(); }

@@ -1,0 +1,107 @@
+// Ablation — the two-fidelity design (DESIGN.md §4).
+//
+// The repo runs minute/hour-scale experiments (Figs. 5, 7, 8) on a
+// flow-level engine instead of the per-packet simulator.  This bench
+// justifies that: for an identical ECMP workload the two engines produce
+// the SAME per-flow paths and byte counts in every TIB (fidelity), while
+// the fluid engine runs orders of magnitude faster (feasibility — the
+// Fig. 7/8 sweeps replay ~10^5 flows x 10 runs x 3 configurations).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/edge/fleet.h"
+#include "src/fluidsim/fluid.h"
+#include "src/netsim/network.h"
+#include "src/tcp/segmenter.h"
+#include "src/topology/fat_tree.h"
+#include "src/workload/flow_size.h"
+#include "src/workload/traffic_gen.h"
+
+namespace pathdump {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+int Main() {
+  bench::Banner("Ablation: flow-level (fluid) engine vs per-packet simulator",
+                "same TIB contents per flow; fluid is the only way the Fig. 7/8 "
+                "sweeps fit a workstation");
+
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 8;
+  params.duration = 2 * kNsPerSec;
+  params.seed = 31;
+  auto flows = gen.Generate(params);
+  uint64_t total_pkts = 0;
+  for (const FlowDesc& f : flows) {
+    total_pkts += (f.bytes + kDefaultMss - 1) / kDefaultMss;
+  }
+  std::printf("workload: %zu flows, ~%llu packets\n", flows.size(),
+              (unsigned long long)total_pkts);
+
+  // Per-packet engine.
+  auto t0 = std::chrono::steady_clock::now();
+  Network net(&topo, NetworkConfig{});
+  AgentFleet packet_fleet(&topo, &net.codec());
+  packet_fleet.AttachTo(net);
+  for (const FlowDesc& f : flows) {
+    SimTime t = f.start;
+    for (Packet& p : SegmentFlow(f.tuple, f.src, f.dst, f.bytes)) {
+      net.InjectPacket(p, t);
+      t += kNsPerUs;
+    }
+  }
+  net.events().RunAll();
+  packet_fleet.FlushAll(net.events().now());
+  double packet_s = Seconds(t0);
+
+  // Fluid engine, same flows.
+  t0 = std::chrono::steady_clock::now();
+  AgentFleet fluid_fleet(&topo, &codec);
+  FluidConfig fcfg;
+  FluidSimulation fluid(&topo, &router, fcfg);
+  fluid.Run(flows, &fluid_fleet, nullptr);
+  double fluid_s = Seconds(t0);
+
+  // Fidelity: identical per-flow (path, pkts) everywhere.
+  size_t mismatches = 0;
+  LinkId any{kInvalidNode, kInvalidNode};
+  for (const FlowDesc& f : flows) {
+    auto pp = packet_fleet.agent(f.dst).GetPaths(f.tuple, any, TimeRange::All());
+    auto fp = fluid_fleet.agent(f.dst).GetPaths(f.tuple, any, TimeRange::All());
+    if (pp.size() != 1 || fp.size() != 1 || pp[0] != fp[0]) {
+      ++mismatches;
+      continue;
+    }
+    CountSummary pc = packet_fleet.agent(f.dst).GetCount(Flow{f.tuple, {}}, TimeRange::All());
+    CountSummary fc = fluid_fleet.agent(f.dst).GetCount(Flow{f.tuple, {}}, TimeRange::All());
+    if (pc.pkts != fc.pkts) {
+      ++mismatches;
+    }
+  }
+
+  bench::Section("results");
+  std::printf("per-packet engine: %8.3f s  (%.2f Mpkt/s simulated)\n", packet_s,
+              double(total_pkts) / packet_s / 1e6);
+  std::printf("fluid engine:      %8.3f s\n", fluid_s);
+  std::printf("speedup:           %8.0fx\n", packet_s / fluid_s);
+  std::printf("per-flow (path, pkts) mismatches: %zu / %zu %s\n", mismatches, flows.size(),
+              mismatches == 0 ? "(exact agreement)" : "(UNEXPECTED)");
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pathdump
+
+int main() { return pathdump::Main(); }

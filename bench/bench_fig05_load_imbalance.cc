@@ -1,0 +1,158 @@
+// Figure 5 — ECMP load-imbalance diagnosis.
+//
+// Scenario (§4.2): aggregate switch SAgg in pod 0 uses a pathological hash
+// that pins flows larger than 1 MB to link 1 (to core 0) and smaller flows
+// to link 2 (to core 1).  Web-workload flows run from pod-0 hosts to other
+// pods for 10 minutes.
+//
+// Outputs:
+//  (b) CDF of the imbalance rate lambda = (Lmax/Lmean - 1)*100 between the
+//      two links, sampled every 5 s — paper: >= 40% for ~80% of samples.
+//  (c) Flow-size distributions on the two links from a multi-level query
+//      over every host TIB — paper: sharply divided around 1 MB.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/load_imbalance.h"
+#include "src/common/stats.h"
+#include "src/controller/controller.h"
+#include "src/edge/fleet.h"
+#include "src/fluidsim/fluid.h"
+#include "src/topology/fat_tree.h"
+#include "src/workload/flow_size.h"
+#include "src/workload/traffic_gen.h"
+
+namespace pathdump {
+namespace {
+
+constexpr int64_t kSplitBytes = 1000 * 1000;  // 1 MB split point
+constexpr SimTime kBucket = 5 * kNsPerSec;
+constexpr SimTime kDuration = 600 * kNsPerSec;  // 10 minutes
+
+int Main() {
+  bench::Banner(
+      "Figure 5: ECMP load imbalance (flow-size based split at SAgg)",
+      "imbalance rate >= 40% for ~80% of 5s samples; flow-size CDFs split at 1MB");
+
+  Topology topo = BuildFatTree(4);
+  const FatTreeMeta& m = *topo.fat_tree();
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  AgentFleet fleet(&topo, &codec);
+  Controller controller;
+  controller.RegisterFleet(fleet);
+
+  NodeId sagg = m.agg[0][0];
+  NodeId link1_core = m.core[0];  // "link 1": big flows
+  NodeId link2_core = m.core[1];  // "link 2": small flows
+
+  FluidConfig fcfg;
+  fcfg.seed = 20160501;
+  FluidSimulation fluid(&topo, &router, fcfg);
+  fluid.EnableLinkLoadTracking(kBucket);
+  // The poor hash at SAgg, expressed as an explicit path assignment: every
+  // pod-0 flow rides SAgg, then core 0 or core 1 by flow size.
+  fluid.SetPathChooser([&](const FlowDesc& f) -> std::vector<std::pair<Path, double>> {
+    SwitchId src_tor = topo.TorOfHost(f.src);
+    SwitchId dst_tor = topo.TorOfHost(f.dst);
+    int dst_pod = topo.node(dst_tor).pod;
+    NodeId core = f.bytes > uint64_t(kSplitBytes) ? link1_core : link2_core;
+    return {{Path{src_tor, sagg, core, m.agg[size_t(dst_pod)][0], dst_tor}, 1.0}};
+  });
+
+  // Pod-0 sources, inter-pod destinations, web-traffic sizes.
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 25;
+  params.duration = kDuration;
+  params.dst_policy = DstPolicy::kInterPod;
+  params.seed = 42;
+  for (int t = 0; t < m.tors_per_pod; ++t) {
+    for (HostId h : topo.HostsOfTor(m.tor[0][size_t(t)])) {
+      params.sources.push_back(h);
+    }
+  }
+  auto flows = gen.Generate(params);
+  std::printf("workload: %zu flows over %d s from %zu pod-0 hosts\n", flows.size(), 600,
+              params.sources.size());
+  fluid.Run(flows, &fleet, nullptr);
+
+  // (b) Imbalance-rate CDF over 5 s buckets.
+  bench::Section("Fig 5(b): CDF of imbalance rate between link1 and link2 (5s samples)");
+  Cdf lambda;
+  for (int64_t b = 0; b < kDuration / kBucket; ++b) {
+    double l1 = double(fluid.LinkLoad(sagg, link1_core, b));
+    double l2 = double(fluid.LinkLoad(sagg, link2_core, b));
+    if (l1 + l2 == 0) {
+      continue;
+    }
+    lambda.Add(ImbalanceRatePercent({l1, l2}));
+  }
+  std::printf("%-16s %s\n", "imbalance(%)", "CDF");
+  for (auto [x, q] : lambda.Points(11)) {
+    std::printf("%-16.1f %.2f\n", x, q);
+  }
+  std::printf("fraction of samples with imbalance >= 40%%: %.2f (paper: ~0.8)\n",
+              1.0 - lambda.FractionBelow(40.0));
+
+  // (c) Flow-size distribution per link via the multi-level query (§2.3).
+  bench::Section("Fig 5(c): flow size distribution per link (multi-level query, binsize 10KB)");
+  std::vector<HostId> hosts = controller.registered_hosts();
+  FlowSizeHistogram h1 = FlowSizeDistributionForLink(controller, hosts, LinkId{sagg, link1_core},
+                                                     TimeRange::All(), 10000, true);
+  FlowSizeHistogram h2 = FlowSizeDistributionForLink(controller, hosts, LinkId{sagg, link2_core},
+                                                     TimeRange::All(), 10000, true);
+  auto print_cdf = [](const char* name, const FlowSizeHistogram& h) {
+    int64_t total = 0;
+    for (auto& [bin, c] : h.bins) {
+      total += c;
+    }
+    std::printf("%s: %lld flows\n", name, (long long)total);
+    std::printf("  %-14s %s\n", "size(bytes)<=", "CDF");
+    int64_t acc = 0;
+    int printed = 0;
+    for (auto& [bin, c] : h.bins) {
+      acc += c;
+      double q = double(acc) / double(total);
+      if (q >= 0.1 * (printed + 1) || acc == total) {
+        std::printf("  %-14lld %.2f\n", (long long)((bin + 1) * h.bin_width), q);
+        while (0.1 * (printed + 1) <= q) {
+          ++printed;
+        }
+      }
+    }
+  };
+  print_cdf("link1 (flows > 1MB expected)", h1);
+  print_cdf("link2 (flows <= 1MB expected)", h2);
+
+  // Verdict the operator reads off the two distributions.
+  int64_t l1_small = 0;
+  int64_t l1_total = 0;
+  for (auto& [bin, c] : h1.bins) {
+    l1_total += c;
+    if ((bin + 1) * h1.bin_width <= kSplitBytes) {
+      l1_small += c;
+    }
+  }
+  int64_t l2_big = 0;
+  int64_t l2_total = 0;
+  for (auto& [bin, c] : h2.bins) {
+    l2_total += c;
+    if (bin * h2.bin_width > kSplitBytes) {
+      l2_big += c;
+    }
+  }
+  std::printf("\ndiagnosis: link1 flows <=1MB: %lld/%lld, link2 flows >1MB: %lld/%lld\n",
+              (long long)l1_small, (long long)l1_total, (long long)l2_big, (long long)l2_total);
+  std::printf("=> distributions are sharply divided around 1MB: %s (paper: yes)\n",
+              (l1_small == 0 && l2_big == 0) ? "YES" : "NO");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathdump
+
+int main() { return pathdump::Main(); }

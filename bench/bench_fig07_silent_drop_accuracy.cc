@@ -1,0 +1,80 @@
+// Figure 7 — silent-random-drop localization accuracy over time.
+//
+// 4-ary fat-tree, web workload at 70% load, faulty interfaces dropping 1%
+// of packets silently; 1/2/4 faulty interfaces; averaged over runs.
+// Paper: recall and precision rise toward 1.0 within ~100-150 s, recall
+// faster than precision, and more faulty interfaces converge slower.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/silent_drop_common.h"
+#include "src/common/stats.h"
+
+namespace pathdump {
+namespace {
+
+constexpr int kRuns = 5;
+constexpr double kDurationS = 150;
+constexpr double kCheckpointS = 5;
+
+int Main() {
+  bench::Banner("Figure 7: silent random packet drop localization (recall/precision vs time)",
+                "both -> 1.0 within ~150s; recall rises faster; more faults = slower");
+
+  const int fault_counts[] = {1, 2, 4};
+  const int checkpoints = int(kDurationS / kCheckpointS);
+
+  // avg[f][c] over runs.
+  std::vector<std::vector<Summary>> recall(3, std::vector<Summary>(size_t(checkpoints)));
+  std::vector<std::vector<Summary>> precision(3, std::vector<Summary>(size_t(checkpoints)));
+
+  for (int fi = 0; fi < 3; ++fi) {
+    for (int run = 0; run < kRuns; ++run) {
+      bench::SilentDropParams p;
+      p.faulty_interfaces = fault_counts[fi];
+      p.drop_rate = 0.01;
+      p.load = 0.7;
+      p.duration_s = kDurationS;
+      p.checkpoint_s = kCheckpointS;
+      p.seed = uint64_t(run + 1) * 131 + uint64_t(fi);
+      bench::SilentDropRun r = bench::RunSilentDropExperiment(p);
+      for (int c = 0; c < checkpoints; ++c) {
+        recall[size_t(fi)][size_t(c)].Add(r.recall[size_t(c)]);
+        precision[size_t(fi)][size_t(c)].Add(r.precision[size_t(c)]);
+      }
+    }
+  }
+
+  bench::Section("Fig 7(a): average recall vs time (s)    [columns: 1, 2, 4 faulty NICs]");
+  std::printf("%-8s %8s %8s %8s\n", "time", "F=1", "F=2", "F=4");
+  for (int c = 0; c < checkpoints; c += 2) {
+    std::printf("%-8.0f %8.2f %8.2f %8.2f\n", (c + 1) * kCheckpointS,
+                recall[0][size_t(c)].mean(), recall[1][size_t(c)].mean(),
+                recall[2][size_t(c)].mean());
+  }
+
+  bench::Section("Fig 7(b): average precision vs time (s) [columns: 1, 2, 4 faulty NICs]");
+  std::printf("%-8s %8s %8s %8s\n", "time", "F=1", "F=2", "F=4");
+  for (int c = 0; c < checkpoints; c += 2) {
+    std::printf("%-8.0f %8.2f %8.2f %8.2f\n", (c + 1) * kCheckpointS,
+                precision[0][size_t(c)].mean(), precision[1][size_t(c)].mean(),
+                precision[2][size_t(c)].mean());
+  }
+
+  // Shape checks the operator cares about.
+  int last = checkpoints - 1;
+  std::printf("\nfinal accuracy (t=%.0fs): ", kDurationS);
+  for (int fi = 0; fi < 3; ++fi) {
+    std::printf("F=%d recall=%.2f precision=%.2f  ", fault_counts[fi],
+                recall[size_t(fi)][size_t(last)].mean(),
+                precision[size_t(fi)][size_t(last)].mean());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathdump
+
+int main() { return pathdump::Main(); }

@@ -1,0 +1,74 @@
+// Figure 8 — time to reach 100% recall AND precision for silent-drop
+// localization, (a) vs loss rate at 70% network load, (b) vs network load
+// at 1% loss rate; 1/2/4 faulty interfaces; error bars = standard error.
+//
+// Paper: higher loss rate and higher load both shorten localization time
+// (more alarms per second -> signatures accumulate faster).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/silent_drop_common.h"
+#include "src/common/stats.h"
+
+namespace pathdump {
+namespace {
+
+constexpr int kRuns = 5;
+
+double TimeToPerfect(const bench::SilentDropParams& base, int faults, double loss, double load,
+                     int run) {
+  bench::SilentDropParams p = base;
+  p.faulty_interfaces = faults;
+  p.drop_rate = loss;
+  p.load = load;
+  p.seed = uint64_t(run + 1) * 733 + uint64_t(faults) * 17 + uint64_t(loss * 1000) +
+           uint64_t(load * 100);
+  bench::SilentDropRun r = bench::RunSilentDropExperiment(p);
+  // Cap unconverged runs at the experiment horizon (keeps means finite).
+  return r.perfect_at < 0 ? p.duration_s : r.perfect_at;
+}
+
+int Main() {
+  bench::Banner("Figure 8: time to 100% recall and precision",
+                "decreases with loss rate (a) and with network load (b); error bar = stderr");
+
+  bench::SilentDropParams base;
+  base.duration_s = 200;
+  base.checkpoint_s = 5;
+  const int fault_counts[] = {1, 2, 4};
+
+  bench::Section("Fig 8(a): network load = 70%, loss rate 1-4%  [time(s) mean+-stderr]");
+  std::printf("%-10s %-16s %-16s %-16s\n", "loss(%)", "F=1", "F=2", "F=4");
+  for (double loss : {0.01, 0.02, 0.03, 0.04}) {
+    std::printf("%-10.0f", loss * 100);
+    for (int faults : fault_counts) {
+      Summary s;
+      for (int run = 0; run < kRuns; ++run) {
+        s.Add(TimeToPerfect(base, faults, loss, 0.7, run));
+      }
+      std::printf(" %7.1f+-%-7.1f", s.mean(), s.stderror());
+    }
+    std::printf("\n");
+  }
+
+  bench::Section("Fig 8(b): loss rate = 1%, network load 30-90%  [time(s) mean+-stderr]");
+  std::printf("%-10s %-16s %-16s %-16s\n", "load(%)", "F=1", "F=2", "F=4");
+  for (double load : {0.3, 0.5, 0.7, 0.9}) {
+    std::printf("%-10.0f", load * 100);
+    for (int faults : fault_counts) {
+      Summary s;
+      for (int run = 0; run < kRuns; ++run) {
+        s.Add(TimeToPerfect(base, faults, 0.01, load, run));
+      }
+      std::printf(" %7.1f+-%-7.1f", s.mean(), s.stderror());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathdump
+
+int main() { return pathdump::Main(); }

@@ -1,0 +1,143 @@
+// Figure 9 / §4.5 — real-time routing-loop debugging.
+//
+// A misconfigured switch S4 creates a loop.  Packets accumulate sampled
+// link labels; the third tag causes an ASIC rule miss and a punt.  The
+// controller detects a repeated link ID (4-hop loop: first punt, paper
+// ~47 ms) or strips/reinjects and catches the repeat on the second punt
+// (6-hop loop, paper ~115 ms).  Detection works for loops of any size.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/controller/loop_detector.h"
+#include "src/netsim/network.h"
+#include "src/topology/link_labels.h"
+
+namespace pathdump {
+namespace {
+
+// Fig. 9 chain: A - S1 - S2 - S3 - S4 - S6 - B, S5 closing the loop.
+struct Scenario {
+  Topology topo;
+  HostId a = kInvalidNode, b = kInvalidNode;
+  SwitchId s[16] = {};
+  int extra = 0;  // switches added between S5 and S2 (loop length - 4)
+};
+
+Scenario Build(int loop_switches) {
+  Scenario sc;
+  Topology& t = sc.topo;
+  for (int i = 1; i <= 6; ++i) {
+    sc.s[i] = t.AddSwitch(i == 1 || i == 6 ? NodeRole::kTor : NodeRole::kAgg, -1, i,
+                          "S" + std::to_string(i));
+  }
+  t.AddLink(sc.s[1], sc.s[2]);
+  t.AddLink(sc.s[2], sc.s[3]);
+  t.AddLink(sc.s[3], sc.s[4]);
+  t.AddLink(sc.s[4], sc.s[5]);
+  t.AddLink(sc.s[4], sc.s[6]);
+  // Extra switches extend the S5 -> S2 return leg (6-hop loop etc.).
+  sc.extra = loop_switches - 4;
+  NodeId prev = sc.s[5];
+  for (int i = 0; i < sc.extra; ++i) {
+    NodeId n = t.AddSwitch(NodeRole::kAgg, -1, 7 + i, "X" + std::to_string(i));
+    t.AddLink(prev, n);
+    sc.s[7 + i] = n;
+    prev = n;
+  }
+  t.AddLink(prev, sc.s[2]);
+  sc.a = t.AddHost(-1, 0, "A");
+  t.AddLink(sc.a, sc.s[1]);
+  sc.b = t.AddHost(-1, 1, "B");
+  t.AddLink(sc.b, sc.s[6]);
+  return sc;
+}
+
+struct Result {
+  double detect_ms = -1;
+  int punt_rounds = 0;
+};
+
+Result RunLoop(int loop_switches, SimTime inject_jitter) {
+  Scenario sc = Build(loop_switches);
+  NetworkConfig cfg;
+  cfg.max_hops = 4096;
+  Network net(&sc.topo, cfg);
+  // Alternate-switch sampling as in the paper's figure: S3 pushes S2-S3,
+  // S5 pushes S4-S5, extras every other hop.
+  std::set<SwitchId> pushers{sc.s[3], sc.s[5]};
+  for (int i = 0; i < sc.extra; i += 2) {
+    pushers.insert(sc.s[7 + i + (sc.extra % 2)]);
+  }
+  net.codec().SetGenericPushers(pushers);
+  LoopDetector detector(&net);
+  detector.Attach();
+
+  Router& r = net.router();
+  r.SetStaticNextHops(sc.s[1], sc.b, {sc.s[2]});
+  r.SetStaticNextHops(sc.s[2], sc.b, {sc.s[3]});
+  r.SetStaticNextHops(sc.s[3], sc.b, {sc.s[4]});
+  r.SetStaticNextHops(sc.s[4], sc.b, {sc.s[5]});  // misconfiguration
+  NodeId prev = sc.s[5];
+  for (int i = 0; i < sc.extra; ++i) {
+    r.SetStaticNextHops(prev, sc.b, {sc.s[7 + i]});
+    prev = sc.s[7 + i];
+  }
+  r.SetStaticNextHops(prev, sc.b, {sc.s[2]});
+
+  Packet p;
+  p.flow.src_ip = sc.topo.IpOfHost(sc.a);
+  p.flow.dst_ip = sc.topo.IpOfHost(sc.b);
+  p.flow.src_port = 1234;
+  p.flow.dst_port = 80;
+  p.flow.protocol = kProtoTcp;
+  p.src_host = sc.a;
+  p.dst_host = sc.b;
+  net.InjectPacket(p, inject_jitter);
+  net.events().RunAll(2000000);
+
+  Result res;
+  if (!detector.detections().empty()) {
+    res.detect_ms = double(detector.detections()[0].detected_at - inject_jitter) /
+                    double(kNsPerMs);
+    res.punt_rounds = detector.detections()[0].punt_rounds;
+  }
+  return res;
+}
+
+int Main() {
+  bench::Banner("Figure 9 / §4.5: routing loop detection latency",
+                "4-hop loop ~47ms (first punt); 6-hop loop ~115ms (strip+reinject, "
+                "second punt); loops of any size detected");
+
+  bench::Section("detection latency (10 injections each)");
+  std::printf("%-12s %-12s %-14s %-12s\n", "loop size", "mean (ms)", "punt rounds",
+              "paper (ms)");
+  struct Row {
+    int switches;
+    const char* paper;
+  };
+  for (const Row& row : {Row{4, "~47"}, Row{6, "~115"}, Row{8, "(any size)"}}) {
+    Summary lat;
+    int rounds = 0;
+    for (int i = 0; i < 10; ++i) {
+      Result r = RunLoop(row.switches, SimTime(i) * 137 * kNsPerUs);
+      if (r.detect_ms < 0) {
+        std::printf("loop of %d switches NOT detected (unexpected)\n", row.switches);
+        return 1;
+      }
+      lat.Add(r.detect_ms);
+      rounds = r.punt_rounds;
+    }
+    std::printf("%-12d %-12.1f %-14d %-12s\n", row.switches, lat.mean(), rounds, row.paper);
+  }
+  std::printf("\n(latency constants: punt=40ms, reinject=20ms; see DESIGN.md — the paper's\n"
+              " slow-path timings are hardware-specific, the shape 1-punt vs 2-punt holds)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathdump
+
+int main() { return pathdump::Main(); }

@@ -1,0 +1,356 @@
+// Table 2 — debugging-application coverage.
+//
+// Runs one miniature scenario per application row and reports whether
+// PathDump supports it, matching the paper's matrix: 13 of 15 supported;
+// "overlay loop detection" and "incorrect packet modification" are not
+// (the latter only partially, via ground-truth trajectory validation §2.4).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/blackhole.h"
+#include "src/apps/load_imbalance.h"
+#include "src/apps/max_coverage.h"
+#include "src/apps/outcast_diagnosis.h"
+#include "src/apps/path_conformance.h"
+#include "src/apps/silent_drop.h"
+#include "src/apps/traffic_measure.h"
+#include "src/controller/loop_detector.h"
+#include "src/edge/fleet.h"
+#include "src/fluidsim/fluid.h"
+#include "src/netsim/network.h"
+#include "src/tcp/segmenter.h"
+#include "src/topology/fat_tree.h"
+#include "src/workload/flow_size.h"
+#include "src/workload/traffic_gen.h"
+
+namespace pathdump {
+namespace {
+
+struct World {
+  Topology topo = BuildFatTree(4);
+  Router router{&topo};
+  LinkLabelMap labels{&topo};
+  CherryPickCodec codec{&topo, &labels};
+  AgentFleet fleet{&topo, &codec};
+  Controller controller;
+
+  World() {
+    controller.RegisterFleet(fleet);
+    fleet.SetAlarmHandler(controller.MakeAlarmSink());
+  }
+
+  FiveTuple Flow(HostId s, HostId d, uint16_t port) {
+    FiveTuple f;
+    f.src_ip = topo.IpOfHost(s);
+    f.dst_ip = topo.IpOfHost(d);
+    f.src_port = port;
+    f.dst_port = 80;
+    f.protocol = kProtoTcp;
+    return f;
+  }
+
+  void Ingest(HostId src, HostId dst, uint16_t port, uint64_t bytes, size_t path_idx = 0) {
+    TibRecord r;
+    r.flow = Flow(src, dst, port);
+    auto paths = router.EcmpPaths(src, dst);
+    r.path = CompactPath::FromPath(paths[path_idx % paths.size()]);
+    r.stime = 0;
+    r.etime = kNsPerSec;
+    r.bytes = bytes;
+    r.pkts = uint32_t(bytes / 1460 + 1);
+    fleet.agent(dst).IngestRecord(r, r.etime);
+  }
+};
+
+struct RowResult {
+  std::string name;
+  bool supported;
+  std::string evidence;
+};
+
+RowResult LoopFreedom() {
+  // §4.5: a 4-hop loop punts and the controller proves the repeat.
+  Topology t;
+  SwitchId s1 = t.AddSwitch(NodeRole::kTor, -1, 1, "S1");
+  SwitchId s2 = t.AddSwitch(NodeRole::kAgg, -1, 2, "S2");
+  SwitchId s3 = t.AddSwitch(NodeRole::kAgg, -1, 3, "S3");
+  SwitchId s4 = t.AddSwitch(NodeRole::kAgg, -1, 4, "S4");
+  SwitchId s5 = t.AddSwitch(NodeRole::kAgg, -1, 5, "S5");
+  SwitchId s6 = t.AddSwitch(NodeRole::kTor, -1, 6, "S6");
+  t.AddLink(s1, s2);
+  t.AddLink(s2, s3);
+  t.AddLink(s3, s4);
+  t.AddLink(s4, s5);
+  t.AddLink(s5, s2);
+  t.AddLink(s4, s6);
+  HostId a = t.AddHost(-1, 0, "A");
+  t.AddLink(a, s1);
+  HostId b = t.AddHost(-1, 1, "B");
+  t.AddLink(b, s6);
+
+  Network net(&t, NetworkConfig{});
+  net.codec().SetGenericPushers({s3, s5});
+  LoopDetector det(&net);
+  det.Attach();
+  net.router().SetStaticNextHops(s1, b, {s2});
+  net.router().SetStaticNextHops(s2, b, {s3});
+  net.router().SetStaticNextHops(s3, b, {s4});
+  net.router().SetStaticNextHops(s4, b, {s5});
+  net.router().SetStaticNextHops(s5, b, {s2});
+  Packet p;
+  p.flow = FiveTuple{t.IpOfHost(a), t.IpOfHost(b), 1, 80, 6};
+  p.src_host = a;
+  p.dst_host = b;
+  net.InjectPacket(p, 0);
+  net.events().RunAll(10000);
+  bool ok = !det.detections().empty();
+  return {"Loop freedom", ok,
+          ok ? "4-hop loop trapped on first punt (repeated link ID)" : "loop missed"};
+}
+
+RowResult LoadImbalance() {
+  World w;
+  // Big flows on link1 only.
+  const FatTreeMeta& m = *w.topo.fat_tree();
+  HostId src = w.topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = w.topo.HostsOfTor(m.tor[1][0])[0];
+  for (int i = 0; i < 20; ++i) {
+    w.Ingest(src, dst, uint16_t(1000 + i), i % 2 == 0 ? 5'000'000 : 10'000, size_t(i % 2));
+  }
+  FlowSizeHistogram h = FlowSizeDistributionForLink(
+      w.controller, w.controller.registered_hosts(),
+      LinkId{kInvalidNode, kInvalidNode}, TimeRange::All(), 10000, true);
+  bool ok = h.bins.size() >= 2;
+  return {"Load imbalance diagnosis", ok, "per-link flow-size statistics via getFlows+getCount"};
+}
+
+RowResult CongestedLink() {
+  World w;
+  const FatTreeMeta& m = *w.topo.fat_tree();
+  HostId src = w.topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = w.topo.HostsOfTor(m.tor[1][0])[0];
+  w.Ingest(src, dst, 1000, 1'000'000);
+  Path p = w.router.EcmpPaths(src, dst)[0];
+  auto flows = CongestedLinkFlows(w.controller, w.controller.registered_hosts(),
+                                  LinkId{p[0], p[1]}, TimeRange::All());
+  bool ok = flows.size() == 1;
+  return {"Congested link diagnosis", ok, "flows using the link + byte shares, for rerouting"};
+}
+
+RowResult SilentBlackhole() {
+  World w;
+  const FatTreeMeta& m = *w.topo.fat_tree();
+  HostId src = w.topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = w.topo.HostsOfTor(m.tor[1][0])[0];
+  // Sprayed flow: one subflow vanished.
+  for (size_t i = 1; i < 4; ++i) {
+    w.Ingest(src, dst, 1000, 25'000'00, i);
+  }
+  auto d = DiagnoseBlackhole(w.router, w.fleet.agent(dst), w.Flow(src, dst, 1000), src, dst,
+                             TimeRange::All());
+  bool ok = d.missing.size() == 1 && d.candidates.size() == 3;
+  return {"Silent blackhole detection", ok,
+          "missing subflow path -> 3 candidate switches (of 10)"};
+}
+
+RowResult SilentDrops() {
+  World w;
+  SilentDropDebugger dbg(&w.controller, &w.fleet);
+  dbg.Start();
+  const FatTreeMeta& m = *w.topo.fat_tree();
+  FluidConfig cfg;
+  cfg.seed = 5;
+  FluidSimulation fluid(&w.topo, &w.router, cfg);
+  fluid.AddSilentDrop(m.agg[0][0], m.core[0], 0.03);
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&w.topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 20;
+  params.duration = 20 * kNsPerSec;
+  params.seed = 3;
+  fluid.Run(gen.Generate(params), &w.fleet, w.controller.MakeAlarmSink());
+  auto acc = dbg.Accuracy({{m.agg[0][0], m.core[0]}});
+  bool ok = acc.recall >= 1.0;
+  return {"Silent packet drop detection", ok, "MAX-COVERAGE over POOR_PERF failure signatures"};
+}
+
+RowResult DropsOnServers() {
+  World w;
+  // Fault on the ToR->host link (server side) vs network links: the
+  // localized link names the server, not the fabric.
+  const FatTreeMeta& m = *w.topo.fat_tree();
+  HostId victim = w.topo.HostsOfTor(m.tor[1][0])[0];
+  SwitchId tor = w.topo.TorOfHost(victim);
+  SilentDropDebugger dbg(&w.controller, &w.fleet);
+  dbg.Start();
+  FluidConfig cfg;
+  cfg.seed = 6;
+  FluidSimulation fluid(&w.topo, &w.router, cfg);
+  fluid.AddSilentDrop(tor, victim, 0.05);
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&w.topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 15;
+  params.duration = 20 * kNsPerSec;
+  params.dst_policy = DstPolicy::kFixed;
+  params.fixed_dst = victim;
+  params.seed = 4;
+  fluid.Run(gen.Generate(params), &w.fleet, w.controller.MakeAlarmSink());
+  // Signatures all end at the victim's ToR: every hypothesized link
+  // touches it -> the drop localizes to the server side of the fabric.
+  auto hyp = dbg.Hypothesis();
+  bool ok = !hyp.empty();
+  for (const LinkId& l : hyp) {
+    ok = ok && (l.src == tor || l.dst == tor);
+  }
+  return {"Packet drops on servers", ok, "signatures converge on the ToR-host edge"};
+}
+
+RowResult OverlayLoop() {
+  return {"Overlay loop detection", false,
+          "NOT SUPPORTED (paper Table 2): SLB/physical-IP loops rewrite the header; "
+          "trajectories restart at the overlay hop"};
+}
+
+RowResult ProtocolBugs() {
+  World w;
+  // Flow with heavy retransmissions but a perfectly conformant path: the
+  // network is exonerated, implicating the endpoint protocol stack.
+  const FatTreeMeta& m = *w.topo.fat_tree();
+  HostId src = w.topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = w.topo.HostsOfTor(m.tor[1][0])[0];
+  w.Ingest(src, dst, 1000, 1'000'000);
+  FiveTuple f = w.Flow(src, dst, 1000);
+  for (int i = 0; i < 5; ++i) {
+    w.fleet.agent(dst).retx_monitor().OnRetransmission(f, SimTime(i));
+  }
+  auto poor = w.fleet.agent(dst).GetPoorTcpFlows(3);
+  auto paths = w.fleet.agent(dst).GetPaths(f, LinkId{kInvalidNode, kInvalidNode},
+                                           TimeRange::All());
+  bool ok = poor.size() == 1 && paths.size() == 1 && paths[0].size() == 5;
+  return {"Protocol bugs", ok,
+          "poor TCP flow whose trajectory is healthy -> endpoint stack implicated"};
+}
+
+RowResult Isolation() {
+  World w;
+  HostId a = w.topo.hosts()[0];
+  HostId b = w.topo.hosts().back();
+  int violations = 0;
+  w.controller.SubscribeAlarms([&](const Alarm& al) {
+    if (al.reason == AlarmReason::kPathConformance) {
+      ++violations;
+    }
+  });
+  InstallIsolationCheck(w.fleet.agent(b), {w.topo.IpOfHost(a)}, {w.topo.IpOfHost(b)});
+  w.Ingest(a, b, 1000, 1000);
+  return {"Isolation", violations == 1, "record hook flags cross-group flows on arrival"};
+}
+
+RowResult IncorrectModification() {
+  World w;
+  // §2.4: a wrong switchID usually makes the trajectory infeasible and
+  // raises an alarm, but corner cases evade any end-host system.
+  EdgeAgent& agent = w.fleet.agent(w.topo.hosts().back());
+  Packet p;
+  p.flow = w.Flow(w.topo.hosts()[0], w.topo.hosts().back(), 1000);
+  p.fin = true;
+  p.tags = {kMaxVlanLabel};  // bogus label
+  agent.OnPacket(p, 0);
+  agent.FlushAll(kNsPerSec);
+  bool alarm = agent.decode_failures() == 1;
+  return {"Incorrect packet modification", false,
+          alarm ? "NOT SUPPORTED in general (paper): infeasible-ID cases do alarm, "
+                  "plausible-ID rewrites evade detection"
+                : "alarm path broken"};
+}
+
+RowResult Waypoint() {
+  World w;
+  const FatTreeMeta& m = *w.topo.fat_tree();
+  HostId src = w.topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = w.topo.HostsOfTor(m.tor[1][0])[0];
+  int violations = 0;
+  w.controller.SubscribeAlarms([&](const Alarm&) { ++violations; });
+  ConformancePolicy policy;
+  policy.required_waypoints = {m.core[3]};  // demand core 3
+  InstallPathConformance(w.fleet.agent(dst), policy);
+  w.Ingest(src, dst, 1000, 1000, 0);  // path via core 0 -> violation
+  return {"Waypoint routing", violations == 1, "packets bypassing the waypoint alarm PC_FAIL"};
+}
+
+RowResult Ddos() {
+  World w;
+  HostId victim = w.topo.hosts().back();
+  for (int i = 0; i < 6; ++i) {
+    w.Ingest(w.topo.hosts()[size_t(i)], victim, uint16_t(2000 + i), 9'000'000);
+  }
+  auto sources = DdosSources(w.fleet.agent(victim), TimeRange::All());
+  return {"DDoS diagnosis", sources.size() == 6, "per-source byte accounting at the victim TIB"};
+}
+
+RowResult TrafficMatrixRow() {
+  World w;
+  w.Ingest(w.topo.hosts()[0], w.topo.hosts().back(), 1000, 5000);
+  w.Ingest(w.topo.hosts()[1], w.topo.hosts()[8], 1001, 7000);
+  auto matrix = TrafficMatrix(w.fleet, TimeRange::All());
+  return {"Traffic matrix", matrix.size() == 2, "ToR-pair byte totals from all TIBs"};
+}
+
+RowResult Netshark() {
+  World w;
+  HostId src = w.topo.hosts()[0];
+  HostId dst = w.topo.hosts().back();
+  w.Ingest(src, dst, 1000, 5000);
+  // Network-wide path-aware "packet logger": per-flow path + counters.
+  auto flows = w.fleet.agent(dst).GetFlows(LinkId{kInvalidNode, kInvalidNode}, TimeRange::All());
+  return {"Netshark (path-aware logger)", flows.size() == 1 && flows[0].path.size() == 5,
+          "getFlows returns (flow, full path) tuples"};
+}
+
+RowResult MaxPathLength() {
+  World w;
+  HostId dst = w.topo.hosts().back();
+  int violations = 0;
+  w.controller.SubscribeAlarms([&](const Alarm&) { ++violations; });
+  ConformancePolicy policy;
+  policy.max_path_switches = 6;
+  InstallPathConformance(w.fleet.agent(dst), policy);
+  TibRecord r;
+  r.flow = w.Flow(w.topo.hosts()[0], dst, 1000);
+  r.path = CompactPath::FromPath({1, 2, 3, 4, 5, 6, 7});
+  r.etime = 1;
+  w.fleet.agent(dst).IngestRecord(r, 1);
+  return {"Max path length", violations == 1, "n-switch paths alarm in real time"};
+}
+
+int Main() {
+  bench::Banner("Table 2: debugging applications supported by PathDump",
+                "13 of 15 rows supported; overlay loops and incorrect packet "
+                "modification are not");
+  std::vector<std::function<RowResult()>> rows = {
+      LoopFreedom, LoadImbalance,         CongestedLink, SilentBlackhole, SilentDrops,
+      DropsOnServers, OverlayLoop,        ProtocolBugs,  Isolation,       IncorrectModification,
+      Waypoint,       Ddos,               TrafficMatrixRow, Netshark,     MaxPathLength,
+  };
+  int supported = 0;
+  std::printf("%-34s %-6s %s\n", "application", "PD", "evidence");
+  std::printf("%-34s %-6s %s\n", "-----------", "--", "--------");
+  for (auto& row_fn : rows) {
+    RowResult r = row_fn();
+    supported += r.supported ? 1 : 0;
+    std::printf("%-34s %-6s %s\n", r.name.c_str(), r.supported ? "yes" : "no",
+                r.evidence.c_str());
+  }
+  std::printf("\nsupported: %d / %zu (paper: 13 / 15)\n", supported, rows.size());
+  return supported == 13 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pathdump
+
+int main() { return pathdump::Main(); }

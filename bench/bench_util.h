@@ -1,0 +1,26 @@
+// Shared formatting helpers for the reproduction benches.  Every bench
+// prints (a) the paper's expectation and (b) the measured series, in plain
+// rows that EXPERIMENTS.md records.
+
+#ifndef PATHDUMP_BENCH_BENCH_UTIL_H_
+#define PATHDUMP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace pathdump {
+namespace bench {
+
+inline void Banner(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+inline void Section(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+}  // namespace bench
+}  // namespace pathdump
+
+#endif  // PATHDUMP_BENCH_BENCH_UTIL_H_

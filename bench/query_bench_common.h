@@ -1,0 +1,102 @@
+// Shared setup for the query-performance experiments (Figs. 11 and 12):
+// 112 end-host agents, each with a TIB of 240 K flow entries (roughly one
+// hour of flows at ~67 flows/s, §5.1), and a 4-level aggregation tree
+// (7 nodes under the controller, fanout 4 below).
+
+#ifndef PATHDUMP_BENCH_QUERY_BENCH_COMMON_H_
+#define PATHDUMP_BENCH_QUERY_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/controller/controller.h"
+#include "src/edge/edge_agent.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/link_labels.h"
+#include "src/topology/routing.h"
+
+namespace pathdump {
+namespace bench {
+
+struct QueryTestbed {
+  Topology topo;
+  std::unique_ptr<LinkLabelMap> labels;
+  std::unique_ptr<CherryPickCodec> codec;
+  std::unique_ptr<Router> router;
+  std::vector<std::unique_ptr<EdgeAgent>> agents;
+  Controller controller;
+  std::vector<HostId> hosts;  // the queried population, in tree order
+  // A link that a known fraction of the records traverses (query target).
+  LinkId probe_link;
+};
+
+// Builds the testbed.  entries_per_agent defaults to the paper's 240 K;
+// override via the PATHDUMP_TIB_ENTRIES env var for quick runs.
+inline std::unique_ptr<QueryTestbed> BuildQueryTestbed(int num_agents = 112,
+                                                       int entries_per_agent = 240000) {
+  auto tb = std::make_unique<QueryTestbed>();
+  // FatTree(8) has 128 hosts; take the first num_agents.
+  tb->topo = BuildFatTree(8);
+  tb->labels = std::make_unique<LinkLabelMap>(&tb->topo);
+  tb->codec = std::make_unique<CherryPickCodec>(&tb->topo, tb->labels.get());
+  tb->router = std::make_unique<Router>(&tb->topo);
+
+  const FatTreeMeta& m = *tb->topo.fat_tree();
+  tb->probe_link = LinkId{m.agg[0][0], m.core[0]};
+
+  Rng rng(0xF16);
+  const std::vector<HostId>& all_hosts = tb->topo.hosts();
+  tb->agents.resize(tb->topo.node_count());
+  std::printf("populating %d agents x %d TIB entries...\n", num_agents, entries_per_agent);
+  for (int a = 0; a < num_agents; ++a) {
+    HostId host = all_hosts[size_t(a)];
+    EdgeAgentConfig cfg;
+    cfg.tib_options.index_by_flow = false;  // bounded memory at 27M records
+    auto agent = std::make_unique<EdgeAgent>(host, &tb->topo, tb->codec.get(), cfg);
+
+    for (int e = 0; e < entries_per_agent; ++e) {
+      // Random remote source, one of its ECMP paths, heavy-tailed size.
+      HostId src = all_hosts[rng.UniformInt(uint32_t(all_hosts.size()))];
+      if (src == host) {
+        src = all_hosts[(size_t(a) + 1) % all_hosts.size()];
+      }
+      std::vector<Path> paths = tb->router->EcmpPaths(src, host);
+      const Path& path = paths[rng.UniformInt(uint32_t(paths.size()))];
+
+      TibRecord rec;
+      rec.flow.src_ip = tb->topo.IpOfHost(src);
+      rec.flow.dst_ip = tb->topo.IpOfHost(host);
+      rec.flow.src_port = uint16_t(1024 + (e & 0xFFFF) % 60000);
+      rec.flow.dst_port = uint16_t(80 + (e >> 16));
+      rec.flow.protocol = kProtoTcp;
+      rec.path = CompactPath::FromPath(path);
+      rec.stime = SimTime(rng.UniformInt(3600)) * kNsPerSec;
+      rec.etime = rec.stime + SimTime(rng.UniformInt(5000)) * kNsPerMs;
+      rec.bytes = uint64_t(rng.Pareto(1000.0, 1.3));
+      rec.pkts = uint32_t(rec.bytes / 1460 + 1);
+      agent->tib().Insert(rec);
+    }
+    tb->controller.RegisterAgent(agent.get());
+    tb->hosts.push_back(host);
+    tb->agents[host] = std::move(agent);
+  }
+  return tb;
+}
+
+inline int EntriesFromEnv(int fallback) {
+  const char* env = getenv("PATHDUMP_TIB_ENTRIES");
+  if (env != nullptr) {
+    int v = atoi(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace bench
+}  // namespace pathdump
+
+#endif  // PATHDUMP_BENCH_QUERY_BENCH_COMMON_H_

@@ -1,0 +1,124 @@
+// Shared machinery for the silent-random-packet-drop experiments
+// (Figs. 7 and 8): run the web workload over a 4-ary fat-tree with F
+// faulty interfaces, collect POOR_PERF alarms, replay them in time order
+// into MAX-COVERAGE, and track recall/precision over time.
+
+#ifndef PATHDUMP_BENCH_SILENT_DROP_COMMON_H_
+#define PATHDUMP_BENCH_SILENT_DROP_COMMON_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/apps/max_coverage.h"
+#include "src/common/rng.h"
+#include "src/edge/fleet.h"
+#include "src/fluidsim/fluid.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/routing.h"
+#include "src/workload/flow_size.h"
+#include "src/workload/traffic_gen.h"
+
+namespace pathdump {
+namespace bench {
+
+struct SilentDropRun {
+  // recall/precision sampled every `checkpoint` seconds.
+  std::vector<double> recall;
+  std::vector<double> precision;
+  // First time (seconds) recall and precision both hit 1.0; -1 if never.
+  double perfect_at = -1;
+};
+
+struct SilentDropParams {
+  int faulty_interfaces = 1;
+  double drop_rate = 0.01;
+  double load = 0.7;            // fraction of host access-link capacity
+  double duration_s = 150;
+  double checkpoint_s = 5;
+  double host_link_bps = 1e9;
+  uint64_t seed = 1;
+};
+
+// Picks F random switch-switch directed links as faulty interfaces.
+inline std::vector<LinkId> PickFaultyLinks(const Topology& topo, int count, Rng& rng) {
+  std::vector<LinkId> candidates;
+  for (const LinkId& l : topo.AllDirectedLinks()) {
+    if (!topo.IsHost(l.src) && !topo.IsHost(l.dst)) {
+      candidates.push_back(l);
+    }
+  }
+  std::vector<LinkId> out;
+  while (int(out.size()) < count) {
+    LinkId pick = candidates[rng.UniformInt(uint32_t(candidates.size()))];
+    if (std::find(out.begin(), out.end(), pick) == out.end()) {
+      out.push_back(pick);
+    }
+  }
+  return out;
+}
+
+inline SilentDropRun RunSilentDropExperiment(const SilentDropParams& p) {
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  EdgeAgentConfig acfg;
+  AgentFleet fleet(&topo, &codec, acfg);
+
+  Rng rng(p.seed);
+  std::vector<LinkId> truth = PickFaultyLinks(topo, p.faulty_interfaces, rng);
+
+  FluidConfig fcfg;
+  fcfg.seed = p.seed * 7919 + 13;
+  fcfg.alarm_drop_threshold = 3;
+  fcfg.consecutive_alarm_model = true;  // tcpretrans semantics (Fig. 7/8 time scale)
+  FluidSimulation fluid(&topo, &router, fcfg);
+  for (const LinkId& l : truth) {
+    fluid.AddSilentDrop(l.src, l.dst, p.drop_rate);
+  }
+
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = gen.RateForLoad(p.load, p.host_link_bps);
+  params.duration = SimTime(p.duration_s * double(kNsPerSec));
+  params.seed = p.seed * 104729 + 7;
+  auto flows = gen.Generate(params);
+
+  std::vector<Alarm> alarms;
+  fluid.Run(flows, &fleet, [&](const Alarm& a) { alarms.push_back(a); });
+  std::sort(alarms.begin(), alarms.end(),
+            [](const Alarm& a, const Alarm& b) { return a.at < b.at; });
+
+  // Replay alarms into MAX-COVERAGE; checkpoint accuracy every 5 s.
+  SilentDropRun run;
+  MaxCoverageLocalizer localizer;
+  size_t next_alarm = 0;
+  LinkId any{kInvalidNode, kInvalidNode};
+  int checkpoints = int(p.duration_s / p.checkpoint_s);
+  for (int c = 1; c <= checkpoints; ++c) {
+    SimTime t = SimTime(double(c) * p.checkpoint_s * double(kNsPerSec));
+    for (; next_alarm < alarms.size() && alarms[next_alarm].at <= t; ++next_alarm) {
+      const Alarm& a = alarms[next_alarm];
+      EdgeAgent* dst_agent = fleet.agent_by_ip(a.flow.dst_ip);
+      if (dst_agent == nullptr) {
+        continue;
+      }
+      for (const Path& path : dst_agent->GetPaths(a.flow, any, TimeRange::All())) {
+        localizer.AddSignature(path);
+      }
+    }
+    LocalizationAccuracy acc = MaxCoverageLocalizer::Evaluate(localizer.Localize(), truth);
+    run.recall.push_back(acc.recall);
+    run.precision.push_back(acc.precision);
+    if (run.perfect_at < 0 && acc.Perfect()) {
+      run.perfect_at = double(c) * p.checkpoint_s;
+    }
+  }
+  return run;
+}
+
+}  // namespace bench
+}  // namespace pathdump
+
+#endif  // PATHDUMP_BENCH_SILENT_DROP_COMMON_H_

@@ -1,0 +1,71 @@
+// Silent packet-drop hunting (§4.3).
+//
+// A faulty interface drops 2% of packets without touching any counter.
+// End-host monitors raise POOR_PERF alarms for flows with consecutive
+// retransmissions; the controller collects each suffering flow's paths
+// from the destination TIBs (failure signatures) and MAX-COVERAGE names
+// the guilty link.
+//
+//   ./silent_drop_hunt
+
+#include <cstdio>
+
+#include "src/apps/silent_drop.h"
+#include "src/controller/controller.h"
+#include "src/edge/fleet.h"
+#include "src/fluidsim/fluid.h"
+#include "src/topology/fat_tree.h"
+#include "src/workload/flow_size.h"
+#include "src/workload/traffic_gen.h"
+
+using namespace pathdump;
+
+int main() {
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  AgentFleet fleet(&topo, &codec);
+  Controller controller;
+  controller.RegisterFleet(fleet);
+  fleet.SetAlarmHandler(controller.MakeAlarmSink());
+
+  SilentDropDebugger debugger(&controller, &fleet);
+  debugger.Start();
+
+  // The culprit: agg A0.0's uplink to core C1 drops 2% silently.  (Agg
+  // index 0 serves core group 0, i.e. cores 0 and 1.)
+  const FatTreeMeta& m = *topo.fat_tree();
+  NodeId bad_src = m.agg[0][0];
+  NodeId bad_dst = m.core[1];
+  std::printf("injected fault: %s -> %s silently drops 2%% of packets\n",
+              topo.NameOf(bad_src).c_str(), topo.NameOf(bad_dst).c_str());
+
+  FluidConfig fcfg;
+  fcfg.seed = 1;
+  FluidSimulation fluid(&topo, &router, fcfg);
+  fluid.AddSilentDrop(bad_src, bad_dst, 0.02);
+
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 30;
+  params.duration = 30 * kNsPerSec;
+  params.seed = 2;
+  auto flows = gen.Generate(params);
+  std::printf("running %zu web-workload flows for 30s (flow-level engine)...\n", flows.size());
+
+  auto stats = fluid.Run(flows, &fleet, controller.MakeAlarmSink());
+  std::printf("alarms raised: %llu, signatures collected: %zu\n",
+              (unsigned long long)stats.alarms, debugger.signature_count());
+
+  std::printf("\nMAX-COVERAGE hypothesis:\n");
+  for (const LinkId& l : debugger.Hypothesis()) {
+    std::printf("  suspect link %s -> %s\n", topo.NameOf(l.src).c_str(),
+                topo.NameOf(l.dst).c_str());
+  }
+  auto acc = debugger.Accuracy({{bad_src, bad_dst}});
+  std::printf("\nrecall=%.2f precision=%.2f — faulty interface %s\n", acc.recall, acc.precision,
+              acc.Perfect() ? "EXACTLY LOCALIZED" : "partially localized");
+  return acc.recall >= 1.0 ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Traffic measurement tour (§2.3 "Traffic measurement", Table 2).
+//
+// Populates a datacenter's TIBs with a heavy-tailed workload via the
+// flow-level engine, then runs the measurement applications: top-k flows
+// (direct vs multi-level queries), traffic matrix, heavy hitters, and a
+// DDoS source breakdown for one victim.
+//
+//   ./top_talkers
+
+#include <cstdio>
+
+#include "src/apps/traffic_measure.h"
+#include "src/controller/controller.h"
+#include "src/edge/fleet.h"
+#include "src/fluidsim/fluid.h"
+#include "src/topology/fat_tree.h"
+#include "src/workload/flow_size.h"
+#include "src/workload/traffic_gen.h"
+
+using namespace pathdump;
+
+int main() {
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  AgentFleet fleet(&topo, &codec);
+  Controller controller;
+  controller.RegisterFleet(fleet);
+
+  // Background workload plus a deliberate "attack": everyone also sends to
+  // one victim host.
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 40;
+  params.duration = 20 * kNsPerSec;
+  params.seed = 11;
+  auto flows = gen.Generate(params);
+
+  HostId victim = topo.hosts().back();
+  TrafficParams attack;
+  attack.flows_per_sec_per_host = 10;
+  attack.duration = 20 * kNsPerSec;
+  attack.dst_policy = DstPolicy::kFixed;
+  attack.fixed_dst = victim;
+  attack.seed = 13;
+  auto attack_flows = gen.Generate(attack);
+  flows.insert(flows.end(), attack_flows.begin(), attack_flows.end());
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowDesc& a, const FlowDesc& b) { return a.start < b.start; });
+
+  FluidConfig fcfg;
+  FluidSimulation fluid(&topo, &router, fcfg);
+  fluid.Run(flows, &fleet, nullptr);
+  std::printf("ingested %zu flows into %zu TIBs\n", flows.size(), fleet.size());
+
+  // Top-k, both query mechanisms, with their cost profile.
+  std::vector<HostId> hosts = controller.registered_hosts();
+  Controller::QueryFn topk = [](EdgeAgent& a) -> QueryResult {
+    return a.TopK(5, TimeRange::All());
+  };
+  auto [dres, dstats] = controller.Execute(hosts, topk);
+  auto [mres, mstats] = controller.ExecuteMultiLevel(hosts, topk);
+  auto& winners = std::get<TopKFlows>(mres);
+  winners.k = 5;
+  winners.Finalize();
+  std::printf("\ntop-5 flows (multi-level %.3fs/%zuB vs direct %.3fs/%zuB):\n",
+              mstats.response_time_seconds, mstats.response_bytes,
+              dstats.response_time_seconds, dstats.response_bytes);
+  for (const auto& [bytes, flow] : winners.items) {
+    std::printf("  %9.2f MB  %s\n", double(bytes) / 1e6, FlowToString(flow).c_str());
+  }
+
+  // Traffic matrix between ToR pairs.
+  auto matrix = TrafficMatrix(fleet, TimeRange::All());
+  std::printf("\ntraffic matrix: %zu active ToR pairs; busiest:\n", matrix.size());
+  std::pair<SwitchId, SwitchId> busiest{};
+  uint64_t most = 0;
+  for (auto& [pair, bytes] : matrix) {
+    if (bytes > most) {
+      most = bytes;
+      busiest = pair;
+    }
+  }
+  std::printf("  %s -> %s: %.1f MB\n", topo.NameOf(busiest.first).c_str(),
+              topo.NameOf(busiest.second).c_str(), double(most) / 1e6);
+
+  // Heavy hitters over 5 MB.
+  auto hh = HeavyHitters(controller, hosts, 5'000'000, TimeRange::All());
+  std::printf("\nheavy hitters (>5MB): %zu flows\n", hh.size());
+
+  // DDoS view at the victim.
+  auto sources = DdosSources(fleet.agent(victim), TimeRange::All());
+  std::printf("\nDDoS check at %s: %zu distinct sources; top 3:\n",
+              topo.NameOf(victim).c_str(), sources.size());
+  for (size_t i = 0; i < sources.size() && i < 3; ++i) {
+    std::printf("  %s: %.2f MB\n", IpToString(sources[i].second).c_str(),
+                double(sources[i].first) / 1e6);
+  }
+  return 0;
+}

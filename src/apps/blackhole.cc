@@ -1,0 +1,65 @@
+#include "src/apps/blackhole.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pathdump {
+
+BlackholeDiagnosis DiagnoseBlackhole(const Router& router, EdgeAgent& dst_agent,
+                                     const FiveTuple& flow, HostId src, HostId dst,
+                                     TimeRange range) {
+  BlackholeDiagnosis d;
+  d.expected = router.EcmpPaths(src, dst);
+  LinkId any{kInvalidNode, kInvalidNode};
+  d.observed = dst_agent.GetPaths(flow, any, range);
+
+  auto path_eq = [](const Path& a, const Path& b) { return a == b; };
+  for (const Path& e : d.expected) {
+    bool seen = false;
+    for (const Path& o : d.observed) {
+      if (path_eq(e, o)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      d.missing.push_back(e);
+    }
+  }
+  if (d.missing.empty()) {
+    return d;
+  }
+
+  // Intersection of all missing paths' switch sets.
+  std::vector<SwitchId> common(d.missing.front().begin(), d.missing.front().end());
+  for (size_t i = 1; i < d.missing.size(); ++i) {
+    std::unordered_set<SwitchId> in_path(d.missing[i].begin(), d.missing[i].end());
+    common.erase(std::remove_if(common.begin(), common.end(),
+                                [&](SwitchId s) { return in_path.count(s) == 0; }),
+                 common.end());
+  }
+
+  // Exclude the source/destination ToRs when only one path is missing —
+  // every path crosses them, so they carry no localization signal.
+  if (d.missing.size() == 1 && !d.missing.front().empty()) {
+    SwitchId src_tor = d.missing.front().front();
+    SwitchId dst_tor = d.missing.front().back();
+    common.erase(std::remove_if(common.begin(), common.end(),
+                                [&](SwitchId s) { return s == src_tor || s == dst_tor; }),
+                 common.end());
+  }
+  d.candidates = common;
+
+  std::unordered_set<SwitchId> on_observed;
+  for (const Path& o : d.observed) {
+    on_observed.insert(o.begin(), o.end());
+  }
+  for (SwitchId s : d.candidates) {
+    if (on_observed.count(s) == 0) {
+      d.refined_candidates.push_back(s);
+    }
+  }
+  return d;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,41 @@
+// Blackhole diagnosis (§4.4): reducing the debugging search space.
+//
+// Under packet spraying a flow's packets cross every equal-cost path; a
+// silent blackhole erases exactly the subflow(s) whose path crosses it.
+// The controller compares the expected ECMP path set with the paths
+// actually present in the destination TIB:
+//  * 1 missing path  -> suspect the path's non-ToR switches (paper: 3 of
+//    the 10 switches for an agg-core blackhole),
+//  * >1 missing path -> suspect the switches common to all missing paths
+//    (paper: 4 for a ToR-agg blackhole in the source pod).
+// Switches that also appear on observed (healthy) paths can be further
+// de-prioritized; both sets are reported.
+
+#ifndef PATHDUMP_SRC_APPS_BLACKHOLE_H_
+#define PATHDUMP_SRC_APPS_BLACKHOLE_H_
+
+#include <vector>
+
+#include "src/edge/edge_agent.h"
+#include "src/topology/routing.h"
+
+namespace pathdump {
+
+struct BlackholeDiagnosis {
+  std::vector<Path> expected;   // all ECMP paths
+  std::vector<Path> observed;   // paths present in the destination TIB
+  std::vector<Path> missing;    // expected - observed
+  // Switches common to every missing path, ToRs excluded (paper's count).
+  std::vector<SwitchId> candidates;
+  // Candidates additionally absent from every observed path (sharper).
+  std::vector<SwitchId> refined_candidates;
+};
+
+// Diagnoses a (sprayed) flow that triggered a no-progress/poor-perf alarm.
+BlackholeDiagnosis DiagnoseBlackhole(const Router& router, EdgeAgent& dst_agent,
+                                     const FiveTuple& flow, HostId src, HostId dst,
+                                     TimeRange range);
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_APPS_BLACKHOLE_H_

@@ -1,0 +1,66 @@
+#include "src/apps/incast_diagnosis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pathdump {
+
+IncastVerdict IncastDiagnoser::Diagnose(EdgeAgent& receiver_agent, TimeRange range,
+                                        double duration_seconds,
+                                        const std::vector<SimTime>& alarm_times,
+                                        SimTime sync_window) const {
+  IncastVerdict v;
+  v.capacity_mbps = capacity_mbps_;
+
+  // Per-sender throughput from the receiver's TIB.
+  std::unordered_map<IpAddr, uint64_t> per_sender_bytes;
+  for (const TibRecord& rec : receiver_agent.tib().records()) {
+    if (rec.Overlaps(range)) {
+      per_sender_bytes[rec.flow.src_ip] += rec.bytes;
+    }
+  }
+  v.senders = int(per_sender_bytes.size());
+  if (v.senders < 2 || duration_seconds <= 0) {
+    return v;
+  }
+  std::vector<double> mbps;
+  double total = 0;
+  for (const auto& [src, bytes] : per_sender_bytes) {
+    double m = double(bytes) * 8.0 / duration_seconds / 1e6;
+    mbps.push_back(m);
+    total += m;
+  }
+  v.aggregate_mbps = total;
+  v.utilization = capacity_mbps_ > 0 ? total / capacity_mbps_ : 1.0;
+
+  // Symmetry: fraction of senders within 2x of the median throughput.
+  std::vector<double> sorted = mbps;
+  std::sort(sorted.begin(), sorted.end());
+  double median = sorted[sorted.size() / 2];
+  int symmetric = 0;
+  for (double m : mbps) {
+    if (median <= 0 ? m <= 0 : (m >= median / 2 && m <= median * 2)) {
+      ++symmetric;
+    }
+  }
+  v.symmetric_fraction = double(symmetric) / double(mbps.size());
+
+  // Burstiness: alarms that have a neighbor within the sync window.
+  if (alarm_times.size() >= 2) {
+    std::vector<SimTime> ts = alarm_times;
+    std::sort(ts.begin(), ts.end());
+    int bursty = 0;
+    for (size_t i = 0; i < ts.size(); ++i) {
+      bool near = (i > 0 && ts[i] - ts[i - 1] <= sync_window) ||
+                  (i + 1 < ts.size() && ts[i + 1] - ts[i] <= sync_window);
+      bursty += near ? 1 : 0;
+    }
+    v.alarm_burstiness = double(bursty) / double(ts.size());
+  }
+
+  v.is_incast = v.utilization < util_threshold_ &&
+                v.symmetric_fraction >= symmetry_threshold_ && v.alarm_burstiness >= 0.5;
+  return v;
+}
+
+}  // namespace pathdump

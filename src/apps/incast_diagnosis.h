@@ -1,0 +1,58 @@
+// TCP incast diagnosis (§4.6).
+//
+// Complements the outcast diagnoser: both start from a storm of POOR_PERF
+// alarms naming one destination, but the profiles differ —
+//  * outcast: one victim, asymmetric (the shortest-path sender starved);
+//  * incast: symmetric collapse — many/all senders suffer timeouts
+//    together, alarms arrive in synchronized bursts, and aggregate
+//    goodput at the receiver sits far below the access-link capacity.
+// The diagnoser reads per-sender (bytes, path) from the receiver's TIB
+// like the outcast app, then classifies by symmetry and burstiness.
+
+#ifndef PATHDUMP_SRC_APPS_INCAST_DIAGNOSIS_H_
+#define PATHDUMP_SRC_APPS_INCAST_DIAGNOSIS_H_
+
+#include <vector>
+
+#include "src/edge/edge_agent.h"
+
+namespace pathdump {
+
+struct IncastVerdict {
+  bool is_incast = false;
+  int senders = 0;
+  // Fraction of senders whose throughput is within 2x of each other
+  // (symmetry measure: high for incast, low for outcast).
+  double symmetric_fraction = 0;
+  double aggregate_mbps = 0;
+  double capacity_mbps = 0;
+  double utilization = 0;  // aggregate / capacity
+  // Fraction of alarms arriving within sync_window of another alarm.
+  double alarm_burstiness = 0;
+};
+
+class IncastDiagnoser {
+ public:
+  // capacity_mbps: the receiver access-link capacity; incast is suspected
+  // below `util_threshold` utilization with `symmetry_threshold`
+  // symmetric senders.
+  IncastDiagnoser(double capacity_mbps, double util_threshold = 0.7,
+                  double symmetry_threshold = 0.7)
+      : capacity_mbps_(capacity_mbps),
+        util_threshold_(util_threshold),
+        symmetry_threshold_(symmetry_threshold) {}
+
+  // `alarm_times`: POOR_PERF alarm timestamps for this destination.
+  IncastVerdict Diagnose(EdgeAgent& receiver_agent, TimeRange range, double duration_seconds,
+                         const std::vector<SimTime>& alarm_times,
+                         SimTime sync_window = 10 * kNsPerMs) const;
+
+ private:
+  double capacity_mbps_;
+  double util_threshold_;
+  double symmetry_threshold_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_APPS_INCAST_DIAGNOSIS_H_

@@ -1,0 +1,87 @@
+#include "src/apps/max_coverage.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pathdump {
+
+void MaxCoverageLocalizer::AddSignature(const Path& path) {
+  std::vector<LinkId> links;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    links.push_back(LinkId{path[i], path[i + 1]});
+  }
+  if (!links.empty()) {
+    signatures_.push_back(std::move(links));
+  }
+}
+
+void MaxCoverageLocalizer::Clear() { signatures_.clear(); }
+
+std::vector<LinkId> MaxCoverageLocalizer::Localize() const {
+  std::vector<LinkId> hypothesis;
+  if (signatures_.empty()) {
+    return hypothesis;
+  }
+  std::vector<bool> covered(signatures_.size(), false);
+  size_t uncovered = signatures_.size();
+
+  while (uncovered > 0) {
+    // Count, over uncovered signatures, how many each link appears in.
+    std::unordered_map<LinkId, size_t, LinkIdHash> counts;
+    for (size_t s = 0; s < signatures_.size(); ++s) {
+      if (covered[s]) {
+        continue;
+      }
+      for (const LinkId& l : signatures_[s]) {
+        ++counts[l];
+      }
+    }
+    // Pick the max count; deterministic tie-break on (src, dst).
+    LinkId best{};
+    size_t best_count = 0;
+    for (const auto& [link, count] : counts) {
+      if (count > best_count || (count == best_count && link < best)) {
+        best = link;
+        best_count = count;
+      }
+    }
+    if (best_count == 0) {
+      break;
+    }
+    hypothesis.push_back(best);
+    for (size_t s = 0; s < signatures_.size(); ++s) {
+      if (covered[s]) {
+        continue;
+      }
+      if (std::find(signatures_[s].begin(), signatures_[s].end(), best) !=
+          signatures_[s].end()) {
+        covered[s] = true;
+        --uncovered;
+      }
+    }
+  }
+  return hypothesis;
+}
+
+LocalizationAccuracy MaxCoverageLocalizer::Evaluate(const std::vector<LinkId>& hypothesis,
+                                                    const std::vector<LinkId>& truth) {
+  LocalizationAccuracy acc;
+  if (truth.empty()) {
+    acc.recall = 1.0;
+    acc.precision = hypothesis.empty() ? 1.0 : 0.0;
+    return acc;
+  }
+  std::unordered_set<LinkId, LinkIdHash> truth_set(truth.begin(), truth.end());
+  size_t tp = 0;
+  for (const LinkId& l : hypothesis) {
+    if (truth_set.count(l) > 0) {
+      ++tp;
+    }
+  }
+  acc.recall = double(tp) / double(truth.size());
+  acc.precision = hypothesis.empty() ? 0.0 : double(tp) / double(hypothesis.size());
+  return acc;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,52 @@
+// MAX-COVERAGE failure localization (Kompella et al. [23]), used by the
+// silent-drop debugger (§2.3, §4.3).
+//
+// Input: failure signatures — the path(s) taken by flows that suffered
+// serious retransmissions.  Greedy set cover then picks the smallest set of
+// links explaining all signatures: repeatedly choose the link that covers
+// the most still-uncovered signatures.  The paper implements this in ~50
+// lines of Python at the controller; this is the C++ equivalent.
+
+#ifndef PATHDUMP_SRC_APPS_MAX_COVERAGE_H_
+#define PATHDUMP_SRC_APPS_MAX_COVERAGE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pathdump {
+
+// Accuracy against ground truth: recall = TP/(TP+FN), precision = TP/(TP+FP).
+struct LocalizationAccuracy {
+  double recall = 0;
+  double precision = 0;
+
+  bool Perfect() const { return recall >= 1.0 && precision >= 1.0; }
+};
+
+class MaxCoverageLocalizer {
+ public:
+  // Adds one failure signature: the switch path of a suffering flow.  Both
+  // directed switch-switch links of the path are added (drops can be on
+  // either unidirectional interface of the reported trajectory).
+  void AddSignature(const Path& path);
+  void Clear();
+
+  size_t signature_count() const { return signatures_.size(); }
+
+  // Greedy max-coverage hypothesis: the selected faulty links.
+  std::vector<LinkId> Localize() const;
+
+  // Compares a hypothesis with the ground-truth faulty link set.
+  static LocalizationAccuracy Evaluate(const std::vector<LinkId>& hypothesis,
+                                       const std::vector<LinkId>& truth);
+
+ private:
+  // Each signature = directed links of the reported path.
+  std::vector<std::vector<LinkId>> signatures_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_APPS_MAX_COVERAGE_H_

@@ -1,0 +1,78 @@
+#include "src/apps/outcast_diagnosis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pathdump {
+
+bool OutcastDiagnoser::OnAlarm(const Alarm& alarm) {
+  if (alarm.reason != AlarmReason::kPoorPerf) {
+    return false;
+  }
+  std::vector<IpAddr>& sources = alerts_[alarm.flow.dst_ip];
+  if (std::find(sources.begin(), sources.end(), alarm.flow.src_ip) == sources.end()) {
+    sources.push_back(alarm.flow.src_ip);
+  }
+  return int(sources.size()) >= min_alerts_;
+}
+
+int OutcastDiagnoser::AlertCountFor(IpAddr dst) const {
+  auto it = alerts_.find(dst);
+  return it == alerts_.end() ? 0 : int(it->second.size());
+}
+
+OutcastVerdict OutcastDiagnoser::Diagnose(EdgeAgent& receiver_agent, TimeRange range,
+                                          double duration_seconds) {
+  OutcastVerdict v;
+  // Per-flow bytes and paths from the receiver TIB.
+  LinkId any{kInvalidNode, kInvalidNode};
+  std::unordered_map<FiveTuple, SenderThroughput, FiveTupleHash> per_flow;
+  for (const Flow& f : receiver_agent.GetFlows(any, range)) {
+    SenderThroughput& st = per_flow[f.id];
+    st.flow = f.id;
+    if (int(f.path.size()) > st.path_switches) {
+      st.path_switches = int(f.path.size());
+      st.path = f.path;
+    }
+  }
+  for (auto& [flow, st] : per_flow) {
+    CountSummary c = receiver_agent.GetCount(Flow{flow, {}}, range);
+    st.mbps = duration_seconds > 0 ? double(c.bytes) * 8.0 / duration_seconds / 1e6 : 0;
+    v.senders.push_back(st);
+    v.path_tree[st.path_switches] += 1;
+  }
+  if (v.senders.size() < 2) {
+    return v;
+  }
+  std::sort(v.senders.begin(), v.senders.end(),
+            [](const SenderThroughput& a, const SenderThroughput& b) {
+              return a.flow.src_ip < b.flow.src_ip;
+            });
+
+  // Victim = minimum throughput; outcast profile requires it to also be
+  // (one of) the closest sender(s).
+  const SenderThroughput* victim = &v.senders.front();
+  double sum_others = 0;
+  for (const SenderThroughput& st : v.senders) {
+    if (st.mbps < victim->mbps) {
+      victim = &st;
+    }
+  }
+  int min_len = INT32_MAX;
+  for (const SenderThroughput& st : v.senders) {
+    min_len = std::min(min_len, st.path_switches);
+  }
+  for (const SenderThroughput& st : v.senders) {
+    if (!(st.flow == victim->flow)) {
+      sum_others += st.mbps;
+    }
+  }
+  v.victim = *victim;
+  v.victim_mbps = victim->mbps;
+  v.mean_other_mbps = sum_others / double(v.senders.size() - 1);
+  v.unfairness = v.victim_mbps > 0 ? v.mean_other_mbps / v.victim_mbps : 1e9;
+  v.is_outcast = victim->path_switches == min_len && v.unfairness >= unfairness_;
+  return v;
+}
+
+}  // namespace pathdump

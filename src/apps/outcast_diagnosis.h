@@ -1,0 +1,63 @@
+// TCP outcast diagnosis (§4.6).
+//
+// The controller watches POOR_PERF alarms; once >= min_alerts alarms from
+// different sources name the same destination, it pulls per-sender flow
+// statistics (bytes, path) from the receiver's TIB, computes throughputs,
+// builds the path tree (Fig. 10(b)), and checks the outcast profile: the
+// sender *closest* to the receiver (shortest path) is the most penalized
+// while the aggregate far senders fare much better.
+
+#ifndef PATHDUMP_SRC_APPS_OUTCAST_DIAGNOSIS_H_
+#define PATHDUMP_SRC_APPS_OUTCAST_DIAGNOSIS_H_
+
+#include <map>
+#include <vector>
+
+#include "src/edge/edge_agent.h"
+
+namespace pathdump {
+
+struct SenderThroughput {
+  FiveTuple flow;
+  double mbps = 0;
+  int path_switches = 0;
+  Path path;
+};
+
+struct OutcastVerdict {
+  bool is_outcast = false;
+  SenderThroughput victim;              // the starved flow
+  double victim_mbps = 0;
+  double mean_other_mbps = 0;
+  double unfairness = 0;                // mean_other / victim
+  std::vector<SenderThroughput> senders;
+  // Path tree summary: path length (switch count) -> flow count.
+  std::map<int, int> path_tree;
+};
+
+class OutcastDiagnoser {
+ public:
+  // min_alerts: alarms from distinct sources to one destination required
+  // before diagnosis starts (paper: 10).  unfairness_threshold: how much
+  // better the other flows must fare for the outcast verdict.
+  explicit OutcastDiagnoser(int min_alerts = 10, double unfairness_threshold = 2.0)
+      : min_alerts_(min_alerts), unfairness_(unfairness_threshold) {}
+
+  // Feeds one alarm; returns true once the destination crosses min_alerts.
+  bool OnAlarm(const Alarm& alarm);
+
+  // Runs the diagnosis against the receiver's TIB.
+  OutcastVerdict Diagnose(EdgeAgent& receiver_agent, TimeRange range, double duration_seconds);
+
+  int AlertCountFor(IpAddr dst) const;
+
+ private:
+  int min_alerts_;
+  double unfairness_;
+  // dst ip -> distinct alarming sources.
+  std::map<IpAddr, std::vector<IpAddr>> alerts_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_APPS_OUTCAST_DIAGNOSIS_H_

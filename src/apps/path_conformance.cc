@@ -1,0 +1,46 @@
+#include "src/apps/path_conformance.h"
+
+#include <algorithm>
+
+namespace pathdump {
+
+bool ConformancePolicy::Check(const Path& path) const {
+  if (max_path_switches > 0 && int(path.size()) >= max_path_switches) {
+    return false;
+  }
+  for (SwitchId s : forbidden) {
+    if (std::find(path.begin(), path.end(), s) != path.end()) {
+      return false;
+    }
+  }
+  for (SwitchId s : required_waypoints) {
+    if (std::find(path.begin(), path.end(), s) == path.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int InstallPathConformance(EdgeAgent& agent, ConformancePolicy policy) {
+  return agent.AddRecordHook(
+      [policy = std::move(policy)](EdgeAgent& a, const TibRecord& rec, SimTime now) {
+        Path p = rec.path.ToPath();
+        if (!policy.Check(p)) {
+          a.RaiseAlarm(rec.flow, AlarmReason::kPathConformance, {std::move(p)}, now);
+        }
+      });
+}
+
+int InstallIsolationCheck(EdgeAgent& agent, std::unordered_set<IpAddr> group_a,
+                          std::unordered_set<IpAddr> group_b) {
+  return agent.AddRecordHook([ga = std::move(group_a), gb = std::move(group_b)](
+                                 EdgeAgent& a, const TibRecord& rec, SimTime now) {
+    bool ab = ga.count(rec.flow.src_ip) > 0 && gb.count(rec.flow.dst_ip) > 0;
+    bool ba = gb.count(rec.flow.src_ip) > 0 && ga.count(rec.flow.dst_ip) > 0;
+    if (ab || ba) {
+      a.RaiseAlarm(rec.flow, AlarmReason::kPathConformance, {rec.path.ToPath()}, now);
+    }
+  });
+}
+
+}  // namespace pathdump

@@ -1,0 +1,44 @@
+// Path conformance checking (§2.3, §4.1) plus the waypoint-routing and
+// isolation invariants of Table 2.
+//
+// The operator expresses policy as a predicate over decoded paths; the
+// controller installs it at end hosts; the agent evaluates it on every new
+// TIB record (event-driven) and raises PC_FAIL with the offending paths.
+
+#ifndef PATHDUMP_SRC_APPS_PATH_CONFORMANCE_H_
+#define PATHDUMP_SRC_APPS_PATH_CONFORMANCE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/edge/edge_agent.h"
+
+namespace pathdump {
+
+struct ConformancePolicy {
+  // Maximum allowed switches on a path (0 = unlimited).  The paper's §2.3
+  // example: path length of 6 or more hops is a violation.
+  int max_path_switches = 0;
+  // Switches the path must not traverse.
+  std::vector<SwitchId> forbidden;
+  // Switches the path must traverse (waypoint routing).
+  std::vector<SwitchId> required_waypoints;
+
+  // Returns true if the path conforms.
+  bool Check(const Path& path) const;
+};
+
+// Installs the policy as a record hook on the agent; each violating record
+// raises Alarm(flow, PC_FAIL, [path]).  Returns the hook id (pass to
+// agent.RemoveRecordHook to uninstall).
+int InstallPathConformance(EdgeAgent& agent, ConformancePolicy policy);
+
+// Isolation checking (Table 2 "Isolation"): hosts in `group_a` must never
+// exchange traffic with hosts in `group_b`.  Installs a record hook on the
+// agent that alarms on flows crossing the boundary.
+int InstallIsolationCheck(EdgeAgent& agent, std::unordered_set<IpAddr> group_a,
+                          std::unordered_set<IpAddr> group_b);
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_APPS_PATH_CONFORMANCE_H_

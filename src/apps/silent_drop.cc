@@ -1,0 +1,28 @@
+#include "src/apps/silent_drop.h"
+
+namespace pathdump {
+
+void SilentDropDebugger::Start() {
+  controller_->SubscribeAlarms([this](const Alarm& alarm) { OnAlarm(alarm); });
+}
+
+void SilentDropDebugger::OnAlarm(const Alarm& alarm) {
+  if (alarm.reason != AlarmReason::kPoorPerf) {
+    return;
+  }
+  ++alarms_seen_;
+  // Failure signature: the path(s) this flow took, served by the TIB of the
+  // flow's destination host (host API results are for local flows, §2.1).
+  EdgeAgent* dst_agent = fleet_->agent_by_ip(alarm.flow.dst_ip);
+  if (dst_agent == nullptr) {
+    return;
+  }
+  LinkId any{kInvalidNode, kInvalidNode};
+  std::vector<Path> paths =
+      dst_agent->GetPaths(alarm.flow, any, TimeRange::All());
+  for (const Path& p : paths) {
+    localizer_.AddSignature(p);
+  }
+}
+
+}  // namespace pathdump

@@ -1,0 +1,51 @@
+// Silent random packet-drop debugging application (§2.3, §4.3).
+//
+// Event-driven workflow (Fig. 3): end hosts run the installed TCP
+// performance monitoring query; every POOR_PERF alarm makes the controller
+// fetch the suffering flow's path(s) from the destination host's TIB (a
+// failure signature) and re-run MAX-COVERAGE.  Accuracy improves as
+// signatures accumulate.
+
+#ifndef PATHDUMP_SRC_APPS_SILENT_DROP_H_
+#define PATHDUMP_SRC_APPS_SILENT_DROP_H_
+
+#include <vector>
+
+#include "src/apps/max_coverage.h"
+#include "src/controller/controller.h"
+#include "src/edge/fleet.h"
+
+namespace pathdump {
+
+class SilentDropDebugger {
+ public:
+  SilentDropDebugger(Controller* controller, AgentFleet* fleet)
+      : controller_(controller), fleet_(fleet) {}
+
+  // Subscribes to the controller's alarm stream.
+  void Start();
+
+  // Alarm entry point (also callable directly when replaying a timeline).
+  void OnAlarm(const Alarm& alarm);
+
+  // Current greedy-localization hypothesis.
+  std::vector<LinkId> Hypothesis() const { return localizer_.Localize(); }
+
+  // Accuracy of the current hypothesis vs the ground-truth faulty set.
+  LocalizationAccuracy Accuracy(const std::vector<LinkId>& truth) const {
+    return MaxCoverageLocalizer::Evaluate(Hypothesis(), truth);
+  }
+
+  size_t signature_count() const { return localizer_.signature_count(); }
+  size_t alarms_seen() const { return alarms_seen_; }
+
+ private:
+  Controller* controller_;
+  AgentFleet* fleet_;
+  MaxCoverageLocalizer localizer_;
+  size_t alarms_seen_ = 0;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_APPS_SILENT_DROP_H_

@@ -1,0 +1,44 @@
+// Traffic measurement applications (§2.3 "Traffic measurement", Table 2):
+// top-k flows, traffic matrix, heavy hitters, congested-link diagnosis,
+// and DDoS source accounting — all expressed over the host API / TIBs.
+
+#ifndef PATHDUMP_SRC_APPS_TRAFFIC_MEASURE_H_
+#define PATHDUMP_SRC_APPS_TRAFFIC_MEASURE_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/controller/controller.h"
+#include "src/edge/fleet.h"
+
+namespace pathdump {
+
+// Top-k flows by bytes across the given hosts (Fig. 12's query).
+TopKFlows TopKAcrossHosts(Controller& controller, const std::vector<HostId>& hosts, size_t k,
+                          TimeRange range, bool multi_level = true);
+
+// Traffic matrix between ToR pairs: (src ToR, dst ToR) -> bytes, assembled
+// from every destination TIB (Table 2 "Traffic matrix").
+std::map<std::pair<SwitchId, SwitchId>, uint64_t> TrafficMatrix(AgentFleet& fleet,
+                                                                TimeRange range);
+
+// Flows exceeding `threshold_bytes` at any queried host (heavy hitters).
+std::vector<std::pair<uint64_t, FiveTuple>> HeavyHitters(Controller& controller,
+                                                         const std::vector<HostId>& hosts,
+                                                         uint64_t threshold_bytes,
+                                                         TimeRange range);
+
+// Flows using a congested link with their byte contributions, descending —
+// tells the operator what to reroute (Table 2 "Congested link diagnosis").
+std::vector<std::pair<uint64_t, Flow>> CongestedLinkFlows(Controller& controller,
+                                                          const std::vector<HostId>& hosts,
+                                                          LinkId link, TimeRange range);
+
+// DDoS diagnosis: distinct sources sending to `victim_ip` with per-source
+// byte totals, descending (Table 2 "DDoS diagnosis").
+std::vector<std::pair<uint64_t, IpAddr>> DdosSources(EdgeAgent& victim_agent, TimeRange range);
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_APPS_TRAFFIC_MEASURE_H_

@@ -1,0 +1,340 @@
+#include "src/cherrypick/codec.h"
+
+#include <functional>
+
+#include "src/topology/fat_tree.h"
+#include "src/topology/vl2.h"
+
+namespace pathdump {
+
+CherryPickCodec::CherryPickCodec(const Topology* topo, const LinkLabelMap* labels)
+    : topo_(topo), labels_(labels) {}
+
+void CherryPickCodec::SetGenericPushers(std::set<SwitchId> pushers) {
+  generic_pushers_ = std::move(pushers);
+  generic_push_all_ = false;
+}
+
+bool CherryPickCodec::IsGenericPusher(SwitchId sw) const {
+  return generic_push_all_ || generic_pushers_.count(sw) > 0;
+}
+
+TagAction CherryPickCodec::OnForward(SwitchId sw, NodeId in_nbr, NodeId out_nbr, HostId dst,
+                                     int current_tags, LinkLabel current_dscp) const {
+  switch (topo_->kind()) {
+    case TopologyKind::kFatTree:
+      return OnForwardFatTree(sw, in_nbr, out_nbr, dst, current_tags);
+    case TopologyKind::kVl2:
+      return OnForwardVl2(sw, in_nbr, out_nbr, current_dscp);
+    case TopologyKind::kGeneric:
+      return OnForwardGeneric(sw, in_nbr);
+  }
+  return {};
+}
+
+TagAction CherryPickCodec::OnForwardFatTree(SwitchId sw, NodeId in_nbr, NodeId out_nbr,
+                                            HostId dst, int current_tags) const {
+  TagAction act;
+  if (in_nbr == kInvalidNode || topo_->IsHost(in_nbr)) {
+    return act;  // host-facing ingress links are never sampled
+  }
+  NodeRole my_role = topo_->RoleOf(sw);
+  NodeRole in_role = topo_->RoleOf(in_nbr);
+  NodeRole out_role = topo_->IsHost(out_nbr) ? NodeRole::kHost : topo_->RoleOf(out_nbr);
+
+  bool push = false;
+  if (my_role == NodeRole::kCore) {
+    // Cores always sample their ingress (agg-core) link.
+    push = true;
+  } else if (my_role == NodeRole::kAgg) {
+    // Intra-pod apex: from ToR, down to ToR, destination in *this* pod
+    // (real rules match the dst IP prefix), no tag yet.  The dst-pod
+    // restriction keeps a bounce-down toward a remote destination (whose
+    // trajectory is sampled at the subsequent valley and core) from
+    // consuming a tag the detour needs.
+    int dst_pod = topo_->node(topo_->TorOfHost(dst)).pod;
+    push = in_role == NodeRole::kTor && out_role == NodeRole::kTor &&
+           dst_pod == topo_->node(sw).pod && current_tags == 0;
+  } else if (my_role == NodeRole::kTor) {
+    // Valley: came from above, going back up.
+    push = in_role == NodeRole::kAgg && out_role == NodeRole::kAgg;
+  }
+  if (push) {
+    act.push_vlan = true;
+    act.vlan = labels_->LabelOf(in_nbr, sw);
+  }
+  return act;
+}
+
+TagAction CherryPickCodec::OnForwardVl2(SwitchId sw, NodeId in_nbr, NodeId out_nbr,
+                                        LinkLabel current_dscp) const {
+  TagAction act;
+  if (in_nbr == kInvalidNode || topo_->IsHost(in_nbr)) {
+    return act;
+  }
+  NodeRole my_role = topo_->RoleOf(sw);
+  NodeRole in_role = topo_->RoleOf(in_nbr);
+  NodeRole out_role = topo_->IsHost(out_nbr) ? NodeRole::kHost : topo_->RoleOf(out_nbr);
+
+  if (my_role == NodeRole::kAgg && in_role == NodeRole::kTor && current_dscp == 0) {
+    // First sampled link rides in DSCP: which of the ToR's uplinks we are.
+    auto [a0, a1] = vl2::AggsOfTor(*topo_, in_nbr);
+    int uplink = (sw == a0) ? 0 : (sw == a1 ? 1 : -1);
+    if (uplink >= 0) {
+      act.set_dscp = true;
+      act.dscp = labels_->DscpLabelOfUplink(uplink);
+    }
+    return act;
+  }
+  if (my_role == NodeRole::kIntermediate) {
+    act.push_vlan = true;
+    act.vlan = labels_->LabelOf(in_nbr, sw);
+    return act;
+  }
+  if (my_role == NodeRole::kAgg && in_role == NodeRole::kIntermediate &&
+      out_role == NodeRole::kTor) {
+    act.push_vlan = true;
+    act.vlan = labels_->LabelOf(in_nbr, sw);
+    return act;
+  }
+  return act;
+}
+
+TagAction CherryPickCodec::OnForwardGeneric(SwitchId sw, NodeId in_nbr) const {
+  TagAction act;
+  if (in_nbr == kInvalidNode || topo_->IsHost(in_nbr) || !IsGenericPusher(sw)) {
+    return act;
+  }
+  act.push_vlan = true;
+  act.vlan = labels_->LabelOf(in_nbr, sw);
+  return act;
+}
+
+std::optional<Path> CherryPickCodec::Decode(HostId src, HostId dst, LinkLabel dscp,
+                                            const std::vector<LinkLabel>& tags) const {
+  switch (topo_->kind()) {
+    case TopologyKind::kFatTree:
+      return DecodeFatTree(src, dst, tags);
+    case TopologyKind::kVl2:
+      return DecodeVl2(src, dst, dscp, tags);
+    case TopologyKind::kGeneric:
+      return DecodeGeneric(src, dst, tags);
+  }
+  return std::nullopt;
+}
+
+std::optional<Path> CherryPickCodec::DecodeFatTree(HostId src, HostId dst,
+                                                   const std::vector<LinkLabel>& tags) const {
+  const FatTreeMeta& m = *topo_->fat_tree();
+  const int half = m.k / 2;
+  const SwitchId src_tor = topo_->TorOfHost(src);
+  const SwitchId dst_tor = topo_->TorOfHost(dst);
+  const int sp = topo_->node(src_tor).pod;
+  const int dp = topo_->node(dst_tor).pod;
+
+  // Parse each tag up front; any unparsable tag is a ground-truth violation.
+  std::vector<FatTreeLabel> parsed;
+  parsed.reserve(tags.size());
+  for (LinkLabel t : tags) {
+    auto p = labels_->ParseFatTree(t);
+    if (!p) {
+      return std::nullopt;
+    }
+    parsed.push_back(*p);
+  }
+
+  auto agg_at = [&](int pod, int idx) { return m.agg[size_t(pod)][size_t(idx)]; };
+  auto tor_at = [&](int pod, int idx) { return m.tor[size_t(pod)][size_t(idx)]; };
+
+  if (parsed.empty()) {
+    // Intra-rack delivery only.
+    if (src_tor != dst_tor) {
+      return std::nullopt;
+    }
+    return Path{src_tor};
+  }
+
+  if (parsed.size() == 1) {
+    const FatTreeLabel& l = parsed[0];
+    if (l.type == FatTreeLabelType::kTorAgg) {
+      // Intra-pod apex push: label's ToR part must be the source ToR.
+      if (sp != dp || src_tor == dst_tor || l.tor_index != topo_->node(src_tor).index) {
+        return std::nullopt;
+      }
+      return Path{src_tor, agg_at(sp, l.agg_index), dst_tor};
+    }
+    // Agg-core label: inter-pod shortest path.
+    if (sp == dp) {
+      return std::nullopt;
+    }
+    int g = l.core_index / half;
+    return Path{src_tor, agg_at(sp, g), m.core[size_t(l.core_index)], agg_at(dp, g), dst_tor};
+  }
+
+  if (parsed.size() == 2) {
+    const FatTreeLabel& a = parsed[0];
+    const FatTreeLabel& b = parsed[1];
+
+    if (a.type == FatTreeLabelType::kTorAgg && b.type == FatTreeLabelType::kAggCore) {
+      // Source-pod bounce: srcTor -> aggA (all uplinks dead) -> torY (valley,
+      // pushed a = (y, aggA)) -> aggG -> core (pushed b) -> down.
+      if (sp == dp) {
+        return std::nullopt;
+      }
+      int g = b.core_index / half;
+      NodeId agg_first = agg_at(sp, a.agg_index);
+      NodeId tor_valley = tor_at(sp, a.tor_index);
+      if (a.tor_index == topo_->node(src_tor).index) {
+        return std::nullopt;  // a valley cannot be the source ToR
+      }
+      return Path{src_tor,           agg_first,       tor_valley, agg_at(sp, g),
+                  m.core[size_t(b.core_index)], agg_at(dp, g), dst_tor};
+    }
+
+    if (a.type == FatTreeLabelType::kAggCore && b.type == FatTreeLabelType::kTorAgg) {
+      // Destination-pod ToR bounce: ... core -> aggG -> torX (valley, pushed
+      // b = (x, g)) -> aggNext (unlabelled; deterministic failover policy:
+      // next index) -> dstTor.
+      if (sp == dp) {
+        return std::nullopt;
+      }
+      int g = a.core_index / half;
+      if (b.agg_index != g) {
+        return std::nullopt;
+      }
+      NodeId tor_valley = tor_at(dp, b.tor_index);
+      if (b.tor_index == topo_->node(dst_tor).index) {
+        return std::nullopt;
+      }
+      int next_agg = (g + 1) % half;
+      return Path{src_tor,
+                  agg_at(sp, g),
+                  m.core[size_t(a.core_index)],
+                  agg_at(dp, g),
+                  tor_valley,
+                  agg_at(dp, next_agg),
+                  dst_tor};
+    }
+
+    if (a.type == FatTreeLabelType::kTorAgg && b.type == FatTreeLabelType::kTorAgg) {
+      // Intra-pod bounce: apex push at aggA (a = (srcTor, aggA)), valley push
+      // at torX (b = (x, aggA)), then failover agg -> dstTor.
+      if (sp != dp || a.agg_index != b.agg_index ||
+          a.tor_index != topo_->node(src_tor).index ||
+          b.tor_index == topo_->node(dst_tor).index) {
+        return std::nullopt;
+      }
+      int next_agg = (b.agg_index + 1) % half;
+      return Path{src_tor, agg_at(sp, a.agg_index), tor_at(sp, b.tor_index), agg_at(sp, next_agg),
+                  dst_tor};
+    }
+
+    // Two agg-core labels would mean an up-bounce at an aggregate, which the
+    // failover policy never produces (a core's group maps to the same agg in
+    // every pod, so such a bounce cannot make progress).
+    return std::nullopt;
+  }
+
+  // Three or more labels: suspiciously long path — such packets are punted
+  // in-network and never reach the edge decoder.
+  return std::nullopt;
+}
+
+std::optional<Path> CherryPickCodec::DecodeVl2(HostId src, HostId dst, LinkLabel dscp,
+                                               const std::vector<LinkLabel>& tags) const {
+  const Vl2Meta& m = *topo_->vl2();
+  const SwitchId src_tor = topo_->TorOfHost(src);
+  const SwitchId dst_tor = topo_->TorOfHost(dst);
+
+  if (dscp == 0) {
+    if (!tags.empty() || src_tor != dst_tor) {
+      return std::nullopt;
+    }
+    return Path{src_tor};
+  }
+  int uplink = labels_->UplinkIndexOfDscp(dscp);
+  if (uplink < 0 || uplink > 1 || src_tor == dst_tor) {
+    return std::nullopt;
+  }
+  auto [a0, a1] = vl2::AggsOfTor(*topo_, src_tor);
+  NodeId agg_up = uplink == 0 ? a0 : a1;
+
+  if (tags.empty()) {
+    // Shared-aggregate 3-switch path.
+    if (!topo_->Adjacent(agg_up, dst_tor)) {
+      return std::nullopt;
+    }
+    return Path{src_tor, agg_up, dst_tor};
+  }
+  if (tags.size() != 2) {
+    return std::nullopt;
+  }
+  // tags[0]: agg-int pushed by the intermediate; tags[1]: int-agg pushed by
+  // the down-side aggregate.
+  int up_agg_idx = int(tags[0]) / m.num_intermediates;
+  int mid_idx = int(tags[0]) % m.num_intermediates;
+  if (up_agg_idx != topo_->node(agg_up).index || mid_idx >= m.num_intermediates) {
+    return std::nullopt;
+  }
+  int down_agg_idx = int(tags[1]) / m.num_intermediates;
+  int mid_idx2 = int(tags[1]) % m.num_intermediates;
+  if (mid_idx2 != mid_idx || down_agg_idx >= m.num_aggs) {
+    return std::nullopt;
+  }
+  NodeId mid = m.intermediate[size_t(mid_idx)];
+  NodeId agg_down = m.agg[size_t(down_agg_idx)];
+  if (!topo_->Adjacent(agg_down, dst_tor)) {
+    return std::nullopt;
+  }
+  return Path{src_tor, agg_up, mid, agg_down, dst_tor};
+}
+
+std::optional<Path> CherryPickCodec::DecodeGeneric(HostId src, HostId dst,
+                                                   const std::vector<LinkLabel>& tags) const {
+  const SwitchId src_tor = topo_->TorOfHost(src);
+  const SwitchId dst_tor = topo_->TorOfHost(dst);
+  const size_t max_depth = tags.size() * 2 + 8;
+
+  std::vector<Path> matches;
+  Path cur{src_tor};
+
+  // DFS over (node, consumed-tag-count).  A sampling switch pushes its
+  // ingress link label when it forwards — which every visited switch does
+  // (interior switches forward onward; the final ToR forwards to the host)
+  // — so arrival at a sampling switch over a switch link must consume the
+  // next expected tag or the branch is pruned.
+  std::function<void(NodeId, NodeId, size_t)> dfs = [&](NodeId node, NodeId prev,
+                                                        size_t consumed) {
+    if (matches.size() >= 2 || cur.size() > max_depth) {
+      return;
+    }
+    if (prev != kInvalidNode && !topo_->IsHost(prev) && IsGenericPusher(node)) {
+      LinkLabel expect = labels_->LabelOf(prev, node);
+      if (consumed >= tags.size() || tags[consumed] != expect) {
+        return;  // inconsistent with the recorded trajectory
+      }
+      ++consumed;
+    }
+    if (node == dst_tor && consumed == tags.size()) {
+      matches.push_back(cur);
+      // Keep exploring: a second consistent delivery would make the decode
+      // ambiguous, and ambiguity must be reported as failure.
+    }
+    for (NodeId nb : topo_->NeighborsOf(node)) {
+      if (topo_->IsHost(nb) || nb == prev) {
+        continue;
+      }
+      cur.push_back(nb);
+      dfs(nb, node, consumed);
+      cur.pop_back();
+    }
+  };
+  dfs(src_tor, kInvalidNode, 0);
+
+  if (matches.size() != 1) {
+    return std::nullopt;
+  }
+  return matches.front();
+}
+
+}  // namespace pathdump

@@ -1,0 +1,112 @@
+// CherryPick trajectory codec: sampling rules (encoder) and path
+// reconstruction (decoder).
+//
+// Encoder.  Switches run *static* match-action rules deciding whether to
+// embed the label of a packet's ingress link before forwarding (§3.1).  The
+// rules are expressible as OpenFlow matches on (ingress port, egress port
+// group, VLAN-tag presence, destination prefix):
+//
+//  FatTree:
+//   * Core switches always push their ingress (agg-core) link label.
+//   * An aggregate pushes its ingress (tor-agg) link label only when the
+//     packet came from a ToR, is being forwarded down to a ToR, the
+//     destination is in this pod, and no tag is present yet — i.e. it is
+//     the apex of an intra-pod path.
+//   * A ToR pushes its ingress (agg-tor) link label when the packet came
+//     from an aggregate and is being forwarded back up — a bounce "valley"
+//     caused by failover.
+//   Net effect: shortest paths carry 1 label, each 2-hop detour adds one,
+//   so 2 VLAN tags cover shortest+2; a third tag marks a suspiciously long
+//   path and gets the packet punted (§3.1, §4.5).
+//
+//  VL2: the first sampled link (the ToR-agg uplink, identified by its
+//   uplink index) rides in the 6-bit DSCP field, set by the aggregate when
+//   the packet arrives from a ToR and DSCP is unused; intermediates push
+//   their ingress (agg-int) label; the down-side aggregate pushes its
+//   ingress (int-agg) label when forwarding to a ToR.  A shortest VL2 path
+//   thus ends with one DSCP value and two VLAN tags, exactly as §3.1 says.
+//
+//  Generic topologies: operator-designated sampling switches push their
+//   ingress link label (every switch by default).  This is how the paper's
+//   hand-built Fig. 4 / Fig. 9 scenarios configure tracing.
+//
+// Decoder.  Maps (srcIP, DSCP, ordered labels, dstIP) back to the full
+// switch path using the static topology plus — for legs that failover left
+// unlabelled — the deterministic failover policy, which the paper pushes to
+// end hosts as part of the forwarding-policy configuration (§2.2).
+// Returns nullopt for infeasible tag sequences; PathDump treats that as a
+// ground-truth violation and raises an alarm (§2.4).
+
+#ifndef PATHDUMP_SRC_CHERRYPICK_CODEC_H_
+#define PATHDUMP_SRC_CHERRYPICK_CODEC_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/topology/link_labels.h"
+#include "src/topology/topology.h"
+
+namespace pathdump {
+
+// Tagging decision a switch applies while forwarding one packet.
+struct TagAction {
+  bool push_vlan = false;
+  LinkLabel vlan = kInvalidLabel;
+  bool set_dscp = false;
+  LinkLabel dscp = 0;
+};
+
+class CherryPickCodec {
+ public:
+  // `topo` and `labels` must outlive the codec.
+  CherryPickCodec(const Topology* topo, const LinkLabelMap* labels);
+
+  // --- Encoder ---
+
+  // Sampling decision for a packet at `sw`, arrived from `in_nbr` (the
+  // source host for first-hop ToRs), being forwarded to `out_nbr`, headed
+  // for destination host `dst` (real rules match the dst IP prefix),
+  // currently carrying `current_tags` VLAN tags and `current_dscp`
+  // (0 = unused).
+  TagAction OnForward(SwitchId sw, NodeId in_nbr, NodeId out_nbr, HostId dst, int current_tags,
+                      LinkLabel current_dscp) const;
+
+  // Generic topologies: restrict sampling to this switch set.  By default
+  // every switch samples (push_all).
+  void SetGenericPushers(std::set<SwitchId> pushers);
+  bool IsGenericPusher(SwitchId sw) const;
+
+  // --- Decoder ---
+
+  // Reconstructs the switch path of a packet from src host to dst host
+  // given its trajectory header (DSCP + VLAN labels in push order).
+  std::optional<Path> Decode(HostId src, HostId dst, LinkLabel dscp,
+                             const std::vector<LinkLabel>& tags) const;
+
+  const Topology& topo() const { return *topo_; }
+  const LinkLabelMap& labels() const { return *labels_; }
+
+ private:
+  TagAction OnForwardFatTree(SwitchId sw, NodeId in_nbr, NodeId out_nbr, HostId dst,
+                             int current_tags) const;
+  TagAction OnForwardVl2(SwitchId sw, NodeId in_nbr, NodeId out_nbr, LinkLabel current_dscp) const;
+  TagAction OnForwardGeneric(SwitchId sw, NodeId in_nbr) const;
+
+  std::optional<Path> DecodeFatTree(HostId src, HostId dst,
+                                    const std::vector<LinkLabel>& tags) const;
+  std::optional<Path> DecodeVl2(HostId src, HostId dst, LinkLabel dscp,
+                                const std::vector<LinkLabel>& tags) const;
+  std::optional<Path> DecodeGeneric(HostId src, HostId dst,
+                                    const std::vector<LinkLabel>& tags) const;
+
+  const Topology* topo_;
+  const LinkLabelMap* labels_;
+  bool generic_push_all_ = true;
+  std::set<SwitchId> generic_pushers_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_CHERRYPICK_CODEC_H_

@@ -1,0 +1,35 @@
+#include "src/cherrypick/trajectory_cache.h"
+
+namespace pathdump {
+
+std::optional<Path> TrajectoryCache::Lookup(IpAddr src_ip, LinkLabel dscp,
+                                            const std::vector<LinkLabel>& tags) {
+  uint64_t key = KeyOf(src_ip, dscp, tags);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->path;
+}
+
+void TrajectoryCache::Insert(IpAddr src_ip, LinkLabel dscp, const std::vector<LinkLabel>& tags,
+                             Path path) {
+  uint64_t key = KeyOf(src_ip, dscp, tags);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->path = std::move(path);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_ && !lru_.empty()) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, std::move(path)});
+  map_[key] = lru_.begin();
+}
+
+}  // namespace pathdump

@@ -1,0 +1,59 @@
+// Trajectory cache: memoizes (srcIP, DSCP, link labels) -> decoded path.
+//
+// The paper's trajectory-construction sub-module first consults a cache
+// keyed by (srcIP, link IDs); on a miss it decodes against the topology and
+// inserts the result (§3.2, Fig. 2).  A bounded LRU keeps memory at the
+// ~10 MB envelope the paper reports for the whole decoding state.
+
+#ifndef PATHDUMP_SRC_CHERRYPICK_TRAJECTORY_CACHE_H_
+#define PATHDUMP_SRC_CHERRYPICK_TRAJECTORY_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pathdump {
+
+class TrajectoryCache {
+ public:
+  explicit TrajectoryCache(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Returns the cached decode for this trajectory key, refreshing recency.
+  std::optional<Path> Lookup(IpAddr src_ip, LinkLabel dscp, const std::vector<LinkLabel>& tags);
+
+  // Inserts (or refreshes) a decode result, evicting the LRU entry if full.
+  void Insert(IpAddr src_ip, LinkLabel dscp, const std::vector<LinkLabel>& tags, Path path);
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  static uint64_t KeyOf(IpAddr src_ip, LinkLabel dscp, const std::vector<LinkLabel>& tags) {
+    uint64_t h = HashMix64((uint64_t(src_ip) << 16) | dscp);
+    for (LinkLabel t : tags) {
+      h = HashCombine(h, t);
+    }
+    return h;
+  }
+
+  struct Entry {
+    uint64_t key;
+    Path path;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_CHERRYPICK_TRAJECTORY_CACHE_H_

@@ -1,0 +1,43 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace pathdump {
+
+namespace {
+std::atomic<int> g_level{int(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(int(level), std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return LogLevel(g_level.load(std::memory_order_relaxed)); }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (int(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[pathdump %s] ", LevelName(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace pathdump

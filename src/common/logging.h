@@ -1,0 +1,31 @@
+// Minimal leveled logger used across the library.
+//
+// PathDump components log sparingly (alarm delivery, controller decisions).
+// The default threshold is kWarn so tests and benches stay quiet; examples
+// lower it to kInfo to narrate what the system is doing.
+
+#ifndef PATHDUMP_SRC_COMMON_LOGGING_H_
+#define PATHDUMP_SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace pathdump {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets the global logging threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging to stderr with a level prefix.
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,137 @@
+// Deterministic pseudo-random number generator (PCG32).
+//
+// Every stochastic component in PathDump (workload generation, ECMP hashing
+// perturbation, failure injection, packet spraying) draws from a seeded Rng
+// so that all tests and benchmarks are exactly reproducible.
+
+#ifndef PATHDUMP_SRC_COMMON_RNG_H_
+#define PATHDUMP_SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace pathdump {
+
+// Minimal PCG32 (O'Neill).  Not cryptographic; statistically solid and fast.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9Bull, uint64_t stream = 0xDA3E39CB94B95BDBull) {
+    state_ = 0;
+    inc_ = (stream << 1) | 1;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  // Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    uint32_t xorshifted = uint32_t(((old >> 18) ^ old) >> 27);
+    uint32_t rot = uint32_t(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  // Uniform 64-bit value.
+  uint64_t NextU64() { return (uint64_t(NextU32()) << 32) | NextU32(); }
+
+  // Uniform integer in [0, bound).  bound must be > 0.
+  uint32_t UniformInt(uint32_t bound) {
+    // Debiased modulo (Lemire-style rejection kept simple).
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return Uniform01() < p; }
+
+  // Uniform double in [0,1) with 53-bit resolution.
+  double Uniform01() {
+    uint64_t r = NextU64() >> 11;
+    return double(r) * (1.0 / 9007199254740992.0);
+  }
+
+  // Exponentially distributed value with the given mean.
+  double Exponential(double mean) {
+    double u = Uniform01();
+    if (u >= 1.0) {
+      u = 0.9999999999;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Binomial(n, p) sample.  Exact loop for small n; normal approximation
+  // (clamped) for large n where the loop would dominate.
+  uint64_t Binomial(uint64_t n, double p) {
+    if (p <= 0.0 || n == 0) {
+      return 0;
+    }
+    if (p >= 1.0) {
+      return n;
+    }
+    if (n <= 64) {
+      uint64_t k = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        k += Bernoulli(p) ? 1 : 0;
+      }
+      return k;
+    }
+    double mean = double(n) * p;
+    double sd = std::sqrt(double(n) * p * (1.0 - p));
+    double x = mean + sd * Gaussian();
+    if (x < 0) {
+      return 0;
+    }
+    if (x > double(n)) {
+      return n;
+    }
+    return uint64_t(x + 0.5);
+  }
+
+  // Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = Uniform01();
+    double u2 = Uniform01();
+    if (u1 < 1e-12) {
+      u1 = 1e-12;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Pareto-distributed value with given scale (minimum) and shape alpha.
+  double Pareto(double scale, double alpha) {
+    double u = Uniform01();
+    if (u >= 1.0) {
+      u = 0.9999999999;
+    }
+    return scale / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  // Samples k of n indices without replacement (Floyd's algorithm) into out.
+  template <typename OutIt>
+  void SampleWithoutReplacement(uint32_t n, uint32_t k, OutIt out) {
+    // Simple selection-sampling; k is small in all our uses.
+    uint32_t chosen = 0;
+    for (uint32_t i = 0; i < n && chosen < k; ++i) {
+      uint32_t remaining = n - i;
+      uint32_t needed = k - chosen;
+      if (UniformInt(remaining) < needed) {
+        *out++ = i;
+        ++chosen;
+      }
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_COMMON_RNG_H_

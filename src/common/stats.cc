@@ -1,0 +1,70 @@
+#include "src/common/stats.h"
+
+#include <numeric>
+
+namespace pathdump {
+
+void Cdf::Sort() {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::Quantile(double q) {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  Sort();
+  q = std::clamp(q, 0.0, 1.0);
+  double idx = q * double(values_.size() - 1);
+  size_t lo = size_t(idx);
+  size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = idx - double(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Cdf::FractionBelow(double x) {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  Sort();
+  auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return double(it - values_.begin()) / double(values_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::Points(int n) {
+  std::vector<std::pair<double, double>> pts;
+  if (values_.empty() || n < 2) {
+    return pts;
+  }
+  pts.reserve(size_t(n));
+  for (int i = 0; i < n; ++i) {
+    double q = double(i) / double(n - 1);
+    pts.emplace_back(Quantile(q), q);
+  }
+  return pts;
+}
+
+int64_t Histogram::total() const {
+  int64_t t = 0;
+  for (const auto& [bin, count] : bins_) {
+    t += count;
+  }
+  return t;
+}
+
+double ImbalanceRatePercent(const std::vector<double>& loads) {
+  if (loads.empty()) {
+    return 0.0;
+  }
+  double sum = std::accumulate(loads.begin(), loads.end(), 0.0);
+  double mean = sum / double(loads.size());
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  double maxv = *std::max_element(loads.begin(), loads.end());
+  return (maxv / mean - 1.0) * 100.0;
+}
+
+}  // namespace pathdump

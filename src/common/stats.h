@@ -1,0 +1,100 @@
+// Small statistics toolkit: running summaries, empirical CDFs, histograms.
+//
+// The evaluation harness uses these to reproduce the paper's figures (CDF of
+// load-imbalance rate, flow-size distributions, recall/precision curves).
+
+#ifndef PATHDUMP_SRC_COMMON_STATS_H_
+#define PATHDUMP_SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pathdump {
+
+// Running mean / variance / extrema (Welford's online algorithm).
+class Summary {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  // Sample variance (n-1 denominator).
+  double variance() const { return count_ > 1 ? m2_ / double(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  // Standard error of the mean: sigma / sqrt(n) — used for Fig. 8 error bars.
+  double stderror() const { return count_ > 1 ? stddev() / std::sqrt(double(count_)) : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = HUGE_VAL;
+  double max_ = -HUGE_VAL;
+};
+
+// Empirical CDF over a sample set.
+class Cdf {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // Value at quantile q in [0, 1].
+  double Quantile(double q);
+  // Fraction of samples <= x.
+  double FractionBelow(double x);
+  // Emits "x cdf" rows at the given number of evenly spaced quantile points,
+  // suitable for plotting (matches the paper's CDF figures).
+  std::vector<std::pair<double, double>> Points(int n = 20);
+
+ private:
+  void Sort();
+
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+// Fixed-bin-width histogram keyed by bin index (value / bin_width).
+class Histogram {
+ public:
+  explicit Histogram(double bin_width) : bin_width_(bin_width) {}
+
+  void Add(double x, int64_t weight = 1) { bins_[Bin(x)] += weight; }
+  int64_t Bin(double x) const { return int64_t(x / bin_width_); }
+  double bin_width() const { return bin_width_; }
+  const std::map<int64_t, int64_t>& bins() const { return bins_; }
+  int64_t total() const;
+
+ private:
+  double bin_width_;
+  std::map<int64_t, int64_t> bins_;
+};
+
+// Load-imbalance rate from the paper (§4.2, citing [31]):
+//   lambda = (Lmax / Lmean - 1) * 100 (%).
+// Returns 0 when all loads are zero.
+double ImbalanceRatePercent(const std::vector<double>& loads);
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_COMMON_STATS_H_

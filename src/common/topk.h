@@ -1,0 +1,79 @@
+// Bounded top-k accumulator (min-heap of the k largest items).
+//
+// Used by the traffic-measurement application (§2.3 top-1000 flows query)
+// and by the multi-level aggregation path for Fig. 12's top-10,000 query.
+
+#ifndef PATHDUMP_SRC_COMMON_TOPK_H_
+#define PATHDUMP_SRC_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace pathdump {
+
+// Keeps the k items with the largest keys.  Key must be totally ordered.
+template <typename Key, typename Value>
+class TopK {
+ public:
+  struct Item {
+    Key key;
+    Value value;
+    // Min-heap on key: std::push_heap with this comparator keeps the
+    // smallest retained key at the front, ready for eviction.
+    friend bool operator>(const Item& a, const Item& b) { return a.key > b.key; }
+  };
+
+  explicit TopK(size_t k) : k_(k) {}
+
+  // Offers an item; it is retained only if it ranks in the current top k.
+  void Add(const Key& key, const Value& value) {
+    if (k_ == 0) {
+      return;
+    }
+    if (heap_.size() < k_) {
+      heap_.push_back(Item{key, value});
+      std::push_heap(heap_.begin(), heap_.end(), Greater());
+    } else if (key > heap_.front().key) {
+      std::pop_heap(heap_.begin(), heap_.end(), Greater());
+      heap_.back() = Item{key, value};
+      std::push_heap(heap_.begin(), heap_.end(), Greater());
+    }
+  }
+
+  // Merges another accumulator into this one (aggregation-tree reduce step).
+  void Merge(const TopK& other) {
+    for (const Item& it : other.heap_) {
+      Add(it.key, it.value);
+    }
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return k_; }
+
+  // Smallest retained key; only valid when size() == capacity().
+  const Key& Threshold() const { return heap_.front().key; }
+  bool Full() const { return heap_.size() == k_; }
+
+  // Returns retained items sorted by descending key.
+  std::vector<Item> SortedDescending() const {
+    std::vector<Item> out = heap_;
+    std::sort(out.begin(), out.end(),
+              [](const Item& a, const Item& b) { return b.key < a.key; });
+    return out;
+  }
+
+  const std::vector<Item>& UnsortedItems() const { return heap_; }
+
+ private:
+  struct Greater {
+    bool operator()(const Item& a, const Item& b) const { return a > b; }
+  };
+
+  size_t k_;
+  std::vector<Item> heap_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_COMMON_TOPK_H_

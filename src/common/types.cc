@@ -1,0 +1,39 @@
+#include "src/common/types.h"
+
+#include <cstdio>
+
+namespace pathdump {
+
+std::string IpToString(IpAddr ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xFF, (ip >> 16) & 0xFF,
+                (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+std::string FlowToString(const FiveTuple& t) {
+  std::string s = IpToString(t.src_ip);
+  s += ':';
+  s += std::to_string(t.src_port);
+  s += '>';
+  s += IpToString(t.dst_ip);
+  s += ':';
+  s += std::to_string(t.dst_port);
+  s += '/';
+  s += std::to_string(t.protocol);
+  return s;
+}
+
+std::string PathToString(const Path& p) {
+  std::string s;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) {
+      s += "->";
+    }
+    s += 'S';
+    s += std::to_string(p[i]);
+  }
+  return s;
+}
+
+}  // namespace pathdump

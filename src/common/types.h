@@ -1,0 +1,146 @@
+// Core identifier and key types shared by every PathDump module.
+//
+// PathDump identifies network elements the way the paper does (§2.1):
+//  * every switch and host has a unique ID,
+//  * a linkID is a pair of adjacent node IDs,
+//  * a flowID is the usual 5-tuple,
+//  * a Path is the list of switch IDs a packet traversed,
+//  * a Flow is a (flowID, Path) pair, and
+//  * a timeRange is a pair of timestamps (with wildcards).
+
+#ifndef PATHDUMP_SRC_COMMON_TYPES_H_
+#define PATHDUMP_SRC_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pathdump {
+
+// Index of a node (host or switch) in a Topology's node table.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+// Aliases used where the role of the node matters for readability.
+using SwitchId = NodeId;
+using HostId = NodeId;
+
+// CherryPick global link label, carried in a 12-bit VLAN ID (or the 6-bit
+// DSCP field on VL2).  Labels are reused across pods; see src/topology.
+using LinkLabel = uint16_t;
+inline constexpr int kVlanIdBits = 12;
+inline constexpr LinkLabel kMaxVlanLabel = (1u << kVlanIdBits) - 1;
+inline constexpr int kDscpBits = 6;
+inline constexpr LinkLabel kMaxDscpLabel = (1u << kDscpBits) - 1;
+inline constexpr LinkLabel kInvalidLabel = 0xFFFFu;
+
+// Commodity switch ASICs parse at most two VLAN tags (QinQ) at line rate; a
+// packet carrying three or more triggers a rule miss and is punted to the
+// controller (§3.1).  This constant is load-bearing: it implements both the
+// "suspiciously long path" trap and routing-loop detection.
+inline constexpr int kAsicMaxVlanTags = 2;
+
+// IPv4 address.  Host h gets address kHostIpBase | h.
+using IpAddr = uint32_t;
+inline constexpr IpAddr kHostIpBase = 0x0A000000u;  // 10.0.0.0/8
+
+// Directed physical link between two adjacent nodes.
+struct LinkId {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+  friend auto operator<=>(const LinkId&, const LinkId&) = default;
+};
+
+// The usual 5-tuple flow identifier.
+struct FiveTuple {
+  IpAddr src_ip = 0;
+  IpAddr dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t protocol = 0;
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+};
+
+inline constexpr uint8_t kProtoTcp = 6;
+inline constexpr uint8_t kProtoUdp = 17;
+
+// An end-to-end trajectory: the ordered switch IDs a packet traversed
+// (hosts excluded, matching the paper's Path definition).
+using Path = std::vector<SwitchId>;
+
+// A (flowID, Path) pair — used where packets of one flow may take several
+// paths (ECMP rehash, packet spraying).
+struct Flow {
+  FiveTuple id;
+  Path path;
+
+  friend bool operator==(const Flow&, const Flow&) = default;
+};
+
+// Simulated time in nanoseconds since simulation start.
+using SimTime = int64_t;
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+inline constexpr SimTime kNsPerUs = 1000;
+inline constexpr SimTime kNsPerMs = 1000 * 1000;
+inline constexpr SimTime kNsPerSec = 1000 * 1000 * 1000;
+
+// Closed-open time interval [begin, end).  Wildcards from the paper's API
+// ("since ti", "any time") are expressed with 0 / kSimTimeMax.
+struct TimeRange {
+  SimTime begin = 0;
+  SimTime end = kSimTimeMax;
+
+  // Returns the range covering all of time, i.e. (<*, *>).
+  static TimeRange All() { return TimeRange{0, kSimTimeMax}; }
+  // Returns the range "since t", i.e. (<t, *>).
+  static TimeRange Since(SimTime t) { return TimeRange{t, kSimTimeMax}; }
+
+  bool Contains(SimTime t) const { return t >= begin && t < end; }
+  // True if [a, b] overlaps this range (used for flow-record matching).
+  bool Overlaps(SimTime a, SimTime b) const { return a < end && b >= begin; }
+
+  friend bool operator==(const TimeRange&, const TimeRange&) = default;
+};
+
+// 64-bit mix used by all hash specializations (SplitMix64 finalizer).
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return HashMix64(seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2)));
+}
+
+struct FiveTupleHash {
+  size_t operator()(const FiveTuple& t) const {
+    uint64_t h = HashMix64((uint64_t(t.src_ip) << 32) | t.dst_ip);
+    h = HashCombine(h, (uint64_t(t.src_port) << 32) | (uint64_t(t.dst_port) << 16) | t.protocol);
+    return size_t(h);
+  }
+};
+
+struct LinkIdHash {
+  size_t operator()(const LinkId& l) const {
+    return size_t(HashMix64((uint64_t(l.src) << 32) | l.dst));
+  }
+};
+
+// Renders "10.x.y.z" for logging.
+std::string IpToString(IpAddr ip);
+// Renders "sip:sport>dip:dport/proto".
+std::string FlowToString(const FiveTuple& t);
+// Renders "S3->S7->S12".
+std::string PathToString(const Path& p);
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_COMMON_TYPES_H_

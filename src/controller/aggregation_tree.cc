@@ -1,0 +1,48 @@
+#include "src/controller/aggregation_tree.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace pathdump {
+
+int AggregationTree::depth() const {
+  int d = 0;
+  for (const AggregationNode& n : nodes) {
+    d = std::max(d, n.level);
+  }
+  return d;
+}
+
+AggregationTree BuildAggregationTree(const std::vector<HostId>& hosts, int top_fanout,
+                                     int fanout) {
+  AggregationTree tree;
+  if (hosts.empty()) {
+    return tree;
+  }
+  size_t next = 0;
+  std::deque<int> frontier;  // node indices awaiting children
+  for (int i = 0; i < top_fanout && next < hosts.size(); ++i) {
+    AggregationNode n;
+    n.host = hosts[next++];
+    n.level = 1;
+    tree.nodes.push_back(n);
+    tree.roots.push_back(int(tree.nodes.size()) - 1);
+    frontier.push_back(tree.roots.back());
+  }
+  while (next < hosts.size() && !frontier.empty()) {
+    int parent = frontier.front();
+    frontier.pop_front();
+    for (int i = 0; i < fanout && next < hosts.size(); ++i) {
+      AggregationNode n;
+      n.host = hosts[next++];
+      n.level = tree.nodes[size_t(parent)].level + 1;
+      tree.nodes.push_back(n);
+      int idx = int(tree.nodes.size()) - 1;
+      tree.nodes[size_t(parent)].children.push_back(idx);
+      frontier.push_back(idx);
+    }
+  }
+  return tree;
+}
+
+}  // namespace pathdump

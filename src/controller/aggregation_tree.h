@@ -1,0 +1,40 @@
+// Multi-level aggregation tree for distributed queries (§3.2).
+//
+// Inspired by Dremel/iMR, the controller builds a logical tree over the
+// queried end hosts and distributes it alongside the query; every interior
+// host executes the query locally *and* merges its children's results, so
+// aggregation compute is spread across the fleet instead of serialized at
+// the controller.  The paper's evaluation uses a 4-level tree over 112
+// hosts with 7 nodes under the controller and fanout 4 below (§5.1).
+
+#ifndef PATHDUMP_SRC_CONTROLLER_AGGREGATION_TREE_H_
+#define PATHDUMP_SRC_CONTROLLER_AGGREGATION_TREE_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pathdump {
+
+struct AggregationNode {
+  HostId host = kInvalidNode;
+  int level = 1;  // 1 = directly under the controller
+  std::vector<int> children;  // indices into AggregationTree::nodes
+};
+
+struct AggregationTree {
+  std::vector<AggregationNode> nodes;
+  std::vector<int> roots;  // level-1 node indices
+
+  size_t size() const { return nodes.size(); }
+  int depth() const;
+};
+
+// Builds a tree over `hosts`: the first `top_fanout` hosts sit at level 1;
+// below that every node takes `fanout` children until hosts run out.
+AggregationTree BuildAggregationTree(const std::vector<HostId>& hosts, int top_fanout = 7,
+                                     int fanout = 4);
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_CONTROLLER_AGGREGATION_TREE_H_

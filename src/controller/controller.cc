@@ -1,0 +1,171 @@
+#include "src/controller/controller.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace pathdump {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace
+
+void Controller::RegisterAgent(EdgeAgent* agent) {
+  if (agents_.emplace(agent->host(), agent).second) {
+    host_order_.push_back(agent->host());
+  }
+}
+
+EdgeAgent* Controller::agent(HostId host) const {
+  auto it = agents_.find(host);
+  return it == agents_.end() ? nullptr : it->second;
+}
+
+std::vector<HostId> Controller::registered_hosts() const { return host_order_; }
+
+Controller::TimedResult Controller::RunOn(EdgeAgent& agent, const QueryFn& query) const {
+  auto t0 = std::chrono::steady_clock::now();
+  TimedResult out;
+  out.result = query(agent);
+  // Measured in-memory execution plus the modeled Flask/MongoDB service
+  // stack of the paper's agents (see RpcModel).
+  out.compute_seconds = SecondsSince(t0) + rpc_.per_query_service_seconds;
+  return out;
+}
+
+std::pair<QueryResult, QueryExecStats> Controller::Execute(const std::vector<HostId>& hosts,
+                                                           const QueryFn& query) const {
+  QueryExecStats stats;
+  stats.hosts = hosts.size();
+
+  // Hosts execute in parallel; each response arrives after
+  //   request transfer + execution + response transfer.
+  QueryResult merged;
+  double latest_arrival = 0;
+  double merge_seconds = 0;
+  for (HostId h : hosts) {
+    EdgeAgent* a = agent(h);
+    if (a == nullptr) {
+      continue;
+    }
+    TimedResult r = RunOn(*a, query);
+    size_t resp_bytes = SerializedBytes(r.result);
+    stats.network_bytes += rpc_.request_bytes + resp_bytes;
+    stats.response_bytes += resp_bytes;
+    double arrival = rpc_.rtt_seconds + rpc_.TransferSeconds(resp_bytes) + r.compute_seconds;
+    latest_arrival = std::max(latest_arrival, arrival);
+    stats.max_host_compute_seconds = std::max(stats.max_host_compute_seconds, r.compute_seconds);
+
+    // Controller-side aggregation is sequential: measure the real merge.
+    auto t0 = std::chrono::steady_clock::now();
+    MergeQueryResult(merged, r.result);
+    merge_seconds += SecondsSince(t0);
+  }
+  stats.controller_compute_seconds = merge_seconds;
+  stats.response_time_seconds = latest_arrival + merge_seconds;
+  return {std::move(merged), stats};
+}
+
+std::pair<QueryResult, QueryExecStats> Controller::ExecuteMultiLevel(
+    const std::vector<HostId>& hosts, const QueryFn& query, int top_fanout, int fanout) const {
+  QueryExecStats stats;
+  stats.hosts = hosts.size();
+  AggregationTree tree = BuildAggregationTree(hosts, top_fanout, fanout);
+
+  struct NodeOutcome {
+    QueryResult result;
+    double ready_at = 0;  // seconds after query dispatch
+  };
+
+  // Post-order evaluation.  Every host's execution and every interior
+  // merge is real, measured work; transfers are modeled per edge.
+  std::function<NodeOutcome(int)> eval = [&](int idx) -> NodeOutcome {
+    const AggregationNode& node = tree.nodes[size_t(idx)];
+    NodeOutcome out;
+    EdgeAgent* a = agent(node.host);
+    double own_exec = 0;
+    if (a != nullptr) {
+      // Query reaches this node after `level` request hops (the tree is
+      // redistributed downward, §3.2).
+      TimedResult r = RunOn(*a, query);
+      own_exec = r.compute_seconds;
+      stats.max_host_compute_seconds = std::max(stats.max_host_compute_seconds, own_exec);
+      stats.network_bytes += rpc_.request_bytes;
+      out.result = std::move(r.result);
+    }
+    double children_ready = 0;
+    double merge_seconds = 0;
+    for (int child : node.children) {
+      NodeOutcome c = eval(child);
+      size_t bytes = SerializedBytes(c.result);
+      stats.network_bytes += bytes;
+      stats.response_bytes += bytes;
+      children_ready =
+          std::max(children_ready, c.ready_at + rpc_.rtt_seconds / 2 + rpc_.TransferSeconds(bytes));
+      auto t0 = std::chrono::steady_clock::now();
+      MergeQueryResult(out.result, c.result);
+      merge_seconds += SecondsSince(t0);
+    }
+    out.ready_at = std::max(own_exec, children_ready) + merge_seconds;
+    return out;
+  };
+
+  QueryResult merged;
+  double latest = 0;
+  double controller_merge = 0;
+  for (int root : tree.roots) {
+    NodeOutcome r = eval(root);
+    size_t bytes = SerializedBytes(r.result);
+    stats.network_bytes += bytes;
+    stats.response_bytes += bytes;
+    latest = std::max(latest,
+                      r.ready_at + rpc_.rtt_seconds / 2 + rpc_.TransferSeconds(bytes));
+    auto t0 = std::chrono::steady_clock::now();
+    MergeQueryResult(merged, r.result);
+    controller_merge += SecondsSince(t0);
+  }
+  stats.controller_compute_seconds = controller_merge;
+  // Dispatch down the tree costs half-RTT per level on the way in.
+  double dispatch = rpc_.rtt_seconds / 2 * double(std::max(tree.depth(), 1));
+  stats.response_time_seconds = dispatch + latest + controller_merge;
+  return {std::move(merged), stats};
+}
+
+std::vector<int> Controller::Install(const std::vector<HostId>& hosts, SimTime period,
+                                     EdgeAgent::PeriodicQuery body) const {
+  std::vector<int> ids;
+  ids.reserve(hosts.size());
+  for (HostId h : hosts) {
+    EdgeAgent* a = agent(h);
+    ids.push_back(a == nullptr ? -1 : a->InstallQuery(period, body));
+  }
+  return ids;
+}
+
+void Controller::Uninstall(const std::vector<HostId>& hosts, const std::vector<int>& ids) const {
+  for (size_t i = 0; i < hosts.size() && i < ids.size(); ++i) {
+    EdgeAgent* a = agent(hosts[i]);
+    if (a != nullptr && ids[i] >= 0) {
+      a->UninstallQuery(ids[i]);
+    }
+  }
+}
+
+AlarmHandler Controller::MakeAlarmSink() {
+  return [this](const Alarm& alarm) {
+    alarm_log_.push_back(alarm);
+    for (const AlarmHandler& sub : subscribers_) {
+      sub(alarm);
+    }
+  };
+}
+
+void Controller::SubscribeAlarms(AlarmHandler handler) {
+  subscribers_.push_back(std::move(handler));
+}
+
+}  // namespace pathdump

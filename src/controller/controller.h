@@ -1,0 +1,100 @@
+// PathDump controller (§3.3).
+//
+// Two roles: (1) one-time installation of the static tag-push rules — in
+// this implementation the rules are compiled into the CherryPick codec at
+// network construction, so the controller's data-plane job is done at
+// startup, exactly as the paper intends ("the rules are not modified once
+// installed"); (2) running debugging applications against the distributed
+// TIBs via the controller API of Table 1: execute / install / uninstall,
+// with direct or multi-level query mechanisms, plus the alarm intake that
+// drives event-driven applications (Fig. 3).
+
+#ifndef PATHDUMP_SRC_CONTROLLER_CONTROLLER_H_
+#define PATHDUMP_SRC_CONTROLLER_CONTROLLER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/controller/aggregation_tree.h"
+#include "src/controller/rpc_model.h"
+#include "src/edge/edge_agent.h"
+
+namespace pathdump {
+
+// Timing/traffic breakdown of one distributed query execution.
+struct QueryExecStats {
+  double response_time_seconds = 0;   // end-to-end, wire modeled
+  size_t network_bytes = 0;           // total query+response traffic
+  size_t response_bytes = 0;          // response payloads only (Figs 11b/12b)
+  double controller_compute_seconds = 0;  // measured aggregation at controller
+  double max_host_compute_seconds = 0;    // slowest per-host execution
+  size_t hosts = 0;
+};
+
+class Controller {
+ public:
+  using QueryFn = std::function<QueryResult(EdgeAgent&)>;
+
+  explicit Controller(RpcModel rpc = {}) : rpc_(rpc) {}
+
+  // --- Agent registry ---
+  void RegisterAgent(EdgeAgent* agent);
+  template <typename Fleet>
+  void RegisterFleet(Fleet& fleet) {
+    for (EdgeAgent* a : fleet.all()) {
+      RegisterAgent(a);
+    }
+  }
+  EdgeAgent* agent(HostId host) const;
+  std::vector<HostId> registered_hosts() const;
+
+  // --- Controller API (Table 1) ---
+
+  // execute(List<HostID>, Query): direct query — the controller contacts
+  // every host and aggregates all responses itself.
+  std::pair<QueryResult, QueryExecStats> Execute(const std::vector<HostId>& hosts,
+                                                 const QueryFn& query) const;
+
+  // Multi-level variant: query + aggregation tree distributed to hosts;
+  // results reduce bottom-up (§3.2, §5.2).
+  std::pair<QueryResult, QueryExecStats> ExecuteMultiLevel(const std::vector<HostId>& hosts,
+                                                           const QueryFn& query,
+                                                           int top_fanout = 7,
+                                                           int fanout = 4) const;
+
+  // install(List<HostID>, Query, Period): returns per-host query ids.
+  std::vector<int> Install(const std::vector<HostId>& hosts, SimTime period,
+                           EdgeAgent::PeriodicQuery body) const;
+  // uninstall(List<HostID>, Query).
+  void Uninstall(const std::vector<HostId>& hosts, const std::vector<int>& ids) const;
+
+  // --- Alarm intake ---
+
+  // Handler every registered agent reports into; fan-out to subscribers.
+  AlarmHandler MakeAlarmSink();
+  // Subscribes a debugging application to alarms.
+  void SubscribeAlarms(AlarmHandler handler);
+  const std::vector<Alarm>& alarm_log() const { return alarm_log_; }
+
+  const RpcModel& rpc() const { return rpc_; }
+
+ private:
+  struct TimedResult {
+    QueryResult result;
+    double compute_seconds = 0;
+  };
+  // Runs the query on one agent, measuring wall-clock compute.
+  TimedResult RunOn(EdgeAgent& agent, const QueryFn& query) const;
+
+  RpcModel rpc_;
+  std::unordered_map<HostId, EdgeAgent*> agents_;
+  std::vector<HostId> host_order_;
+  std::vector<AlarmHandler> subscribers_;
+  std::vector<Alarm> alarm_log_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_CONTROLLER_CONTROLLER_H_

@@ -1,0 +1,80 @@
+#include "src/controller/loop_detector.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pathdump {
+
+void LoopDetector::Attach() {
+  net_->SetPuntHandler([this](const Packet& pkt, SwitchId at, SimTime now) {
+    OnPunt(pkt, at, now);
+  });
+}
+
+void LoopDetector::OnPunt(const Packet& pkt, SwitchId at, SimTime now) {
+  int round = ++rounds_[pkt.flow];
+  std::vector<LinkLabel>& seen = history_[pkt.flow];
+
+  // Look for a repeated link label, either within this punt's tags or
+  // against labels remembered from earlier punts of the same hunt.
+  LinkLabel repeated = kInvalidLabel;
+  for (size_t i = 0; i < pkt.tags.size() && repeated == kInvalidLabel; ++i) {
+    for (size_t j = i + 1; j < pkt.tags.size(); ++j) {
+      if (pkt.tags[i] == pkt.tags[j]) {
+        repeated = pkt.tags[i];
+        break;
+      }
+    }
+    if (repeated == kInvalidLabel &&
+        std::find(seen.begin(), seen.end(), pkt.tags[i]) != seen.end()) {
+      repeated = pkt.tags[i];
+    }
+  }
+
+  if (repeated != kInvalidLabel) {
+    Detection d;
+    d.flow = pkt.flow;
+    d.detected_at = now;
+    d.repeated_label = repeated;
+    d.punt_rounds = round;
+    d.punted_at = at;
+    detections_.push_back(d);
+    Logf(LogLevel::kInfo, "loop detected at t=%.1fms (round %d, label %u)",
+         double(now) / double(kNsPerMs), round, unsigned(repeated));
+    history_.erase(pkt.flow);
+    rounds_.erase(pkt.flow);
+    return;
+  }
+
+  // No repeat yet: remember labels, strip them, send the packet back into
+  // the data plane at the punting switch.
+  seen.insert(seen.end(), pkt.tags.begin(), pkt.tags.end());
+  LongPathEvent ev;
+  ev.flow = pkt.flow;
+  ev.at = now;
+  ev.labels = pkt.tags;
+  ev.punted_at = at;
+  long_paths_.push_back(std::move(ev));
+
+  if (!reinject_ || net_ == nullptr) {
+    return;
+  }
+  Packet fresh = pkt;
+  fresh.tags.clear();
+  // The punting switch saw the packet arrive from the previous switch on
+  // its ground-truth trace; re-present it the same way.
+  NodeId from = kInvalidNode;
+  if (fresh.trace.size() >= 2) {
+    from = fresh.trace[fresh.trace.size() - 2];
+  }
+  // Process() at the punting switch already appended it to the trace and
+  // counted the hop; rewind so re-processing does not double-count.
+  if (!fresh.trace.empty()) {
+    fresh.trace.pop_back();
+    fresh.hop_count = std::max(0, fresh.hop_count - 1);
+  }
+  net_->ReinjectAt(at, from, std::move(fresh), now + net_->config().reinject_latency);
+}
+
+}  // namespace pathdump

@@ -1,0 +1,72 @@
+// Real-time routing-loop detection by trapping suspiciously long paths
+// (§3.1 "Instant trap", §4.5).
+//
+// A packet caught in a loop keeps accumulating sampled link labels; the
+// moment it carries three VLAN tags, the next switch's IP-field match
+// misses in the ASIC and the packet is punted to the controller.  The
+// controller then:
+//  * if the carried labels contain a repeat (against this punt or any
+//    earlier punt of the same flow) -> a loop is proven, detection done;
+//  * otherwise it stores the labels, strips them, and re-injects the
+//    packet at the punting switch — a loop longer than one tag-capacity
+//    window will punt again with fresh labels and reveal the repeat.
+// This detects loops of *any* size with bounded header space.
+
+#ifndef PATHDUMP_SRC_CONTROLLER_LOOP_DETECTOR_H_
+#define PATHDUMP_SRC_CONTROLLER_LOOP_DETECTOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/netsim/network.h"
+#include "src/packet/packet.h"
+
+namespace pathdump {
+
+class LoopDetector {
+ public:
+  struct Detection {
+    FiveTuple flow;
+    SimTime detected_at = 0;     // simulated time of proof
+    LinkLabel repeated_label = kInvalidLabel;
+    int punt_rounds = 0;         // how many punts it took (1 = first punt)
+    SwitchId punted_at = kInvalidNode;
+  };
+
+  // Long-path punts that did NOT repeat a label (suspicious non-loops —
+  // path-conformance material for the operator).
+  struct LongPathEvent {
+    FiveTuple flow;
+    SimTime at = 0;
+    std::vector<LinkLabel> labels;
+    SwitchId punted_at = kInvalidNode;
+  };
+
+  explicit LoopDetector(Network* net) : net_(net) {}
+
+  // Registers this detector as the network's punt handler.
+  void Attach();
+
+  // Punt entry point (also callable directly in tests).
+  void OnPunt(const Packet& pkt, SwitchId at, SimTime now);
+
+  const std::vector<Detection>& detections() const { return detections_; }
+  const std::vector<LongPathEvent>& long_path_events() const { return long_paths_; }
+
+  // When true (default), non-loop punts are re-injected to keep hunting.
+  void set_reinject(bool v) { reinject_ = v; }
+
+ private:
+  Network* net_;
+  bool reinject_ = true;
+  // Flow -> labels collected from earlier punts of the same packet hunt.
+  std::unordered_map<FiveTuple, std::vector<LinkLabel>, FiveTupleHash> history_;
+  std::unordered_map<FiveTuple, int, FiveTupleHash> rounds_;
+  std::vector<Detection> detections_;
+  std::vector<LongPathEvent> long_paths_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_CONTROLLER_LOOP_DETECTOR_H_

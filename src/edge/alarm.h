@@ -1,0 +1,34 @@
+// Alarm channel from end-host agents to the controller (Table 1: Alarm()).
+
+#ifndef PATHDUMP_SRC_EDGE_ALARM_H_
+#define PATHDUMP_SRC_EDGE_ALARM_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pathdump {
+
+enum class AlarmReason : uint8_t {
+  kPoorPerf,         // POOR_PERF: consecutive TCP retransmissions (§2.3)
+  kPathConformance,  // PC_FAIL: policy violation on a decoded path (§4.1)
+  kInfeasiblePath,   // trajectory inconsistent with ground truth (§2.4)
+  kNoProgress,       // flow made no progress (blackhole symptom, §4.4)
+};
+
+const char* AlarmReasonName(AlarmReason reason);
+
+struct Alarm {
+  HostId host = kInvalidNode;  // agent that raised it
+  FiveTuple flow;
+  AlarmReason reason = AlarmReason::kPoorPerf;
+  std::vector<Path> paths;  // offending path(s), possibly empty
+  SimTime at = 0;
+};
+
+using AlarmHandler = std::function<void(const Alarm&)>;
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_EDGE_ALARM_H_

@@ -1,0 +1,309 @@
+#include "src/edge/edge_agent.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace pathdump {
+
+const char* AlarmReasonName(AlarmReason reason) {
+  switch (reason) {
+    case AlarmReason::kPoorPerf:
+      return "POOR_PERF";
+    case AlarmReason::kPathConformance:
+      return "PC_FAIL";
+    case AlarmReason::kInfeasiblePath:
+      return "INFEASIBLE_PATH";
+    case AlarmReason::kNoProgress:
+      return "NO_PROGRESS";
+  }
+  return "?";
+}
+
+EdgeAgent::EdgeAgent(HostId host, const Topology* topo, const CherryPickCodec* codec,
+                     EdgeAgentConfig config)
+    : host_(host),
+      topo_(topo),
+      codec_(codec),
+      config_(config),
+      memory_(config.idle_timeout),
+      cache_(config.trajectory_cache_capacity),
+      tib_(config.tib_options) {
+  if (config_.packet_log_capacity > 0) {
+    packet_log_ = std::make_unique<PacketLog>(config_.packet_log_capacity);
+  }
+}
+
+std::optional<Path> EdgeAgent::DecodeHeader(IpAddr src_ip, LinkLabel dscp,
+                                            const std::vector<LinkLabel>& tags) {
+  std::optional<Path> path = cache_.Lookup(src_ip, dscp, tags);
+  if (path) {
+    return path;
+  }
+  HostId src_host = topo_->HostOfIp(src_ip);
+  if (src_host != kInvalidNode) {
+    path = codec_->Decode(src_host, host_, dscp, tags);
+  }
+  if (path) {
+    cache_.Insert(src_ip, dscp, tags, *path);
+  }
+  return path;
+}
+
+void EdgeAgent::OnPacket(const Packet& pkt, SimTime now) {
+  // tcpretrans-equivalent instrumentation.
+  if (pkt.is_retx) {
+    retx_.OnRetransmission(pkt.flow, now);
+  } else {
+    retx_.OnProgress(pkt.flow);
+  }
+  // The trajectory header is recorded, then conceptually stripped before
+  // the packet continues to the upper stack (§3.2).
+  memory_.OnPacket(pkt, now);
+  // Optional per-packet log (the paper's future-work extension).
+  if (packet_log_ != nullptr) {
+    PacketLogEntry e;
+    e.flow = pkt.flow;
+    e.at = now;
+    e.bytes = pkt.size_bytes;
+    e.seq = pkt.seq;
+    e.raw_tag_count = uint8_t(pkt.tags.size());
+    e.retx = pkt.is_retx;
+    e.fin = pkt.fin;
+    if (auto path = DecodeHeader(pkt.flow.src_ip, pkt.dscp, pkt.tags)) {
+      e.path = CompactPath::FromPath(*path);
+    }
+    packet_log_->Append(e);
+  }
+  if (now >= next_sweep_) {
+    Tick(now);
+  }
+}
+
+void EdgeAgent::Tick(SimTime now) {
+  if (now >= next_sweep_) {
+    memory_.Sweep(now, [this, now](const TrajectoryMemory::Record& rec) {
+      ConstructAndStore(rec, now);
+    });
+    next_sweep_ = now + config_.sweep_period;
+  }
+  for (auto& [id, q] : periodic_) {
+    if (q.period <= 0 || now >= q.next_due) {
+      q.body(*this, now);
+      q.next_due = now + std::max<SimTime>(q.period, 1);
+    }
+  }
+}
+
+void EdgeAgent::FlushAll(SimTime now) {
+  memory_.Flush(
+      [this, now](const TrajectoryMemory::Record& rec) { ConstructAndStore(rec, now); });
+}
+
+void EdgeAgent::ConstructAndStore(const TrajectoryMemory::Record& rec, SimTime now) {
+  // Trajectory cache first; decode against the static topology on a miss.
+  std::optional<Path> path =
+      DecodeHeader(rec.key.flow.src_ip, rec.key.dscp, rec.key.TagVector());
+  if (!path) {
+    // The trajectory contradicts the ground-truth topology — e.g. a switch
+    // inserted a bogus ID (§2.4).  Raise an alarm; do not pollute the TIB.
+    ++decode_failures_;
+    RaiseAlarm(rec.key.flow, AlarmReason::kInfeasiblePath, {}, now);
+    return;
+  }
+  TibRecord out;
+  out.flow = rec.key.flow;
+  out.path = CompactPath::FromPath(*path);
+  out.stime = rec.stime;
+  out.etime = rec.etime;
+  out.bytes = rec.bytes;
+  out.pkts = rec.pkts;
+  IngestRecord(out, now);
+}
+
+void EdgeAgent::IngestRecord(const TibRecord& rec, SimTime now) {
+  tib_.Insert(rec);
+  for (auto& [id, hook] : hooks_) {
+    hook(*this, rec, now);
+  }
+}
+
+std::vector<Flow> EdgeAgent::GetFlows(const LinkId& link, const TimeRange& range) const {
+  std::vector<Flow> out;
+  std::unordered_set<uint64_t> seen;
+  for (size_t idx : tib_.RecordsOnLink(link, range)) {
+    const TibRecord& rec = tib_.record(idx);
+    uint64_t key = FiveTupleHash{}(rec.flow);
+    for (int i = 0; i < rec.path.len; ++i) {
+      key = HashCombine(key, rec.path.sw[size_t(i)]);
+    }
+    if (seen.insert(key).second) {
+      out.push_back(Flow{rec.flow, rec.path.ToPath()});
+    }
+  }
+  return out;
+}
+
+std::vector<Path> EdgeAgent::GetPaths(const FiveTuple& flow, const LinkId& link,
+                                      const TimeRange& range) const {
+  std::vector<Path> out;
+  std::unordered_set<uint64_t> seen;
+  for (size_t idx : tib_.RecordsOfFlow(flow, range)) {
+    const TibRecord& rec = tib_.record(idx);
+    if (!rec.path.MatchesLinkQuery(link)) {
+      continue;
+    }
+    uint64_t key = 0;
+    for (int i = 0; i < rec.path.len; ++i) {
+      key = HashCombine(key, rec.path.sw[size_t(i)]);
+    }
+    if (seen.insert(key).second) {
+      out.push_back(rec.path.ToPath());
+    }
+  }
+  return out;
+}
+
+std::vector<Path> EdgeAgent::GetPathsLive(const FiveTuple& flow, const LinkId& link,
+                                          const TimeRange& range) {
+  std::vector<Path> out = GetPaths(flow, link, range);
+  std::unordered_set<uint64_t> seen;
+  for (const Path& p : out) {
+    uint64_t key = 0;
+    for (SwitchId s : p) {
+      key = HashCombine(key, s);
+    }
+    seen.insert(key);
+  }
+  for (const TrajectoryMemory::Record& rec : memory_.Snapshot()) {
+    if (!(rec.key.flow == flow) || !range.Overlaps(rec.stime, rec.etime)) {
+      continue;
+    }
+    std::optional<Path> path =
+        DecodeHeader(rec.key.flow.src_ip, rec.key.dscp, rec.key.TagVector());
+    if (!path || !CompactPath::FromPath(*path).MatchesLinkQuery(link)) {
+      continue;
+    }
+    uint64_t key = 0;
+    for (SwitchId s : *path) {
+      key = HashCombine(key, s);
+    }
+    if (seen.insert(key).second) {
+      out.push_back(std::move(*path));
+    }
+  }
+  return out;
+}
+
+CountSummary EdgeAgent::GetCount(const Flow& flow, const TimeRange& range) const {
+  CountSummary out;
+  CompactPath want = CompactPath::FromPath(flow.path);
+  for (size_t idx : tib_.RecordsOfFlow(flow.id, range)) {
+    const TibRecord& rec = tib_.record(idx);
+    if (!flow.path.empty() && !(rec.path == want)) {
+      continue;
+    }
+    out.bytes += rec.bytes;
+    out.pkts += rec.pkts;
+  }
+  return out;
+}
+
+SimTime EdgeAgent::GetDuration(const Flow& flow, const TimeRange& range) const {
+  SimTime lo = kSimTimeMax;
+  SimTime hi = -1;
+  CompactPath want = CompactPath::FromPath(flow.path);
+  for (size_t idx : tib_.RecordsOfFlow(flow.id, range)) {
+    const TibRecord& rec = tib_.record(idx);
+    if (!flow.path.empty() && !(rec.path == want)) {
+      continue;
+    }
+    lo = std::min(lo, rec.stime);
+    hi = std::max(hi, rec.etime);
+  }
+  return hi < lo ? 0 : hi - lo;
+}
+
+std::vector<FiveTuple> EdgeAgent::GetPoorTcpFlows(int threshold) const {
+  if (threshold <= 0) {
+    threshold = config_.poor_retx_threshold;
+  }
+  return retx_.PoorTcpFlows(threshold);
+}
+
+void EdgeAgent::RaiseAlarm(const FiveTuple& flow, AlarmReason reason, std::vector<Path> paths,
+                           SimTime now) {
+  if (!alarm_handler_) {
+    Logf(LogLevel::kDebug, "unhandled alarm %s from host %u", AlarmReasonName(reason), host_);
+    return;
+  }
+  Alarm a;
+  a.host = host_;
+  a.flow = flow;
+  a.reason = reason;
+  a.paths = std::move(paths);
+  a.at = now;
+  alarm_handler_(a);
+}
+
+FlowSizeHistogram EdgeAgent::FlowSizeDistribution(const LinkId& link, const TimeRange& range,
+                                                  int64_t bin_width) const {
+  // Accumulate per-flow bytes over matching records, then histogram.
+  std::unordered_map<FiveTuple, uint64_t, FiveTupleHash> per_flow;
+  for (size_t idx : tib_.RecordsOnLink(link, range)) {
+    const TibRecord& rec = tib_.record(idx);
+    per_flow[rec.flow] += rec.bytes;
+  }
+  FlowSizeHistogram h;
+  h.bin_width = bin_width;
+  for (const auto& [flow, bytes] : per_flow) {
+    h.bins[int64_t(bytes) / bin_width] += 1;
+  }
+  return h;
+}
+
+TopKFlows EdgeAgent::TopK(size_t k, const TimeRange& range) const {
+  std::unordered_map<FiveTuple, uint64_t, FiveTupleHash> per_flow;
+  for (const TibRecord& rec : tib_.records()) {
+    if (rec.Overlaps(range)) {
+      per_flow[rec.flow] += rec.bytes;
+    }
+  }
+  TopKFlows out;
+  out.k = k;
+  out.items.reserve(per_flow.size());
+  for (const auto& [flow, bytes] : per_flow) {
+    out.items.emplace_back(bytes, flow);
+  }
+  out.Finalize();
+  return out;
+}
+
+int EdgeAgent::AddRecordHook(RecordHook hook) {
+  int id = next_hook_id_++;
+  hooks_[id] = std::move(hook);
+  return id;
+}
+
+void EdgeAgent::RemoveRecordHook(int id) { hooks_.erase(id); }
+
+int EdgeAgent::InstallQuery(SimTime period, PeriodicQuery body) {
+  int id = next_query_id_++;
+  periodic_[id] = Installed{period, 0, std::move(body)};
+  return id;
+}
+
+int EdgeAgent::InstallPoorTcpMonitor(SimTime period, int threshold) {
+  return InstallQuery(period, [threshold](EdgeAgent& agent, SimTime now) {
+    for (const FiveTuple& flow : agent.GetPoorTcpFlows(threshold)) {
+      agent.RaiseAlarm(flow, AlarmReason::kPoorPerf, {}, now);
+      // One alarm per episode: progress must restart the streak.
+      agent.retx_monitor().OnProgress(flow);
+    }
+  });
+}
+
+void EdgeAgent::UninstallQuery(int id) { periodic_.erase(id); }
+
+}  // namespace pathdump

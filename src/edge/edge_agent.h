@@ -1,0 +1,191 @@
+// EdgeAgent: the PathDump server stack at one end host (§3.2, Fig. 1).
+//
+// Responsibilities:
+//  1. Data path — receive packets for local flows, strip the trajectory
+//     header, and update the trajectory memory (the OVS/DPDK patch).
+//  2. Trajectory construction — on record eviction, expand sampled link
+//     IDs into a full path (trajectory cache, then CherryPick decode
+//     against the static topology) and append a TIB record.
+//  3. Query serving — the Table 1 host API over local TIB + live memory.
+//  4. Active monitoring — tcpretrans-style retransmission tracking plus
+//     installable periodic queries; violations raise Alarm() upstream.
+
+#ifndef PATHDUMP_SRC_EDGE_EDGE_AGENT_H_
+#define PATHDUMP_SRC_EDGE_EDGE_AGENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cherrypick/codec.h"
+#include "src/cherrypick/trajectory_cache.h"
+#include "src/common/types.h"
+#include "src/edge/alarm.h"
+#include "src/edge/packet_log.h"
+#include "src/edge/query.h"
+#include "src/edge/tib.h"
+#include "src/edge/trajectory_memory.h"
+#include "src/packet/packet.h"
+#include "src/tcp/retx_monitor.h"
+
+namespace pathdump {
+
+struct EdgeAgentConfig {
+  // Idle eviction timeout for trajectory-memory records (paper: 5 s).
+  SimTime idle_timeout = 5 * kNsPerSec;
+  // How often the agent sweeps its trajectory memory.
+  SimTime sweep_period = 1 * kNsPerSec;
+  // Consecutive retransmissions marking a flow "poor" (getPoorTCPFlows).
+  int poor_retx_threshold = 3;
+  size_t trajectory_cache_capacity = 4096;
+  // Per-packet trajectory log (the paper's future-work extension): 0
+  // disables it; otherwise the newest N packets are retained in a bounded
+  // ring queryable by flow/link/time (see packet_log.h).
+  size_t packet_log_capacity = 0;
+  TibOptions tib_options;
+};
+
+class EdgeAgent {
+ public:
+  // Invariant hook executed on every new TIB record (e.g. the path
+  // conformance query installed by the controller, §2.3).
+  using RecordHook = std::function<void(EdgeAgent&, const TibRecord&, SimTime)>;
+  // Installed periodic query body.
+  using PeriodicQuery = std::function<void(EdgeAgent&, SimTime)>;
+
+  EdgeAgent(HostId host, const Topology* topo, const CherryPickCodec* codec,
+            EdgeAgentConfig config = {});
+
+  HostId host() const { return host_; }
+  IpAddr ip() const { return topo_->IpOfHost(host_); }
+
+  // --- Data path ---
+
+  // Handles one delivered packet: retransmission bookkeeping, trajectory-
+  // memory update, and (cheaply, when due) housekeeping.
+  void OnPacket(const Packet& pkt, SimTime now);
+
+  // Runs due housekeeping: memory sweep + installed periodic queries.
+  void Tick(SimTime now);
+
+  // Flushes all live trajectory-memory records into the TIB (end of run).
+  void FlushAll(SimTime now);
+
+  // Direct TIB ingestion, used by trajectory construction internally and by
+  // the flow-level simulation engine (same downstream code path: record
+  // hooks run, indexes update).
+  void IngestRecord(const TibRecord& rec, SimTime now);
+
+  // --- Host API (Table 1) ---
+
+  // Flows (with paths) traversing `link` during `range`.  Wildcards via
+  // kInvalidNode in either LinkId field.
+  std::vector<Flow> GetFlows(const LinkId& link, const TimeRange& range) const;
+
+  // Paths taken by `flow` that include `link` during `range`.
+  std::vector<Path> GetPaths(const FiveTuple& flow, const LinkId& link,
+                             const TimeRange& range) const;
+
+  // Like GetPaths, but additionally consults *live* trajectory-memory
+  // records that have not yet been evicted to the TIB — the paper's IPC
+  // channel for alarm-time debugging at finer time scales (§3.2).  Live
+  // records are decoded on the fly (the result is cached as usual).
+  std::vector<Path> GetPathsLive(const FiveTuple& flow, const LinkId& link,
+                                 const TimeRange& range);
+
+  // Packet/byte counts of a Flow (empty path = all paths) within `range`.
+  CountSummary GetCount(const Flow& flow, const TimeRange& range) const;
+
+  // Duration of a Flow within `range` (max etime - min stime), 0 if absent.
+  SimTime GetDuration(const Flow& flow, const TimeRange& range) const;
+
+  // Flows whose consecutive retransmissions meet the threshold (<=0 uses
+  // the configured default).
+  std::vector<FiveTuple> GetPoorTcpFlows(int threshold = 0) const;
+
+  // Raises an alarm to the controller.
+  void RaiseAlarm(const FiveTuple& flow, AlarmReason reason, std::vector<Path> paths,
+                  SimTime now);
+
+  // --- Canned queries used by applications and benches ---
+
+  // Histogram of per-flow byte counts over flows traversing `link`.
+  FlowSizeHistogram FlowSizeDistribution(const LinkId& link, const TimeRange& range,
+                                         int64_t bin_width = 10000) const;
+  // Top-k flows by bytes within `range`.
+  TopKFlows TopK(size_t k, const TimeRange& range) const;
+
+  // --- Wiring ---
+
+  void SetAlarmHandler(AlarmHandler handler) { alarm_handler_ = std::move(handler); }
+
+  int AddRecordHook(RecordHook hook);
+  void RemoveRecordHook(int id);
+
+  // install()/uninstall() from the controller API.  period <= 0 means
+  // event-driven (runs on every Tick).
+  int InstallQuery(SimTime period, PeriodicQuery body);
+  void UninstallQuery(int id);
+  size_t InstalledQueryCount() const { return periodic_.size(); }
+
+  // Installs the §2.3 TCP performance monitoring query: every `period`
+  // (the paper uses 200 ms) the agent raises Alarm(flow, POOR_PERF) for
+  // each flow whose consecutive retransmissions meet the threshold, then
+  // resets that flow's streak so one episode alarms once.
+  int InstallPoorTcpMonitor(SimTime period = 200 * kNsPerMs, int threshold = 0);
+
+  // --- Introspection ---
+
+  Tib& tib() { return tib_; }
+  const Tib& tib() const { return tib_; }
+  TrajectoryMemory& memory() { return memory_; }
+  const TrajectoryMemory& memory() const { return memory_; }
+  RetxMonitor& retx_monitor() { return retx_; }
+  const RetxMonitor& retx_monitor() const { return retx_; }
+  TrajectoryCache& trajectory_cache() { return cache_; }
+  // Non-null only when packet_log_capacity > 0 in the config.
+  PacketLog* packet_log() { return packet_log_.get(); }
+  const PacketLog* packet_log() const { return packet_log_.get(); }
+  uint64_t decode_failures() const { return decode_failures_; }
+  const EdgeAgentConfig& config() const { return config_; }
+
+ private:
+  // Trajectory construction for one evicted memory record.
+  void ConstructAndStore(const TrajectoryMemory::Record& rec, SimTime now);
+
+  // Cache-first decode of a raw trajectory header; nullopt when infeasible.
+  std::optional<Path> DecodeHeader(IpAddr src_ip, LinkLabel dscp,
+                                   const std::vector<LinkLabel>& tags);
+
+  HostId host_;
+  const Topology* topo_;
+  const CherryPickCodec* codec_;
+  EdgeAgentConfig config_;
+
+  TrajectoryMemory memory_;
+  TrajectoryCache cache_;
+  Tib tib_;
+  RetxMonitor retx_;
+  std::unique_ptr<PacketLog> packet_log_;
+  AlarmHandler alarm_handler_;
+
+  SimTime next_sweep_ = 0;
+  uint64_t decode_failures_ = 0;
+
+  int next_hook_id_ = 1;
+  std::map<int, RecordHook> hooks_;
+
+  struct Installed {
+    SimTime period;
+    SimTime next_due;
+    PeriodicQuery body;
+  };
+  int next_query_id_ = 1;
+  std::map<int, Installed> periodic_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_EDGE_EDGE_AGENT_H_

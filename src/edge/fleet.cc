@@ -1,0 +1,51 @@
+#include "src/edge/fleet.h"
+
+namespace pathdump {
+
+AgentFleet::AgentFleet(const Topology* topo, const CherryPickCodec* codec, EdgeAgentConfig config)
+    : topo_(topo), agents_(topo->node_count()) {
+  for (HostId h : topo->hosts()) {
+    agents_[h] = std::make_unique<EdgeAgent>(h, topo, codec, config);
+  }
+}
+
+EdgeAgent* AgentFleet::agent_by_ip(IpAddr ip) {
+  HostId h = topo_->HostOfIp(ip);
+  return h == kInvalidNode ? nullptr : agents_[h].get();
+}
+
+void AgentFleet::AttachTo(Network& net) {
+  for (HostId h : topo_->hosts()) {
+    EdgeAgent* agent = agents_[h].get();
+    net.SetHostSink(h, [agent](const Packet& pkt, SimTime now) { agent->OnPacket(pkt, now); });
+  }
+}
+
+void AgentFleet::SetAlarmHandler(AlarmHandler handler) {
+  for (HostId h : topo_->hosts()) {
+    agents_[h]->SetAlarmHandler(handler);
+  }
+}
+
+void AgentFleet::TickAll(SimTime now) {
+  for (HostId h : topo_->hosts()) {
+    agents_[h]->Tick(now);
+  }
+}
+
+void AgentFleet::FlushAll(SimTime now) {
+  for (HostId h : topo_->hosts()) {
+    agents_[h]->FlushAll(now);
+  }
+}
+
+std::vector<EdgeAgent*> AgentFleet::all() {
+  std::vector<EdgeAgent*> out;
+  out.reserve(agents_.size());
+  for (HostId h : topo_->hosts()) {
+    out.push_back(agents_[h].get());
+  }
+  return out;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,42 @@
+// AgentFleet: one EdgeAgent per host, wired to a per-packet Network.
+
+#ifndef PATHDUMP_SRC_EDGE_FLEET_H_
+#define PATHDUMP_SRC_EDGE_FLEET_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/edge/edge_agent.h"
+#include "src/netsim/network.h"
+#include "src/topology/topology.h"
+
+namespace pathdump {
+
+class AgentFleet {
+ public:
+  AgentFleet(const Topology* topo, const CherryPickCodec* codec, EdgeAgentConfig config = {});
+
+  EdgeAgent& agent(HostId host) { return *agents_[host]; }
+  const EdgeAgent& agent(HostId host) const { return *agents_[host]; }
+  EdgeAgent* agent_by_ip(IpAddr ip);
+
+  // Registers every agent as its host's delivery sink on `net`.
+  void AttachTo(Network& net);
+
+  // Broadcast helpers.
+  void SetAlarmHandler(AlarmHandler handler);
+  void TickAll(SimTime now);
+  void FlushAll(SimTime now);
+
+  std::vector<EdgeAgent*> all();
+  size_t size() const { return agents_.size(); }
+
+ private:
+  const Topology* topo_;
+  // Indexed by HostId; null for switch NodeIds.
+  std::vector<std::unique_ptr<EdgeAgent>> agents_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_EDGE_FLEET_H_

@@ -1,0 +1,63 @@
+#include "src/edge/packet_log.h"
+
+#include <algorithm>
+
+namespace pathdump {
+
+PacketLog::PacketLog(size_t capacity) { ring_.resize(std::max<size_t>(capacity, 1)); }
+
+void PacketLog::Append(const PacketLogEntry& entry) {
+  ring_[size_t(count_ % ring_.size())] = entry;
+  ++count_;
+}
+
+void PacketLog::ForEach(const std::function<void(const PacketLogEntry&)>& fn) const {
+  size_t n = size();
+  size_t cap = ring_.size();
+  // Oldest retained entry sits at count_ % cap once the ring wrapped.
+  size_t start = count_ > cap ? size_t(count_ % cap) : 0;
+  for (size_t i = 0; i < n; ++i) {
+    fn(ring_[(start + i) % cap]);
+  }
+}
+
+std::vector<PacketLogEntry> PacketLog::PacketsOfFlow(const FiveTuple& flow,
+                                                     const TimeRange& range) const {
+  std::vector<PacketLogEntry> out;
+  ForEach([&](const PacketLogEntry& e) {
+    if (e.flow == flow && range.Contains(e.at)) {
+      out.push_back(e);
+    }
+  });
+  return out;
+}
+
+std::vector<PacketLogEntry> PacketLog::PacketsOnLink(const LinkId& link,
+                                                     const TimeRange& range) const {
+  std::vector<PacketLogEntry> out;
+  ForEach([&](const PacketLogEntry& e) {
+    if (range.Contains(e.at) && e.path.MatchesLinkQuery(link)) {
+      out.push_back(e);
+    }
+  });
+  return out;
+}
+
+std::vector<PacketLogEntry> PacketLog::Retransmissions(const TimeRange& range) const {
+  std::vector<PacketLogEntry> out;
+  ForEach([&](const PacketLogEntry& e) {
+    if (e.retx && range.Contains(e.at)) {
+      out.push_back(e);
+    }
+  });
+  return out;
+}
+
+void PacketLog::Clear() {
+  count_ = 0;
+  for (PacketLogEntry& e : ring_) {
+    e = PacketLogEntry{};
+  }
+}
+
+}  // namespace pathdump

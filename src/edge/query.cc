@@ -1,0 +1,92 @@
+#include "src/edge/query.h"
+
+#include <algorithm>
+
+namespace pathdump {
+
+namespace {
+
+// Framing constants (bytes).
+constexpr size_t kMsgHeader = 16;
+constexpr size_t kPerBin = 12;        // 8B bin id (varint-ish) + 4B count
+constexpr size_t kPerFlowId = 13;     // packed 5-tuple
+constexpr size_t kPerTopKItem = 21;   // bytes + 5-tuple
+constexpr size_t kPerPathSwitch = 4;  // switch ID
+
+size_t PathBytes(const Path& p) { return 1 + p.size() * kPerPathSwitch; }
+
+struct SizeVisitor {
+  size_t operator()(const std::monostate&) const { return kMsgHeader; }
+  size_t operator()(const FlowSizeHistogram& h) const {
+    return kMsgHeader + 8 + h.bins.size() * kPerBin;
+  }
+  size_t operator()(const TopKFlows& t) const { return kMsgHeader + t.items.size() * kPerTopKItem; }
+  size_t operator()(const FlowList& f) const {
+    size_t s = kMsgHeader;
+    for (const Flow& fl : f.flows) {
+      s += kPerFlowId + PathBytes(fl.path);
+    }
+    return s;
+  }
+  size_t operator()(const PathList& p) const {
+    size_t s = kMsgHeader;
+    for (const Path& path : p.paths) {
+      s += PathBytes(path);
+    }
+    return s;
+  }
+  size_t operator()(const CountSummary&) const { return kMsgHeader + 16; }
+};
+
+}  // namespace
+
+void TopKFlows::Finalize() {
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return b.first < a.first; });
+  if (k > 0 && items.size() > k) {
+    items.resize(k);
+  }
+}
+
+size_t SerializedBytes(const QueryResult& r) { return std::visit(SizeVisitor{}, r); }
+
+void MergeQueryResult(QueryResult& acc, const QueryResult& in) {
+  if (std::holds_alternative<std::monostate>(acc)) {
+    acc = in;
+    if (auto* t = std::get_if<TopKFlows>(&acc)) {
+      t->Finalize();
+    }
+    return;
+  }
+  if (auto* h = std::get_if<FlowSizeHistogram>(&acc)) {
+    const auto& hi = std::get<FlowSizeHistogram>(in);
+    for (const auto& [bin, count] : hi.bins) {
+      h->bins[bin] += count;
+    }
+    return;
+  }
+  if (auto* t = std::get_if<TopKFlows>(&acc)) {
+    const auto& ti = std::get<TopKFlows>(in);
+    t->items.insert(t->items.end(), ti.items.begin(), ti.items.end());
+    t->Finalize();
+    return;
+  }
+  if (auto* f = std::get_if<FlowList>(&acc)) {
+    const auto& fi = std::get<FlowList>(in);
+    f->flows.insert(f->flows.end(), fi.flows.begin(), fi.flows.end());
+    return;
+  }
+  if (auto* p = std::get_if<PathList>(&acc)) {
+    const auto& pi = std::get<PathList>(in);
+    p->paths.insert(p->paths.end(), pi.paths.begin(), pi.paths.end());
+    return;
+  }
+  if (auto* c = std::get_if<CountSummary>(&acc)) {
+    const auto& ci = std::get<CountSummary>(in);
+    c->bytes += ci.bytes;
+    c->pkts += ci.pkts;
+    return;
+  }
+}
+
+}  // namespace pathdump

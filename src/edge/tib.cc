@@ -1,0 +1,229 @@
+#include "src/edge/tib.h"
+
+#include <cstdio>
+
+namespace pathdump {
+
+namespace {
+
+// On-disk layout: 16-byte header then fixed-size rows.
+constexpr uint32_t kTibMagic = 0x50445442;  // "PDTB"
+constexpr uint32_t kTibVersion = 1;
+
+struct DiskHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t count;
+};
+
+struct DiskRow {
+  IpAddr src_ip;
+  IpAddr dst_ip;
+  uint16_t src_port;
+  uint16_t dst_port;
+  uint8_t protocol;
+  uint8_t path_len;
+  uint16_t pad;
+  SwitchId path[CompactPath::kMaxSwitches];
+  SimTime stime;
+  SimTime etime;
+  uint64_t bytes;
+  uint32_t pkts;
+  uint32_t pad2;
+};
+
+}  // namespace
+
+CompactPath CompactPath::FromPath(const Path& p) {
+  CompactPath out;
+  out.len = uint8_t(p.size() > kMaxSwitches ? kMaxSwitches : p.size());
+  for (int i = 0; i < out.len; ++i) {
+    out.sw[size_t(i)] = p[size_t(i)];
+  }
+  return out;
+}
+
+Path CompactPath::ToPath() const {
+  Path p;
+  p.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    p.push_back(sw[size_t(i)]);
+  }
+  return p;
+}
+
+bool CompactPath::ContainsSwitch(SwitchId s) const {
+  for (int i = 0; i < len; ++i) {
+    if (sw[size_t(i)] == s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CompactPath::ContainsDirectedLink(NodeId a, NodeId b) const {
+  for (int i = 0; i + 1 < len; ++i) {
+    if (sw[size_t(i)] == a && sw[size_t(i) + 1] == b) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CompactPath::MatchesLinkQuery(const LinkId& q) const {
+  bool src_any = q.src == kInvalidNode;
+  bool dst_any = q.dst == kInvalidNode;
+  if (src_any && dst_any) {
+    return true;
+  }
+  if (src_any) {
+    // (<?, Sj>): any link entering q.dst — q.dst appears with a predecessor.
+    for (int i = 1; i < len; ++i) {
+      if (sw[size_t(i)] == q.dst) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (dst_any) {
+    for (int i = 0; i + 1 < len; ++i) {
+      if (sw[size_t(i)] == q.src) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return ContainsDirectedLink(q.src, q.dst);
+}
+
+void Tib::Insert(const TibRecord& rec) {
+  uint32_t idx = uint32_t(records_.size());
+  records_.push_back(rec);
+  if (options_.index_by_flow) {
+    by_flow_[rec.flow].push_back(idx);
+  }
+}
+
+std::vector<size_t> Tib::RecordsOfFlow(const FiveTuple& flow, const TimeRange& range) const {
+  std::vector<size_t> out;
+  if (options_.index_by_flow) {
+    auto it = by_flow_.find(flow);
+    if (it == by_flow_.end()) {
+      return out;
+    }
+    for (uint32_t idx : it->second) {
+      if (records_[idx].Overlaps(range)) {
+        out.push_back(idx);
+      }
+    }
+    return out;
+  }
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].flow == flow && records_[i].Overlaps(range)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> Tib::RecordsOnLink(const LinkId& link, const TimeRange& range) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].Overlaps(range) && records_[i].path.MatchesLinkQuery(link)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+size_t Tib::ApproxBytes() const {
+  size_t bytes = records_.capacity() * sizeof(TibRecord);
+  bytes += by_flow_.size() * (sizeof(FiveTuple) + sizeof(std::vector<uint32_t>) + 24);
+  for (const auto& [flow, v] : by_flow_) {
+    bytes += v.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+size_t Tib::SaveTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return 0;
+  }
+  DiskHeader hdr{kTibMagic, kTibVersion, records_.size()};
+  size_t written = 0;
+  if (std::fwrite(&hdr, sizeof(hdr), 1, f) == 1) {
+    written += sizeof(hdr);
+    for (const TibRecord& rec : records_) {
+      DiskRow row{};
+      row.src_ip = rec.flow.src_ip;
+      row.dst_ip = rec.flow.dst_ip;
+      row.src_port = rec.flow.src_port;
+      row.dst_port = rec.flow.dst_port;
+      row.protocol = rec.flow.protocol;
+      row.path_len = rec.path.len;
+      for (int i = 0; i < rec.path.len; ++i) {
+        row.path[i] = rec.path.sw[size_t(i)];
+      }
+      row.stime = rec.stime;
+      row.etime = rec.etime;
+      row.bytes = rec.bytes;
+      row.pkts = rec.pkts;
+      if (std::fwrite(&row, sizeof(row), 1, f) != 1) {
+        std::fclose(f);
+        return 0;
+      }
+      written += sizeof(row);
+    }
+  } else {
+    written = 0;
+  }
+  std::fclose(f);
+  return written;
+}
+
+int64_t Tib::LoadFrom(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return -1;
+  }
+  DiskHeader hdr{};
+  if (std::fread(&hdr, sizeof(hdr), 1, f) != 1 || hdr.magic != kTibMagic ||
+      hdr.version != kTibVersion) {
+    std::fclose(f);
+    return -1;
+  }
+  Clear();
+  for (uint64_t i = 0; i < hdr.count; ++i) {
+    DiskRow row{};
+    if (std::fread(&row, sizeof(row), 1, f) != 1 || row.path_len > CompactPath::kMaxSwitches) {
+      std::fclose(f);
+      Clear();
+      return -1;
+    }
+    TibRecord rec;
+    rec.flow.src_ip = row.src_ip;
+    rec.flow.dst_ip = row.dst_ip;
+    rec.flow.src_port = row.src_port;
+    rec.flow.dst_port = row.dst_port;
+    rec.flow.protocol = row.protocol;
+    rec.path.len = row.path_len;
+    for (int j = 0; j < row.path_len; ++j) {
+      rec.path.sw[size_t(j)] = row.path[j];
+    }
+    rec.stime = row.stime;
+    rec.etime = row.etime;
+    rec.bytes = row.bytes;
+    rec.pkts = row.pkts;
+    Insert(rec);
+  }
+  std::fclose(f);
+  return int64_t(hdr.count);
+}
+
+void Tib::Clear() {
+  records_.clear();
+  by_flow_.clear();
+}
+
+}  // namespace pathdump

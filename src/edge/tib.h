@@ -1,0 +1,110 @@
+// Trajectory Information Base (TIB), §3.2.
+//
+// Each end host stores per-path flow records: one record per (flow ID,
+// end-to-end path) pair with byte/packet counts and first/last timestamps.
+// The paper backs this with MongoDB; here it is an in-memory column of
+// compact records (a deliberate substitution documented in DESIGN.md) with
+// an optional by-flow index.  All other lookups are scans — mirroring the
+// document-store access pattern, and keeping a 240 K-record TIB around the
+// ~110 MB the paper reports (ours is far smaller per record).
+
+#ifndef PATHDUMP_SRC_EDGE_TIB_H_
+#define PATHDUMP_SRC_EDGE_TIB_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pathdump {
+
+// Fixed-capacity inline path: decoded datacenter trajectories have at most
+// 7 switches (6-hop detour); 8 leaves headroom for custom topologies.
+struct CompactPath {
+  static constexpr int kMaxSwitches = 8;
+
+  uint8_t len = 0;
+  std::array<SwitchId, kMaxSwitches> sw = {};
+
+  static CompactPath FromPath(const Path& p);
+  Path ToPath() const;
+
+  bool ContainsSwitch(SwitchId s) const;
+  // True if the ordered pair (a, b) appears as consecutive switches.
+  bool ContainsDirectedLink(NodeId a, NodeId b) const;
+  // True if the record's path matches a (possibly wildcarded) LinkId:
+  // kInvalidNode on either side matches any switch in that position.
+  bool MatchesLinkQuery(const LinkId& q) const;
+
+  friend bool operator==(const CompactPath& a, const CompactPath& b) {
+    if (a.len != b.len) {
+      return false;
+    }
+    for (int i = 0; i < a.len; ++i) {
+      if (a.sw[size_t(i)] != b.sw[size_t(i)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// One TIB row: <flow ID, path, stime, etime, #bytes, #pkts> (Fig. 2).
+struct TibRecord {
+  FiveTuple flow;
+  CompactPath path;
+  SimTime stime = 0;
+  SimTime etime = 0;
+  uint64_t bytes = 0;
+  uint32_t pkts = 0;
+
+  bool Overlaps(const TimeRange& r) const { return r.Overlaps(stime, etime); }
+};
+
+struct TibOptions {
+  // Maintain the by-flow index (needed for fast getPaths/getCount; the
+  // large-scale query benches disable it to bound memory).
+  bool index_by_flow = true;
+};
+
+class Tib {
+ public:
+  explicit Tib(TibOptions options = {}) : options_(options) {}
+
+  void Insert(const TibRecord& rec);
+
+  size_t size() const { return records_.size(); }
+  const TibRecord& record(size_t i) const { return records_[i]; }
+  const std::vector<TibRecord>& records() const { return records_; }
+
+  // Indices of records for this exact 5-tuple overlapping the range.
+  std::vector<size_t> RecordsOfFlow(const FiveTuple& flow, const TimeRange& range) const;
+
+  // Indices of records whose path matches the (wildcardable) link query and
+  // that overlap the range.  (<*, *>) matches every record.
+  std::vector<size_t> RecordsOnLink(const LinkId& link, const TimeRange& range) const;
+
+  // Rough resident size, for the §5.3 storage numbers.
+  size_t ApproxBytes() const;
+
+  // Persists all records to a binary file (fixed-size rows + header), the
+  // stand-in for the paper's MongoDB on-disk store; returns bytes written
+  // (0 on failure).  Load replaces the current contents; returns records
+  // read or -1 on failure/corruption.
+  size_t SaveTo(const std::string& path) const;
+  int64_t LoadFrom(const std::string& path);
+
+  void Clear();
+
+ private:
+  TibOptions options_;
+  std::vector<TibRecord> records_;
+  std::unordered_map<FiveTuple, std::vector<uint32_t>, FiveTupleHash> by_flow_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_EDGE_TIB_H_

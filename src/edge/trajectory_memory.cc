@@ -1,0 +1,54 @@
+#include "src/edge/trajectory_memory.h"
+
+namespace pathdump {
+
+void TrajectoryMemory::OnPacket(const Packet& pkt, SimTime now) {
+  TrajectoryKey key;
+  key.flow = pkt.flow;
+  key.dscp = pkt.dscp;
+  key.SetTags(pkt.tags);
+
+  ++total_updates_;
+  auto [it, inserted] = table_.try_emplace(std::move(key));
+  Record& rec = it->second;
+  if (inserted) {
+    rec.key = it->first;
+    rec.stime = now;
+  }
+  rec.etime = now;
+  rec.bytes += pkt.size_bytes;
+  rec.pkts += 1;
+  if (pkt.fin || pkt.rst) {
+    rec.closed = true;
+  }
+}
+
+void TrajectoryMemory::Sweep(SimTime now, const EvictSink& sink) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    const Record& rec = it->second;
+    if (rec.closed || now - rec.etime >= idle_timeout_) {
+      sink(rec);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TrajectoryMemory::Flush(const EvictSink& sink) {
+  for (const auto& [key, rec] : table_) {
+    sink(rec);
+  }
+  table_.clear();
+}
+
+std::vector<TrajectoryMemory::Record> TrajectoryMemory::Snapshot() const {
+  std::vector<Record> out;
+  out.reserve(table_.size());
+  for (const auto& [key, rec] : table_) {
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,102 @@
+// Trajectory memory: the hot per-path flow-record table (§3.2, Fig. 2).
+//
+// Every delivered packet is classified by (5-tuple, trajectory header) and
+// a per-path flow record is created or updated.  Like NetFlow, a record is
+// evicted — and handed to trajectory construction — when a FIN/RST is seen
+// or when it has been idle for a configurable period (5 s default).  The
+// query path can also snapshot live records (the paper's IPC channel for
+// alarm-time fine-grained debugging).
+
+#ifndef PATHDUMP_SRC_EDGE_TRAJECTORY_MEMORY_H_
+#define PATHDUMP_SRC_EDGE_TRAJECTORY_MEMORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/packet/packet.h"
+
+namespace pathdump {
+
+// Aggregation key: flow ID plus the raw trajectory header (link IDs).
+// Tags are stored inline — the data path builds one key per packet, and a
+// heap allocation there would dominate the per-packet budget (Fig. 13).
+struct TrajectoryKey {
+  // ASIC limit + the one over-limit tag that triggers a punt.
+  static constexpr int kMaxTags = kAsicMaxVlanTags + 2;
+
+  FiveTuple flow;
+  LinkLabel dscp = 0;
+  uint8_t ntags = 0;
+  std::array<LinkLabel, kMaxTags> tags = {};
+
+  void SetTags(const std::vector<LinkLabel>& v) {
+    ntags = uint8_t(v.size() > kMaxTags ? kMaxTags : v.size());
+    for (int i = 0; i < ntags; ++i) {
+      tags[size_t(i)] = v[size_t(i)];
+    }
+  }
+
+  std::vector<LinkLabel> TagVector() const {
+    return std::vector<LinkLabel>(tags.begin(), tags.begin() + ntags);
+  }
+
+  friend bool operator==(const TrajectoryKey&, const TrajectoryKey&) = default;
+};
+
+struct TrajectoryKeyHash {
+  size_t operator()(const TrajectoryKey& k) const {
+    uint64_t h = FiveTupleHash{}(k.flow);
+    h = HashCombine(h, k.dscp);
+    for (int i = 0; i < k.ntags; ++i) {
+      h = HashCombine(h, k.tags[size_t(i)]);
+    }
+    return size_t(h);
+  }
+};
+
+class TrajectoryMemory {
+ public:
+  struct Record {
+    TrajectoryKey key;
+    SimTime stime = 0;
+    SimTime etime = 0;
+    uint64_t bytes = 0;
+    uint32_t pkts = 0;
+    bool closed = false;  // FIN or RST observed
+  };
+
+  using EvictSink = std::function<void(const Record&)>;
+
+  explicit TrajectoryMemory(SimTime idle_timeout = 5 * kNsPerSec)
+      : idle_timeout_(idle_timeout) {}
+
+  // Creates/updates the per-path flow record for one delivered packet.
+  void OnPacket(const Packet& pkt, SimTime now);
+
+  // Evicts closed records and records idle past the timeout; invokes sink
+  // for each (in unspecified order).
+  void Sweep(SimTime now, const EvictSink& sink);
+
+  // Evicts everything (end of experiment / shutdown).
+  void Flush(const EvictSink& sink);
+
+  size_t size() const { return table_.size(); }
+  SimTime idle_timeout() const { return idle_timeout_; }
+
+  // Live view for alarm-time queries (paper's IPC lookup).
+  std::vector<Record> Snapshot() const;
+
+  uint64_t total_updates() const { return total_updates_; }
+
+ private:
+  SimTime idle_timeout_;
+  std::unordered_map<TrajectoryKey, Record, TrajectoryKeyHash> table_;
+  uint64_t total_updates_ = 0;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_EDGE_TRAJECTORY_MEMORY_H_

@@ -1,0 +1,152 @@
+#include "src/fluidsim/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pathdump {
+
+FluidSimulation::FluidSimulation(const Topology* topo, const Router* router, FluidConfig config)
+    : topo_(topo), router_(router), config_(config), rng_(config.seed) {}
+
+void FluidSimulation::AddSilentDrop(NodeId a, NodeId b, double p) {
+  faults_[DirKey(a, b)] = p;
+}
+
+void FluidSimulation::EnableLinkLoadTracking(SimTime bucket_width) {
+  load_bucket_ = bucket_width;
+}
+
+uint64_t FluidSimulation::LinkLoad(NodeId a, NodeId b, int64_t bucket_idx) const {
+  auto it = link_loads_.find(DirKey(a, b));
+  if (it == link_loads_.end()) {
+    return 0;
+  }
+  auto jt = it->second.find(bucket_idx);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+FluidSimulation::RunStats FluidSimulation::Run(const std::vector<FlowDesc>& flows,
+                                               AgentFleet* fleet, const AlarmHandler& alarms) {
+  RunStats stats;
+  for (const FlowDesc& f : flows) {
+    ++stats.flows;
+    uint64_t total_pkts = (f.bytes + config_.mss - 1) / config_.mss;
+    total_pkts = std::max<uint64_t>(total_pkts, 1);
+
+    // --- Subflow path assignment ---
+    std::vector<std::pair<Path, double>> split;
+    if (chooser_) {
+      split = chooser_(f);
+    } else if (config_.lb_mode == LoadBalanceMode::kEcmpHash) {
+      // Walk the router hop by hop with the flow's hash — the exact path
+      // the per-packet simulator realizes, detours included.
+      Path path = router_->WalkPath(f.src, f.dst, FiveTupleHash{}(f.tuple));
+      if (path.empty()) {
+        continue;
+      }
+      split.emplace_back(std::move(path), 1.0);
+    } else {
+      std::vector<Path> paths = router_->EcmpPaths(f.src, f.dst);
+      if (paths.empty()) {
+        continue;
+      }
+      {
+        // Packet spraying: uniform multinomial over all equal-cost paths.
+        double frac = 1.0 / double(paths.size());
+        for (Path& p : paths) {
+          split.emplace_back(std::move(p), frac);
+        }
+      }
+    }
+
+    SimTime duration =
+        SimTime(std::ceil(double(f.bytes) * 8.0 / config_.flow_rate_bps * double(kNsPerSec)));
+    duration = std::max<SimTime>(duration, 1);
+    SimTime etime = f.start + duration;
+
+    uint64_t flow_drops = 0;
+    for (const auto& [path, frac] : split) {
+      if (frac <= 0.0) {
+        continue;
+      }
+      ++stats.subflows;
+      uint64_t sub_pkts = std::max<uint64_t>(uint64_t(std::llround(double(total_pkts) * frac)), 1);
+      uint64_t sub_bytes = uint64_t(double(f.bytes) * frac);
+      sub_bytes = std::max<uint64_t>(sub_bytes, 64);
+
+      // Silent drops along the directed links of this path.
+      if (!faults_.empty()) {
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          auto it = faults_.find(DirKey(path[i], path[i + 1]));
+          if (it != faults_.end()) {
+            flow_drops += rng_.Binomial(sub_pkts, it->second);
+          }
+        }
+        // Host-facing links of the destination ToR can also be faulty.
+        if (!path.empty()) {
+          auto it = faults_.find(DirKey(path.back(), f.dst));
+          if (it != faults_.end()) {
+            flow_drops += rng_.Binomial(sub_pkts, it->second);
+          }
+        }
+      }
+
+      // Link-load accounting (bytes attributed at flow start).
+      if (load_bucket_ > 0) {
+        int64_t bucket = f.start / load_bucket_;
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          link_loads_[DirKey(path[i], path[i + 1])][bucket] += sub_bytes;
+        }
+      }
+
+      // TIB ingestion at the destination (same path as trajectory
+      // construction after eviction).
+      if (fleet != nullptr) {
+        TibRecord rec;
+        rec.flow = f.tuple;
+        rec.path = CompactPath::FromPath(path);
+        rec.stime = f.start;
+        rec.etime = etime;
+        rec.bytes = sub_bytes;
+        rec.pkts = uint32_t(std::min<uint64_t>(sub_pkts, UINT32_MAX));
+        fleet->agent(f.dst).IngestRecord(rec, etime);
+      }
+    }
+
+    stats.dropped_pkts += flow_drops;
+    bool alarm_fires;
+    if (config_.consecutive_alarm_model) {
+      // P(some run of >= alarm_drop_threshold consecutive drops) over n
+      // packet slots with i.i.d. drop ratio r: 1 - (1 - r^T)^n.
+      double r = double(flow_drops) / double(std::max<uint64_t>(total_pkts, 1));
+      double rt = std::pow(std::min(r, 1.0), double(std::max(config_.alarm_drop_threshold, 1)));
+      double p = int(flow_drops) < config_.alarm_drop_threshold
+                     ? 0.0
+                     : 1.0 - std::pow(1.0 - rt, double(total_pkts));
+      alarm_fires = rng_.Bernoulli(p);
+    } else {
+      alarm_fires = int(flow_drops) >= config_.alarm_drop_threshold;
+    }
+    if (alarm_fires) {
+      ++stats.alarms;
+      if (fleet != nullptr) {
+        // Feed the source host's retransmission monitor so
+        // getPoorTCPFlows() reflects reality.
+        for (uint64_t i = 0; i < flow_drops; ++i) {
+          fleet->agent(f.src).retx_monitor().OnRetransmission(f.tuple, etime);
+        }
+      }
+      if (alarms) {
+        Alarm a;
+        a.host = f.src;
+        a.flow = f.tuple;
+        a.reason = AlarmReason::kPoorPerf;
+        a.at = etime;
+        alarms(a);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,105 @@
+// Flow-level (fluid) simulation engine.
+//
+// The per-packet simulator is exact but too slow for the paper's
+// minute-to-hour workloads (Figs. 5, 7, 8: hundreds of thousands of flows).
+// This engine trades per-packet events for per-flow ones while feeding the
+// *same* edge stack:
+//
+//  * each flow is routed over its ECMP path (hash) or sprayed across all
+//    equal-cost paths (multinomial packet split),
+//  * silent-drop faults on traversed directed links binomially sample the
+//    number of dropped/retransmitted packets,
+//  * per-path flow records are ingested into the destination host's agent
+//    (identical TibRecord path as trajectory construction), and
+//  * flows whose consecutive drops cross the poor-TCP threshold raise
+//    POOR_PERF alarms through the source agent — the same alarm channel
+//    the active monitor uses.
+//
+// Link byte loads can be tracked in time buckets for the load-imbalance
+// experiments.
+
+#ifndef PATHDUMP_SRC_FLUIDSIM_FLUID_H_
+#define PATHDUMP_SRC_FLUIDSIM_FLUID_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/edge/fleet.h"
+#include "src/packet/packet.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+#include "src/workload/traffic_gen.h"
+
+namespace pathdump {
+
+struct FluidConfig {
+  LoadBalanceMode lb_mode = LoadBalanceMode::kEcmpHash;
+  // Goodput used to set flow durations (bytes / rate).
+  double flow_rate_bps = 500e6;
+  uint32_t mss = kDefaultMss;
+  // Drops >= this within one flow raise a POOR_PERF alarm (the consecutive
+  // retransmission threshold of the active monitor).
+  int alarm_drop_threshold = 3;
+  // When true, model tcpretrans's *consecutive*-retransmission semantics
+  // probabilistically: a flow with n packets and drop ratio r alarms with
+  // probability 1 - (1 - r^2)^n (at least one run of >= 2 back-to-back
+  // drops).  This reproduces the paper's alarm scarcity — most flows that
+  // cross a 1%-lossy interface do NOT alarm — and hence the Fig. 7/8 time
+  // scales.  When false, the deterministic threshold above applies.
+  bool consecutive_alarm_model = false;
+  uint64_t seed = 1;
+};
+
+class FluidSimulation {
+ public:
+  // Custom per-flow path assignment: returns (path, byte-fraction) pairs.
+  // Overrides ECMP/spray (used for the Fig. 5 size-based SAgg split).
+  using PathChooser =
+      std::function<std::vector<std::pair<Path, double>>(const FlowDesc&)>;
+
+  FluidSimulation(const Topology* topo, const Router* router, FluidConfig config);
+
+  // Directed link (a -> b) silently drops each packet with probability p.
+  void AddSilentDrop(NodeId a, NodeId b, double p);
+  void ClearFaults() { faults_.clear(); }
+
+  void SetPathChooser(PathChooser chooser) { chooser_ = std::move(chooser); }
+
+  // Tracks per-directed-link byte loads in buckets of this width.
+  void EnableLinkLoadTracking(SimTime bucket_width);
+
+  struct RunStats {
+    uint64_t flows = 0;
+    uint64_t subflows = 0;
+    uint64_t alarms = 0;
+    uint64_t dropped_pkts = 0;
+  };
+
+  // Processes all flows (must be start-time sorted).  Records are ingested
+  // into `fleet` (nullable); alarms go to `alarms` (nullable).
+  RunStats Run(const std::vector<FlowDesc>& flows, AgentFleet* fleet,
+               const AlarmHandler& alarms);
+
+  // Byte load of directed link (a -> b) in time bucket `idx`.
+  uint64_t LinkLoad(NodeId a, NodeId b, int64_t bucket_idx) const;
+  SimTime load_bucket_width() const { return load_bucket_; }
+
+ private:
+  static uint64_t DirKey(NodeId a, NodeId b) { return (uint64_t(a) << 32) | b; }
+
+  const Topology* topo_;
+  const Router* router_;
+  FluidConfig config_;
+  Rng rng_;
+  PathChooser chooser_;
+  std::unordered_map<uint64_t, double> faults_;  // directed link -> drop rate
+  SimTime load_bucket_ = 0;
+  std::unordered_map<uint64_t, std::unordered_map<int64_t, uint64_t>> link_loads_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_FLUIDSIM_FLUID_H_

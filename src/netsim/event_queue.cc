@@ -1,0 +1,42 @@
+#include "src/netsim/event_queue.h"
+
+#include <cassert>
+
+namespace pathdump {
+
+void EventQueue::Schedule(SimTime t, Fn fn) {
+  assert(t >= now_);
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the function object instead (events are small).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.t;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime t) {
+  while (!heap_.empty() && heap_.top().t <= t) {
+    RunOne();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+size_t EventQueue::RunAll(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && RunOne()) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,57 @@
+// Discrete-event scheduler driving the per-packet network simulator.
+
+#ifndef PATHDUMP_SRC_NETSIM_EVENT_QUEUE_H_
+#define PATHDUMP_SRC_NETSIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pathdump {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  // Schedules fn at absolute simulated time t (must be >= now()).
+  void Schedule(SimTime t, Fn fn);
+  // Schedules fn after a delay from now().
+  void ScheduleAfter(SimTime delay, Fn fn) { Schedule(now_ + delay, std::move(fn)); }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+  // Executes the earliest event; returns false if none remain.
+  bool RunOne();
+  // Runs events with time <= t, then advances now() to t.
+  void RunUntil(SimTime t);
+  // Runs until empty or max_events executed; returns events executed.
+  size_t RunAll(size_t max_events = SIZE_MAX);
+
+ private:
+  struct Event {
+    SimTime t;
+    uint64_t seq;  // FIFO tie-break for equal timestamps
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) {
+        return a.t > b.t;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_NETSIM_EVENT_QUEUE_H_

@@ -1,0 +1,87 @@
+#include "src/netsim/network.h"
+
+#include "src/common/logging.h"
+
+namespace pathdump {
+
+Network::Network(const Topology* topo, NetworkConfig config)
+    : topo_(topo),
+      config_(config),
+      router_(topo),
+      labels_(topo),
+      codec_(topo, &labels_),
+      switches_(topo->node_count()),
+      sinks_(topo->node_count()) {
+  for (SwitchId sw : topo->switches()) {
+    switches_[sw] = std::make_unique<SwitchNode>(sw, topo_, &router_, &codec_, config_.seed);
+  }
+}
+
+SwitchNode& Network::switch_at(SwitchId id) { return *switches_[id]; }
+
+void Network::SetHostSink(HostId host, DeliverFn fn) { sinks_[host] = std::move(fn); }
+
+void Network::InjectPacket(Packet pkt, SimTime at) {
+  ++stats_.injected;
+  HostId src = pkt.src_host;
+  SwitchId tor = topo_->TorOfHost(src);
+  pkt.sent_at = at;
+  events_.Schedule(at + config_.link_latency, [this, tor, src, p = std::move(pkt)]() mutable {
+    ArriveAtSwitch(tor, src, std::move(p));
+  });
+}
+
+void Network::ReinjectAt(SwitchId sw, NodeId from, Packet pkt, SimTime at) {
+  events_.Schedule(at, [this, sw, from, p = std::move(pkt)]() mutable {
+    ArriveAtSwitch(sw, from, std::move(p));
+  });
+}
+
+void Network::ArriveAtSwitch(SwitchId sw, NodeId from, Packet pkt) {
+  if (pkt.hop_count >= config_.max_hops) {
+    ++stats_.hop_limit_drops;
+    ++stats_.dropped;
+    return;
+  }
+  SwitchNode::Result res = switches_[sw]->Process(pkt, from, config_.lb_mode);
+  switch (res.outcome) {
+    case SwitchNode::Outcome::kPunt: {
+      ++stats_.punted;
+      if (punt_handler_) {
+        events_.ScheduleAfter(config_.punt_latency, [this, sw, p = std::move(pkt)]() {
+          punt_handler_(p, sw, events_.now());
+        });
+      }
+      return;
+    }
+    case SwitchNode::Outcome::kDrop: {
+      ++stats_.dropped;
+      if (drop_handler_) {
+        drop_handler_(pkt, sw, res.silent, events_.now());
+      }
+      return;
+    }
+    case SwitchNode::Outcome::kDeliver: {
+      HostId dst = res.next;
+      events_.ScheduleAfter(config_.switch_latency + config_.link_latency,
+                            [this, dst, p = std::move(pkt)]() {
+                              ++stats_.delivered;
+                              const DeliverFn& sink = sinks_[dst] ? sinks_[dst] : default_sink_;
+                              if (sink) {
+                                sink(p, events_.now());
+                              }
+                            });
+      return;
+    }
+    case SwitchNode::Outcome::kForward: {
+      SwitchId next = res.next;
+      events_.ScheduleAfter(config_.switch_latency + config_.link_latency,
+                            [this, next, sw, p = std::move(pkt)]() mutable {
+                              ArriveAtSwitch(next, sw, std::move(p));
+                            });
+      return;
+    }
+  }
+}
+
+}  // namespace pathdump

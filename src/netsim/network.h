@@ -1,0 +1,109 @@
+// Per-packet network simulator.
+//
+// Assembles a Topology, a Router, the CherryPick codec, and one SwitchNode
+// per switch into an event-driven network.  Hosts inject packets; switches
+// process them hop by hop (including tag pushes, failure drops, and >2-tag
+// punts); delivered packets are handed to per-host sinks (normally an
+// EdgeAgent); punted packets go to a controller handler with the punt-path
+// latency of a real switch's slow path.
+//
+// The controller can also re-inject a stripped packet at a switch — the
+// mechanism behind detecting routing loops of arbitrary size (§4.5).
+
+#ifndef PATHDUMP_SRC_NETSIM_NETWORK_H_
+#define PATHDUMP_SRC_NETSIM_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cherrypick/codec.h"
+#include "src/netsim/event_queue.h"
+#include "src/packet/packet.h"
+#include "src/switchsim/switch_node.h"
+#include "src/topology/link_labels.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+
+namespace pathdump {
+
+struct NetworkConfig {
+  // One-way propagation + serialization delay per link traversal.
+  SimTime link_latency = 20 * kNsPerUs;
+  // Switch pipeline latency per hop.
+  SimTime switch_latency = 2 * kNsPerUs;
+  // Slow-path latency from a rule miss to the controller seeing the packet
+  // (PacketIn via switch CPU + control channel).  Dominates loop-detection
+  // time, as in the paper's ~47 ms figure.
+  SimTime punt_latency = 40 * kNsPerMs;
+  // Latency for the controller to push a packet back into the data plane.
+  SimTime reinject_latency = 20 * kNsPerMs;
+  LoadBalanceMode lb_mode = LoadBalanceMode::kEcmpHash;
+  uint64_t seed = 1;
+  // Safety valve: a packet visiting more switches than this is dropped and
+  // counted (covers loops that carry no sampled tags).
+  int max_hops = 128;
+};
+
+struct NetworkStats {
+  uint64_t injected = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t punted = 0;
+  uint64_t hop_limit_drops = 0;
+};
+
+class Network {
+ public:
+  // Called when a packet reaches its destination host.
+  using DeliverFn = std::function<void(const Packet&, SimTime)>;
+  // Called when a switch punts a packet to the controller.
+  using PuntFn = std::function<void(const Packet&, SwitchId, SimTime)>;
+  // Called when a packet is dropped in-network (tests / statistics).
+  using DropFn = std::function<void(const Packet&, SwitchId, bool silent, SimTime)>;
+
+  Network(const Topology* topo, NetworkConfig config);
+
+  // Sends a packet from pkt.src_host at absolute time `at`.
+  void InjectPacket(Packet pkt, SimTime at);
+  // Controller re-injection at a given switch (loop hunting): the packet
+  // enters `sw` as if arriving from `from`.
+  void ReinjectAt(SwitchId sw, NodeId from, Packet pkt, SimTime at);
+
+  void SetHostSink(HostId host, DeliverFn fn);
+  void SetDefaultSink(DeliverFn fn) { default_sink_ = std::move(fn); }
+  void SetPuntHandler(PuntFn fn) { punt_handler_ = std::move(fn); }
+  void SetDropHandler(DropFn fn) { drop_handler_ = std::move(fn); }
+
+  EventQueue& events() { return events_; }
+  Router& router() { return router_; }
+  const Router& router() const { return router_; }
+  CherryPickCodec& codec() { return codec_; }
+  const LinkLabelMap& labels() const { return labels_; }
+  SwitchNode& switch_at(SwitchId id);
+  const Topology& topo() const { return *topo_; }
+  const NetworkStats& stats() const { return stats_; }
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  // Processes pkt arriving at switch `sw` from neighbor `from`.
+  void ArriveAtSwitch(SwitchId sw, NodeId from, Packet pkt);
+
+  const Topology* topo_;
+  NetworkConfig config_;
+  Router router_;
+  LinkLabelMap labels_;
+  CherryPickCodec codec_;
+  EventQueue events_;
+  // Indexed by NodeId; null for hosts.
+  std::vector<std::unique_ptr<SwitchNode>> switches_;
+  std::vector<DeliverFn> sinks_;  // indexed by NodeId
+  DeliverFn default_sink_;
+  PuntFn punt_handler_;
+  DropFn drop_handler_;
+  NetworkStats stats_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_NETSIM_NETWORK_H_

@@ -1,0 +1,65 @@
+// Packet representation.
+//
+// A simulated packet carries exactly the header state PathDump cares about:
+// the 5-tuple, TCP flags/sequence (for the retransmission monitor and flow
+// eviction), the DSCP field, and the VLAN tag stack holding sampled link
+// labels.  `trace` records the ground-truth switch trajectory so tests can
+// verify that decoded paths match reality — production PathDump never sees
+// it, and no library component other than tests reads it.
+
+#ifndef PATHDUMP_SRC_PACKET_PACKET_H_
+#define PATHDUMP_SRC_PACKET_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pathdump {
+
+// Size of one 802.1Q tag on the wire (bytes).
+inline constexpr uint32_t kVlanTagBytes = 4;
+// Minimum / maximum Ethernet frame payload sizes we simulate.
+inline constexpr uint32_t kMinPacketBytes = 64;
+inline constexpr uint32_t kMaxPacketBytes = 1500;
+// Default MSS used by flow generators when splitting flows into packets.
+inline constexpr uint32_t kDefaultMss = 1460;
+
+struct Packet {
+  FiveTuple flow;
+  HostId src_host = kInvalidNode;
+  HostId dst_host = kInvalidNode;
+
+  // TCP-ish metadata.
+  uint32_t seq = 0;  // segment index within the flow
+  bool syn = false;
+  bool fin = false;
+  bool rst = false;
+  bool is_retx = false;
+
+  uint32_t size_bytes = kMinPacketBytes;
+
+  // --- Trajectory header state (what the network writes) ---
+  // DSCP field; 0 means unused (VL2 stores the first sampled link here).
+  LinkLabel dscp = 0;
+  // VLAN tag stack in *push order*: tags.front() was pushed first.
+  std::vector<LinkLabel> tags;
+
+  // --- Simulation bookkeeping ---
+  SimTime sent_at = 0;
+  int hop_count = 0;  // switches visited so far (loop safety valve)
+  // Ground truth trajectory (switches in order).  Tests only.
+  Path trace;
+
+  // Bytes on the wire including trajectory tags.
+  uint32_t WireBytes() const { return size_bytes + kVlanTagBytes * uint32_t(tags.size()); }
+
+  // Number of VLAN tags currently carried.
+  int TagCount() const { return int(tags.size()); }
+
+  void PushTag(LinkLabel label) { tags.push_back(label); }
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_PACKET_PACKET_H_

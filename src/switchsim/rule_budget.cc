@@ -1,0 +1,101 @@
+#include "src/switchsim/rule_budget.h"
+
+namespace pathdump {
+
+RuleBudget ComputeRuleBudget(const Topology& topo, SwitchId sw) {
+  RuleBudget b;
+  const Node& node = topo.node(sw);
+  const int ports = int(topo.NeighborsOf(sw).size());
+
+  switch (topo.kind()) {
+    case TopologyKind::kFatTree: {
+      const FatTreeMeta& m = *topo.fat_tree();
+      const int half = m.k / 2;
+      switch (node.role) {
+        case NodeRole::kTor:
+          // Forwarding: one rule per local host prefix + one ECMP group
+          // entry per uplink; tagging: one valley rule per uplink port
+          // (from-agg, to-agg -> push ingress).
+          b.forwarding = half /*hosts*/ + half /*uplinks*/;
+          b.tagging = half;
+          break;
+        case NodeRole::kAgg:
+          // Forwarding: one per in-pod ToR prefix + one per core uplink;
+          // tagging: one apex rule per ToR-facing ingress port (dst-in-pod
+          // + no-tag match -> push ingress).
+          b.forwarding = half + half;
+          b.tagging = half;
+          break;
+        case NodeRole::kCore:
+          // Forwarding: one per pod prefix; tagging: one per ingress port
+          // (always push).
+          b.forwarding = m.pods;
+          b.tagging = ports;
+          break;
+        default:
+          break;
+      }
+      return b;
+    }
+    case TopologyKind::kVl2: {
+      const Vl2Meta& m = *topo.vl2();
+      switch (node.role) {
+        case NodeRole::kTor:
+          // Forwarding: one per local host + one per uplink.
+          b.forwarding = m.hosts_per_tor + 2;
+          b.tagging = 0;  // ToRs do not sample; the agg sets DSCP
+          break;
+        case NodeRole::kAgg:
+          // Forwarding: one per adjacent ToR + one per intermediate.
+          // Tagging: the paper's "two rules per ingress port" — DSCP-unused
+          // check and the add-VLAN-otherwise rule.
+          b.forwarding = ports;
+          b.tagging = 2 * ports;
+          break;
+        case NodeRole::kIntermediate:
+          b.forwarding = m.num_aggs;
+          b.tagging = ports;  // always push ingress
+          break;
+        default:
+          break;
+      }
+      return b;
+    }
+    case TopologyKind::kGeneric: {
+      // One forwarding rule per destination ToR, one push rule per ingress.
+      int tors = 0;
+      for (SwitchId s : topo.switches()) {
+        if (topo.RoleOf(s) == NodeRole::kTor) {
+          ++tors;
+        }
+      }
+      b.forwarding = tors;
+      b.tagging = ports;
+      return b;
+    }
+  }
+  return b;
+}
+
+RuleBudget TotalRuleBudget(const Topology& topo) {
+  RuleBudget total;
+  for (SwitchId sw : topo.switches()) {
+    RuleBudget b = ComputeRuleBudget(topo, sw);
+    total.forwarding += b.forwarding;
+    total.tagging += b.tagging;
+  }
+  return total;
+}
+
+RuleBudget MaxPerSwitchRuleBudget(const Topology& topo) {
+  RuleBudget mx;
+  for (SwitchId sw : topo.switches()) {
+    RuleBudget b = ComputeRuleBudget(topo, sw);
+    if (b.total() > mx.total()) {
+      mx = b;
+    }
+  }
+  return mx;
+}
+
+}  // namespace pathdump

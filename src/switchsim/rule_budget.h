@@ -1,0 +1,40 @@
+// Static switch rule accounting (§3.1).
+//
+// PathDump's data-plane footprint is a one-time set of static OpenFlow
+// rules per switch: the usual forwarding rules plus the CherryPick
+// tag-push rules.  The paper's claims, which this module makes checkable:
+//  * fat-tree: "the number of rules at switch grows linearly over switch
+//    port density" — O(k) per switch, not O(#flows) or O(#paths);
+//  * VL2: "we need two rules per ingress port: one for checking if DSCP
+//    field is unused, and the other to add VLAN tag otherwise".
+
+#ifndef PATHDUMP_SRC_SWITCHSIM_RULE_BUDGET_H_
+#define PATHDUMP_SRC_SWITCHSIM_RULE_BUDGET_H_
+
+#include <cstdint>
+
+#include "src/topology/topology.h"
+
+namespace pathdump {
+
+struct RuleBudget {
+  // Destination-based forwarding rules (prefix per pod/ToR + ECMP groups).
+  int forwarding = 0;
+  // CherryPick tag-push / DSCP-set rules.
+  int tagging = 0;
+
+  int total() const { return forwarding + tagging; }
+};
+
+// Static rules installed at one switch for the given topology.
+RuleBudget ComputeRuleBudget(const Topology& topo, SwitchId sw);
+
+// Sum over all switches.
+RuleBudget TotalRuleBudget(const Topology& topo);
+
+// The largest per-switch rule count — the number that must fit in TCAM.
+RuleBudget MaxPerSwitchRuleBudget(const Topology& topo);
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_SWITCHSIM_RULE_BUDGET_H_

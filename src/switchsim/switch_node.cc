@@ -1,0 +1,83 @@
+#include "src/switchsim/switch_node.h"
+
+namespace pathdump {
+
+SwitchNode::SwitchNode(SwitchId id, const Topology* topo, const Router* router,
+                       const CherryPickCodec* codec, uint64_t rng_seed)
+    : id_(id), topo_(topo), router_(router), codec_(codec), rng_(rng_seed, id) {}
+
+void SwitchNode::SetSilentDropRate(NodeId nbr, double p) { silent_drop_[nbr] = p; }
+
+void SwitchNode::SetBlackhole(NodeId nbr) { blackhole_.insert(nbr); }
+
+void SwitchNode::ClearFailures() {
+  silent_drop_.clear();
+  blackhole_.clear();
+}
+
+uint64_t SwitchNode::EgressBytes(NodeId nbr) const {
+  auto it = egress_bytes_.find(nbr);
+  return it == egress_bytes_.end() ? 0 : it->second;
+}
+
+SwitchNode::Result SwitchNode::Process(Packet& pkt, NodeId from, LoadBalanceMode mode) {
+  Result res;
+  pkt.hop_count++;
+  pkt.trace.push_back(id_);
+
+  // ASIC constraint: matching IP fields of a packet with more than two VLAN
+  // tags misses in hardware; the packet goes to the controller (§3.1).
+  if (pkt.TagCount() > kAsicMaxVlanTags) {
+    ++counters_.punted;
+    res.outcome = Outcome::kPunt;
+    return res;
+  }
+
+  // Next-hop lookup (static rules + deterministic failover).
+  uint64_t entropy = mode == LoadBalanceMode::kPacketSpray ? rng_.NextU64()
+                                                           : FiveTupleHash{}(pkt.flow);
+  NodeId next = router_->NextHop(id_, from, pkt.dst_host, entropy);
+  if (next == kInvalidNode) {
+    ++counters_.drops_reported;  // a routing blackhole updates drop counters
+    res.outcome = Outcome::kDrop;
+    return res;
+  }
+
+  // CherryPick egress actions (push_vlan / set DSCP), applied before the
+  // packet leaves the switch.
+  TagAction act = codec_->OnForward(id_, from, next, pkt.dst_host, pkt.TagCount(), pkt.dscp);
+  if (act.push_vlan) {
+    pkt.PushTag(act.vlan);
+  }
+  if (act.set_dscp) {
+    pkt.dscp = act.dscp;
+  }
+
+  // Faulty-interface models.  These drops are *silent*: no counter the
+  // operator can poll records them.
+  if (blackhole_.count(next) > 0) {
+    ++counters_.drops_silent;
+    res.outcome = Outcome::kDrop;
+    res.silent = true;
+    return res;
+  }
+  if (auto it = silent_drop_.find(next); it != silent_drop_.end() && rng_.Bernoulli(it->second)) {
+    ++counters_.drops_silent;
+    res.outcome = Outcome::kDrop;
+    res.silent = true;
+    return res;
+  }
+
+  egress_bytes_[next] += pkt.WireBytes();
+  res.next = next;
+  if (topo_->IsHost(next)) {
+    ++counters_.delivered;
+    res.outcome = Outcome::kDeliver;
+  } else {
+    ++counters_.forwarded;
+    res.outcome = Outcome::kForward;
+  }
+  return res;
+}
+
+}  // namespace pathdump

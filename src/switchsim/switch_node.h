@@ -1,0 +1,91 @@
+// Software model of a commodity OpenFlow switch.
+//
+// PathDump's switches are deliberately minimal (§1): static forwarding
+// rules, static CherryPick tag-push rules, and the stock ASIC behaviour
+// that a packet carrying more than two VLAN tags cannot have its IP fields
+// parsed at line rate and is punted to the controller.  No dynamic rule
+// updates, no sampling, no mirroring.
+//
+// The model adds the failure modes the paper debugs:
+//  * silent random drops — a faulty egress interface drops packets with
+//    some probability *without* updating its discarded-packet counters,
+//  * silent blackholes — an egress drops everything,
+//  * link-down — handled by the Router's failover (see topology/routing).
+
+#ifndef PATHDUMP_SRC_SWITCHSIM_SWITCH_NODE_H_
+#define PATHDUMP_SRC_SWITCHSIM_SWITCH_NODE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/cherrypick/codec.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/packet/packet.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+
+namespace pathdump {
+
+// Per-switch traffic counters.  Silent drops intentionally do NOT appear in
+// `drops_reported` — that is what makes them hard to localize (§4.3).
+struct SwitchCounters {
+  uint64_t forwarded = 0;
+  uint64_t delivered = 0;
+  uint64_t punted = 0;
+  uint64_t drops_reported = 0;  // visible (e.g. no-route) drops
+  uint64_t drops_silent = 0;    // invisible to the operator
+};
+
+class SwitchNode {
+ public:
+  enum class Outcome : uint8_t {
+    kForward,  // send to `next` (a switch)
+    kDeliver,  // send to `next` (the destination host)
+    kPunt,     // hand to the controller (>2 VLAN tags at IP parse)
+    kDrop,     // packet lost
+  };
+
+  struct Result {
+    Outcome outcome = Outcome::kDrop;
+    NodeId next = kInvalidNode;
+    bool silent = false;  // for kDrop: true if the drop left no counter
+  };
+
+  SwitchNode(SwitchId id, const Topology* topo, const Router* router,
+             const CherryPickCodec* codec, uint64_t rng_seed);
+
+  // Runs the full ingress->egress pipeline for one packet: ASIC tag-limit
+  // check, next-hop lookup, CherryPick tag push, failure-model drop.
+  // Mutates pkt (tags, dscp, hop count, ground-truth trace).
+  Result Process(Packet& pkt, NodeId from, LoadBalanceMode mode);
+
+  // --- Failure injection ---
+  // Egress toward `nbr` silently drops each packet with probability p.
+  void SetSilentDropRate(NodeId nbr, double p);
+  // Egress toward `nbr` silently drops every packet.
+  void SetBlackhole(NodeId nbr);
+  void ClearFailures();
+
+  SwitchId id() const { return id_; }
+  const SwitchCounters& counters() const { return counters_; }
+
+  // Per-egress byte counters (what sFlow-style link monitoring would see).
+  uint64_t EgressBytes(NodeId nbr) const;
+
+ private:
+  SwitchId id_;
+  const Topology* topo_;
+  const Router* router_;
+  const CherryPickCodec* codec_;
+  Rng rng_;
+  SwitchCounters counters_;
+  std::unordered_map<NodeId, double> silent_drop_;
+  std::unordered_set<NodeId> blackhole_;
+  std::unordered_map<NodeId, uint64_t> egress_bytes_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_SWITCHSIM_SWITCH_NODE_H_

@@ -1,0 +1,130 @@
+#include "src/tcp/incast.h"
+
+#include <algorithm>
+
+namespace pathdump {
+
+IncastSimulator::IncastSimulator(IncastConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+IncastResult IncastSimulator::Run() {
+  struct FlowState {
+    int cwnd;
+    int rto_until = -1;   // global round index
+    int remaining = 0;    // packets left in the current block
+    uint64_t delivered = 0;
+    uint64_t retx = 0;
+    int timeouts = 0;
+  };
+  std::vector<FlowState> flows(size_t(config_.num_senders));
+  for (FlowState& f : flows) {
+    f.cwnd = config_.initial_cwnd;
+  }
+
+  IncastResult result;
+  double q = 0.0;
+  double last_abs_t = 0.0;
+  int round = 0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Barrier: a new synchronized request for block_pkts from everyone.
+    for (FlowState& f : flows) {
+      f.remaining = config_.block_pkts;
+    }
+    bool epoch_done = false;
+    // Hard stop per epoch so a pathological cascade cannot hang the sim.
+    int deadline = round + 64 * config_.rto_rounds;
+    while (!epoch_done && round < deadline) {
+      SimTime now = SimTime(double(round) * config_.rtt_seconds * double(kNsPerSec));
+
+      // Active flows burst back-to-back starting at nearly the same
+      // instant (the synchronized response), small per-flow skew only.
+      struct Arrival {
+        int flow;
+        double t;
+      };
+      std::vector<Arrival> arrivals;
+      for (int fi = 0; fi < config_.num_senders; ++fi) {
+        FlowState& f = flows[size_t(fi)];
+        if (f.remaining <= 0 || f.rto_until > round) {
+          continue;
+        }
+        double jitter = rng_.Uniform01() * 0.05;
+        int burst = std::min(f.cwnd, f.remaining);
+        for (int i = 0; i < burst; ++i) {
+          arrivals.push_back(Arrival{fi, jitter + double(i) * 1e-4});
+        }
+      }
+      std::stable_sort(arrivals.begin(), arrivals.end(),
+                       [](const Arrival& a, const Arrival& b) { return a.t < b.t; });
+
+      std::vector<int> sent(flows.size(), 0);
+      std::vector<int> lost(flows.size(), 0);
+      for (const Arrival& a : arrivals) {
+        double abs_t = double(round) + a.t;
+        q = std::max(0.0, q - (abs_t - last_abs_t) * double(config_.drain_per_round));
+        last_abs_t = abs_t;
+        ++sent[size_t(a.flow)];
+        if (q + 1.0 > double(config_.queue_capacity_pkts)) {
+          ++lost[size_t(a.flow)];
+        } else {
+          q += 1.0;
+          FlowState& f = flows[size_t(a.flow)];
+          ++f.delivered;
+          --f.remaining;
+        }
+      }
+
+      for (int fi = 0; fi < config_.num_senders; ++fi) {
+        FlowState& f = flows[size_t(fi)];
+        if (sent[size_t(fi)] == 0) {
+          continue;
+        }
+        int l = lost[size_t(fi)];
+        if (l == 0) {
+          f.cwnd = std::min(f.cwnd + 1, config_.max_cwnd);
+          continue;
+        }
+        f.retx += uint64_t(l);
+        bool window_lost = l >= sent[size_t(fi)];
+        result.retx_events.push_back(RetxEvent{fi, now, window_lost});
+        if (window_lost) {
+          f.timeouts += 1;
+          f.cwnd = 1;
+          f.rto_until = round + config_.rto_rounds;
+        } else {
+          f.cwnd = std::max(1, f.cwnd / 2);
+        }
+      }
+
+      ++round;
+      epoch_done = true;
+      for (const FlowState& f : flows) {
+        if (f.remaining > 0) {
+          epoch_done = false;
+        }
+      }
+    }
+  }
+
+  double duration_s = double(std::max(round, 1)) * config_.rtt_seconds;
+  result.duration_seconds = duration_s;
+  double total_pkts = 0;
+  for (int fi = 0; fi < config_.num_senders; ++fi) {
+    const FlowState& f = flows[size_t(fi)];
+    IncastFlowStats st;
+    st.flow_index = fi;
+    st.delivered_pkts = f.delivered;
+    st.retransmissions = f.retx;
+    st.timeouts = f.timeouts;
+    st.throughput_mbps = double(f.delivered) * config_.mss_bytes * 8.0 / duration_s / 1e6;
+    total_pkts += double(f.delivered);
+    result.flows.push_back(st);
+  }
+  result.aggregate_goodput_mbps = total_pkts * config_.mss_bytes * 8.0 / duration_s / 1e6;
+  result.link_capacity_mbps = double(config_.drain_per_round) * config_.mss_bytes * 8.0 /
+                              config_.rtt_seconds / 1e6;
+  return result;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,72 @@
+// TCP incast throughput-collapse model (§4.6, Chen et al. [12]).
+//
+// Many senders answer a synchronized request (partition/aggregate) through
+// one ToR output port.  Because responses start in lockstep, their windows
+// collide at the shallow switch buffer: beyond a sender-count threshold,
+// most flows lose whole windows simultaneously, stall in RTO together, and
+// aggregate goodput collapses far below the link capacity.  Unlike
+// outcast, the victims are symmetric — no per-port asymmetry — which is
+// exactly the signature the diagnosis application distinguishes.
+
+#ifndef PATHDUMP_SRC_TCP_INCAST_H_
+#define PATHDUMP_SRC_TCP_INCAST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/tcp/outcast.h"  // RetxEvent
+
+namespace pathdump {
+
+struct IncastConfig {
+  int num_senders = 8;
+  // Synchronized-read epochs: per request, every sender must deliver
+  // block_pkts packets and the application waits for ALL of them before
+  // issuing the next request — the barrier that turns one straggler's RTO
+  // into idle link time for everyone ([12]'s SRU model).
+  int epochs = 40;
+  int block_pkts = 32;             // per-sender block per request (~46 KB)
+  double rtt_seconds = 0.002;
+  int queue_capacity_pkts = 64;    // shallow commodity ToR buffer
+  int drain_per_round = 96;        // bottleneck service per RTT
+  uint32_t mss_bytes = 1460;
+  int initial_cwnd = 2;
+  int max_cwnd = 64;
+  // RTO_min >> RTT is the incast killer: 200 ms vs a 2 ms RTT parks a
+  // flow for ~100 rounds after one whole-window loss ([12]).
+  int rto_rounds = 100;
+  uint64_t seed = 1;
+};
+
+struct IncastFlowStats {
+  int flow_index = 0;
+  uint64_t delivered_pkts = 0;
+  uint64_t retransmissions = 0;
+  int timeouts = 0;
+  double throughput_mbps = 0;
+};
+
+struct IncastResult {
+  std::vector<IncastFlowStats> flows;
+  double aggregate_goodput_mbps = 0;
+  double link_capacity_mbps = 0;   // drain rate expressed as bandwidth
+  double duration_seconds = 0;     // wall time all epochs took
+  std::vector<RetxEvent> retx_events;
+};
+
+class IncastSimulator {
+ public:
+  explicit IncastSimulator(IncastConfig config);
+
+  IncastResult Run();
+
+ private:
+  IncastConfig config_;
+  Rng rng_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TCP_INCAST_H_

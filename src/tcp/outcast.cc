@@ -1,0 +1,155 @@
+#include "src/tcp/outcast.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pathdump {
+
+namespace {
+
+struct FlowState {
+  int index = 0;
+  int port = 0;
+  int cwnd = 0;
+  int rto_until = -1;  // round index until which the flow is silent
+  uint64_t delivered = 0;
+  uint64_t retx = 0;
+  int timeouts = 0;
+};
+
+}  // namespace
+
+OutcastSimulator::OutcastSimulator(OutcastConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+std::vector<OutcastFlowStats> OutcastSimulator::Run() {
+  retx_events_.clear();
+
+  std::vector<FlowState> flows;
+  int port = 0;
+  for (int per_port : config_.flows_per_port) {
+    for (int i = 0; i < per_port; ++i) {
+      FlowState f;
+      f.index = int(flows.size());
+      f.port = port;
+      f.cwnd = config_.initial_cwnd;
+      flows.push_back(f);
+    }
+    ++port;
+  }
+  const int num_ports = int(config_.flows_per_port.size());
+
+  // Standing drop-tail queue: occupancy persists across rounds.  With the
+  // aggregate ports offering more than the drain rate, the queue hovers
+  // near capacity — the precondition for port blackout.
+  double q = 0.0;
+  double last_abs_t = 0.0;
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    SimTime now = SimTime(double(round) * config_.rtt_seconds * double(kNsPerSec));
+
+    // Build the arrival sequence for this round.  Flows sharing an input
+    // port arrive as an interleaved train (their upstream paths already
+    // mixed them); each port's train is then placed in the round, and the
+    // single-flow port's burst stays contiguous — the port-blackout setup.
+    struct Arrival {
+      int flow;
+      double t;  // arrival offset within the round, [0,1)
+    };
+    std::vector<Arrival> arrivals;
+    for (int pt = 0; pt < num_ports; ++pt) {
+      // Collect this port's packets round-robin across its flows.
+      std::vector<int> train;
+      bool any = true;
+      int offset = 0;
+      while (any) {
+        any = false;
+        for (const FlowState& f : flows) {
+          if (f.port != pt || f.rto_until > round) {
+            continue;
+          }
+          if (offset < f.cwnd) {
+            train.push_back(f.index);
+            any = true;
+          }
+        }
+        ++offset;
+      }
+      if (train.empty()) {
+        continue;
+      }
+      // Multi-flow ports deliver an interleaved train paced across the
+      // whole round (their upstream hops already spread them), keeping the
+      // output queue occupied.  A single-flow port's window arrives as one
+      // back-to-back burst at a random instant — when it lands on a full
+      // queue, its packets are dropped *consecutively*: the port blackout.
+      bool contiguous = config_.flows_per_port[size_t(pt)] <= 1;
+      double start = contiguous ? rng_.Uniform01() * 0.9 : 0.0;
+      double spacing = contiguous ? 1e-4 : 1.0 / double(train.size());
+      for (size_t i = 0; i < train.size(); ++i) {
+        arrivals.push_back(Arrival{train[i], start + double(i) * spacing});
+      }
+    }
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Arrival& a, const Arrival& b) { return a.t < b.t; });
+
+    // Drop-tail queue draining continuously at drain_per_round per round.
+    std::vector<int> sent(flows.size(), 0);
+    std::vector<int> lost(flows.size(), 0);
+    for (const Arrival& a : arrivals) {
+      double abs_t = double(round) + a.t;
+      q = std::max(0.0, q - (abs_t - last_abs_t) * double(config_.drain_per_round));
+      last_abs_t = abs_t;
+      ++sent[size_t(a.flow)];
+      if (q + 1.0 > double(config_.queue_capacity_pkts)) {
+        ++lost[size_t(a.flow)];
+      } else {
+        q += 1.0;
+        ++flows[size_t(a.flow)].delivered;
+      }
+    }
+
+    // TCP reaction.
+    for (FlowState& f : flows) {
+      if (f.rto_until > round || sent[size_t(f.index)] == 0) {
+        continue;
+      }
+      int s = sent[size_t(f.index)];
+      int l = lost[size_t(f.index)];
+      if (l == 0) {
+        f.cwnd = std::min(f.cwnd + 1, config_.max_cwnd);
+        continue;
+      }
+      f.retx += uint64_t(l);
+      bool window_lost = l >= s;  // every packet of the burst died
+      retx_events_.push_back(RetxEvent{f.index, now, window_lost});
+      if (window_lost) {
+        // No dupACKs possible: retransmission timeout.
+        f.timeouts += 1;
+        f.cwnd = 1;
+        f.rto_until = round + config_.rto_rounds;
+      } else {
+        // Fast retransmit / recovery.
+        f.cwnd = std::max(1, f.cwnd / 2);
+      }
+    }
+  }
+
+  double duration_s = double(config_.rounds) * config_.rtt_seconds;
+  std::vector<OutcastFlowStats> out;
+  out.reserve(flows.size());
+  for (const FlowState& f : flows) {
+    OutcastFlowStats st;
+    st.flow_index = f.index;
+    st.input_port = f.port;
+    st.delivered_pkts = f.delivered;
+    st.retransmissions = f.retx;
+    st.timeouts = f.timeouts;
+    st.throughput_mbps =
+        double(f.delivered) * double(config_.mss_bytes) * 8.0 / duration_s / 1e6;
+    out.push_back(st);
+  }
+  return out;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,80 @@
+// TCP outcast (port blackout) queue model (§4.6, Prakash et al. [32]).
+//
+// The outcast unfairness arises at a switch where many flows arrive on one
+// (or few) input port(s) and few flows on another, all competing for the
+// same drop-tail output queue.  Packet trains from the many-flow ports
+// occupy the queue in interleaved fashion; the lone flow's window arrives
+// as one contiguous burst, so when the queue is (nearly) full the burst
+// loses *consecutive* packets — often the entire window — forcing RTO
+// timeouts, while the many flows lose scattered single packets recovered
+// by fast retransmit.  The flow closest to the receiver ends up with the
+// worst throughput.
+//
+// This module simulates that mechanism round-by-round (one round = one
+// RTT) with AIMD windows, timeouts, and a slot-level drop-tail queue; the
+// per-flow delivered bytes and retransmissions feed the regular PathDump
+// pipeline (TIB records + poor-TCP alarms) for the Fig. 10 diagnosis.
+
+#ifndef PATHDUMP_SRC_TCP_OUTCAST_H_
+#define PATHDUMP_SRC_TCP_OUTCAST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace pathdump {
+
+struct OutcastConfig {
+  // flows_per_port[i] = number of flows arriving on input port i.  The
+  // paper's scenario is {1, 7, 7}: f1 alone on the host-facing port, 14
+  // remote flows over the ToR's two uplinks.
+  std::vector<int> flows_per_port = {1, 7, 7};
+  int rounds = 2500;                 // simulated RTT rounds
+  double rtt_seconds = 0.004;        // one round
+  int queue_capacity_pkts = 48;      // output queue depth
+  int drain_per_round = 100;         // packets serviced per round
+  uint32_t mss_bytes = 1460;
+  int initial_cwnd = 2;
+  int max_cwnd = 48;
+  int rto_rounds = 5;                // timeout penalty in rounds
+  uint64_t seed = 42;
+};
+
+struct OutcastFlowStats {
+  int flow_index = 0;   // 0-based: flow 0 is "f1"
+  int input_port = 0;
+  uint64_t delivered_pkts = 0;
+  uint64_t retransmissions = 0;
+  int timeouts = 0;
+  double throughput_mbps = 0.0;
+};
+
+// Per-flow retransmission event, in time order — feeds the RetxMonitor so
+// the PathDump active monitor raises POOR_PERF alarms like the real system.
+struct RetxEvent {
+  int flow_index;
+  SimTime at;
+  bool window_lost;  // entire burst dropped (timeout)
+};
+
+class OutcastSimulator {
+ public:
+  explicit OutcastSimulator(OutcastConfig config);
+
+  // Runs the full simulation; returns per-flow stats (index order).
+  std::vector<OutcastFlowStats> Run();
+
+  // Retransmission timeline of the last Run().
+  const std::vector<RetxEvent>& retx_events() const { return retx_events_; }
+
+ private:
+  OutcastConfig config_;
+  Rng rng_;
+  std::vector<RetxEvent> retx_events_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TCP_OUTCAST_H_

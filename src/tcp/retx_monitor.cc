@@ -1,0 +1,46 @@
+#include "src/tcp/retx_monitor.h"
+
+namespace pathdump {
+
+void RetxMonitor::OnRetransmission(const FiveTuple& flow, SimTime now) {
+  FlowState& st = state_[flow];
+  st.consecutive += 1;
+  st.total += 1;
+  st.last_at = now;
+}
+
+void RetxMonitor::OnProgress(const FiveTuple& flow) {
+  auto it = state_.find(flow);
+  if (it != state_.end()) {
+    it->second.consecutive = 0;
+  }
+}
+
+std::vector<FiveTuple> RetxMonitor::PoorTcpFlows(int threshold) const {
+  std::vector<FiveTuple> out;
+  for (const auto& [flow, st] : state_) {
+    if (st.consecutive >= threshold) {
+      out.push_back(flow);
+    }
+  }
+  return out;
+}
+
+int RetxMonitor::ConsecutiveRetx(const FiveTuple& flow) const {
+  auto it = state_.find(flow);
+  return it == state_.end() ? 0 : it->second.consecutive;
+}
+
+uint64_t RetxMonitor::TotalRetx(const FiveTuple& flow) const {
+  auto it = state_.find(flow);
+  return it == state_.end() ? 0 : it->second.total;
+}
+
+SimTime RetxMonitor::LastRetxAt(const FiveTuple& flow) const {
+  auto it = state_.find(flow);
+  return it == state_.end() ? 0 : it->second.last_at;
+}
+
+void RetxMonitor::Forget(const FiveTuple& flow) { state_.erase(flow); }
+
+}  // namespace pathdump

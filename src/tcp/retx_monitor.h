@@ -1,0 +1,51 @@
+// Active TCP performance monitor (§3.2, "Active monitoring module").
+//
+// The paper uses perf-tools' tcpretrans to watch per-flow retransmissions
+// at each server and raises an alert to the controller when a flow exceeds
+// a configured number of *consecutive* retransmissions.  This class is the
+// equivalent instrumentation point: the simulated TCP senders report
+// (re)transmissions and ACK progress into it, and the EdgeAgent's
+// getPoorTCPFlows(threshold) host API reads from it.
+
+#ifndef PATHDUMP_SRC_TCP_RETX_MONITOR_H_
+#define PATHDUMP_SRC_TCP_RETX_MONITOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pathdump {
+
+class RetxMonitor {
+ public:
+  // Records a retransmission for `flow` observed at `now`.
+  void OnRetransmission(const FiveTuple& flow, SimTime now);
+  // Records forward ACK progress, which breaks a consecutive-retx streak.
+  void OnProgress(const FiveTuple& flow);
+
+  // Flows whose current consecutive retransmission count >= threshold
+  // (the getPoorTCPFlows host API, Table 1).
+  std::vector<FiveTuple> PoorTcpFlows(int threshold) const;
+
+  int ConsecutiveRetx(const FiveTuple& flow) const;
+  uint64_t TotalRetx(const FiveTuple& flow) const;
+  SimTime LastRetxAt(const FiveTuple& flow) const;
+
+  // Drops all state for a finished flow.
+  void Forget(const FiveTuple& flow);
+  size_t TrackedFlows() const { return state_.size(); }
+
+ private:
+  struct FlowState {
+    int consecutive = 0;
+    uint64_t total = 0;
+    SimTime last_at = 0;
+  };
+  std::unordered_map<FiveTuple, FlowState, FiveTupleHash> state_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TCP_RETX_MONITOR_H_

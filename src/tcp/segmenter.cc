@@ -1,0 +1,28 @@
+#include "src/tcp/segmenter.h"
+
+#include <algorithm>
+
+namespace pathdump {
+
+std::vector<Packet> SegmentFlow(const FiveTuple& flow, HostId src, HostId dst, uint64_t bytes,
+                                uint32_t mss) {
+  std::vector<Packet> out;
+  uint64_t remaining = std::max<uint64_t>(bytes, 1);
+  uint32_t seq = 0;
+  while (remaining > 0) {
+    uint32_t sz = uint32_t(std::min<uint64_t>(remaining, mss));
+    Packet p;
+    p.flow = flow;
+    p.src_host = src;
+    p.dst_host = dst;
+    p.seq = seq++;
+    p.size_bytes = std::max(sz, kMinPacketBytes);
+    p.syn = (seq == 1);
+    remaining -= sz;
+    p.fin = (remaining == 0);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace pathdump

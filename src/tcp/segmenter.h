@@ -1,0 +1,22 @@
+// Splits an application flow into MSS-sized packets for the per-packet
+// simulator, with SYN on the first and FIN on the last segment (the FIN is
+// what triggers immediate trajectory-memory eviction at the edge, §3.2).
+
+#ifndef PATHDUMP_SRC_TCP_SEGMENTER_H_
+#define PATHDUMP_SRC_TCP_SEGMENTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/packet/packet.h"
+
+namespace pathdump {
+
+// Builds the packet train for a flow of `bytes` bytes.
+std::vector<Packet> SegmentFlow(const FiveTuple& flow, HostId src, HostId dst, uint64_t bytes,
+                                uint32_t mss = kDefaultMss);
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TCP_SEGMENTER_H_

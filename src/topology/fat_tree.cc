@@ -1,0 +1,98 @@
+#include "src/topology/fat_tree.h"
+
+#include <cassert>
+#include <string>
+
+namespace pathdump {
+
+Topology BuildFatTree(int k) {
+  assert(k >= 2 && k % 2 == 0);
+  Topology topo;
+  topo.set_kind(TopologyKind::kFatTree);
+
+  const int half = k / 2;
+  FatTreeMeta meta;
+  meta.k = k;
+  meta.pods = k;
+  meta.tors_per_pod = half;
+  meta.aggs_per_pod = half;
+  meta.hosts_per_tor = half;
+  meta.cores = half * half;
+
+  // Cores first so their NodeIds are stable regardless of pod count.
+  meta.core.reserve(size_t(meta.cores));
+  for (int c = 0; c < meta.cores; ++c) {
+    meta.core.push_back(topo.AddSwitch(NodeRole::kCore, /*pod=*/-1, /*index=*/c,
+                                       "C" + std::to_string(c)));
+  }
+
+  meta.tor.resize(size_t(k));
+  meta.agg.resize(size_t(k));
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < half; ++i) {
+      meta.agg[size_t(p)].push_back(topo.AddSwitch(
+          NodeRole::kAgg, p, i, "A" + std::to_string(p) + "." + std::to_string(i)));
+    }
+    for (int i = 0; i < half; ++i) {
+      meta.tor[size_t(p)].push_back(topo.AddSwitch(
+          NodeRole::kTor, p, i, "T" + std::to_string(p) + "." + std::to_string(i)));
+    }
+    // Full bipartite ToR <-> Agg mesh within the pod.
+    for (int t = 0; t < half; ++t) {
+      for (int a = 0; a < half; ++a) {
+        topo.AddLink(meta.tor[size_t(p)][size_t(t)], meta.agg[size_t(p)][size_t(a)]);
+      }
+    }
+    // Agg a connects to core group a.
+    for (int a = 0; a < half; ++a) {
+      for (int j = 0; j < half; ++j) {
+        topo.AddLink(meta.agg[size_t(p)][size_t(a)], meta.core[size_t(a * half + j)]);
+      }
+    }
+  }
+
+  // Hosts last: k/2 per ToR.
+  for (int p = 0; p < k; ++p) {
+    for (int t = 0; t < half; ++t) {
+      for (int h = 0; h < half; ++h) {
+        NodeId host = topo.AddHost(p, t * half + h,
+                                   "H" + std::to_string(p) + "." + std::to_string(t) + "." +
+                                       std::to_string(h));
+        topo.AddLink(host, meta.tor[size_t(p)][size_t(t)]);
+      }
+    }
+  }
+
+  topo.set_fat_tree_meta(std::move(meta));
+  return topo;
+}
+
+namespace fat_tree {
+
+int CoreGroupOfAggIndex(const Topology& topo, int agg_index) {
+  (void)topo;
+  return agg_index;
+}
+
+int GroupOfCore(const Topology& topo, NodeId core) {
+  const FatTreeMeta& m = *topo.fat_tree();
+  return topo.node(core).index / (m.k / 2);
+}
+
+NodeId AggAt(const Topology& topo, int pod, int index) {
+  return topo.fat_tree()->agg[size_t(pod)][size_t(index)];
+}
+
+NodeId TorAt(const Topology& topo, int pod, int index) {
+  return topo.fat_tree()->tor[size_t(pod)][size_t(index)];
+}
+
+NodeId CoreAt(const Topology& topo, int core_index) {
+  return topo.fat_tree()->core[size_t(core_index)];
+}
+
+int CoreIndexOf(const Topology& topo, NodeId core) { return topo.node(core).index; }
+
+}  // namespace fat_tree
+
+}  // namespace pathdump

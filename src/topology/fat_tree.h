@@ -1,0 +1,40 @@
+// FatTree(k) topology builder.
+//
+// Standard 3-level fat-tree: k pods, each with k/2 ToR and k/2 aggregate
+// switches; (k/2)^2 core switches; k/2 hosts per ToR.  Aggregate switch a of
+// every pod connects to core group a (cores c with c / (k/2) == a) — this
+// "same agg index in every pod" wiring is what lets CherryPick reuse link
+// labels across pods (§3.1).
+
+#ifndef PATHDUMP_SRC_TOPOLOGY_FAT_TREE_H_
+#define PATHDUMP_SRC_TOPOLOGY_FAT_TREE_H_
+
+#include "src/topology/topology.h"
+
+namespace pathdump {
+
+// Builds FatTree(k).  k must be even and >= 2.
+Topology BuildFatTree(int k);
+
+// Structured lookups used by the CherryPick codec and the routers.  All
+// require topo.kind() == kFatTree.
+namespace fat_tree {
+
+// Core group an aggregate of index a serves: cores [a*k/2, (a+1)*k/2).
+int CoreGroupOfAggIndex(const Topology& topo, int agg_index);
+// Group (== agg index) of core c.
+int GroupOfCore(const Topology& topo, NodeId core);
+// Agg switch with the given index in the given pod.
+NodeId AggAt(const Topology& topo, int pod, int index);
+// ToR switch with the given index in the given pod.
+NodeId TorAt(const Topology& topo, int pod, int index);
+// Core switch by global core index.
+NodeId CoreAt(const Topology& topo, int core_index);
+// Global core index of a core switch node.
+int CoreIndexOf(const Topology& topo, NodeId core);
+
+}  // namespace fat_tree
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TOPOLOGY_FAT_TREE_H_

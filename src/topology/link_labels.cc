@@ -1,0 +1,109 @@
+#include "src/topology/link_labels.h"
+
+#include <cassert>
+
+#include "src/topology/fat_tree.h"
+
+namespace pathdump {
+
+LinkLabelMap::LinkLabelMap(const Topology* topo) : topo_(topo) {
+  if (topo_->kind() == TopologyKind::kGeneric) {
+    LinkLabel next = 1;
+    for (const LinkId& l : topo_->AllUndirectedLinks()) {
+      if (topo_->IsHost(l.src) || topo_->IsHost(l.dst)) {
+        continue;
+      }
+      assert(next <= kMaxVlanLabel);
+      generic_labels_[Key(l.src, l.dst)] = next;
+      generic_reverse_[next] = {l.src, l.dst};
+      ++next;
+    }
+  } else if (topo_->kind() == TopologyKind::kVl2) {
+    const Vl2Meta& m = *topo_->vl2();
+    assert(uint64_t(m.num_aggs) * uint64_t(m.num_intermediates) <= kMaxVlanLabel);
+  } else {
+    const FatTreeMeta& m = *topo_->fat_tree();
+    int half = m.k / 2;
+    assert(2 * half * half <= int(kMaxVlanLabel) + 1);
+  }
+}
+
+LinkLabel LinkLabelMap::LabelOf(NodeId a, NodeId b) const {
+  if (topo_->IsHost(a) || topo_->IsHost(b)) {
+    return kInvalidLabel;
+  }
+  switch (topo_->kind()) {
+    case TopologyKind::kGeneric: {
+      auto it = generic_labels_.find(Key(a, b));
+      return it == generic_labels_.end() ? kInvalidLabel : it->second;
+    }
+    case TopologyKind::kFatTree: {
+      const FatTreeMeta& m = *topo_->fat_tree();
+      int half = m.k / 2;
+      // Order so that `lo` is the lower-layer endpoint.
+      NodeId lo = a;
+      NodeId hi = b;
+      if (topo_->LayerOf(lo) > topo_->LayerOf(hi)) {
+        std::swap(lo, hi);
+      }
+      NodeRole rl = topo_->RoleOf(lo);
+      NodeRole rh = topo_->RoleOf(hi);
+      if (rl == NodeRole::kAgg && rh == NodeRole::kCore) {
+        return LinkLabel(topo_->node(hi).index);  // label == core index
+      }
+      if (rl == NodeRole::kTor && rh == NodeRole::kAgg) {
+        int t = topo_->node(lo).index;
+        int ag = topo_->node(hi).index;
+        return LinkLabel(half * half + t * half + ag);
+      }
+      return kInvalidLabel;
+    }
+    case TopologyKind::kVl2: {
+      const Vl2Meta& m = *topo_->vl2();
+      NodeId lo = a;
+      NodeId hi = b;
+      if (topo_->LayerOf(lo) > topo_->LayerOf(hi)) {
+        std::swap(lo, hi);
+      }
+      if (topo_->RoleOf(lo) == NodeRole::kAgg && topo_->RoleOf(hi) == NodeRole::kIntermediate) {
+        return LinkLabel(topo_->node(lo).index * m.num_intermediates + topo_->node(hi).index);
+      }
+      // ToR-Agg links ride in DSCP, not VLAN labels.
+      return kInvalidLabel;
+    }
+  }
+  return kInvalidLabel;
+}
+
+std::optional<FatTreeLabel> LinkLabelMap::ParseFatTree(LinkLabel label) const {
+  if (topo_->kind() != TopologyKind::kFatTree || label == kInvalidLabel) {
+    return std::nullopt;
+  }
+  const FatTreeMeta& m = *topo_->fat_tree();
+  int half = m.k / 2;
+  FatTreeLabel out;
+  if (int(label) < half * half) {
+    out.type = FatTreeLabelType::kAggCore;
+    out.core_index = int(label);
+    out.agg_index = out.core_index / half;
+    return out;
+  }
+  if (int(label) < 2 * half * half) {
+    int rel = int(label) - half * half;
+    out.type = FatTreeLabelType::kTorAgg;
+    out.tor_index = rel / half;
+    out.agg_index = rel % half;
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<NodeId, NodeId>> LinkLabelMap::GenericEndpoints(LinkLabel label) const {
+  auto it = generic_reverse_.find(label);
+  if (it == generic_reverse_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,97 @@
+// CherryPick global link-label assignment (§3.1, [36]).
+//
+// Trajectory tags carry 12-bit link labels (a VLAN ID), so at most 4,096
+// distinct labels exist — far fewer than physical links in a large fat-tree
+// (55,296 in a 48-ary one).  CherryPick's observation: aggregate switches of
+// different pods interconnect only through cores, so intra-pod link labels
+// can be *reused across pods*, and agg-core links can share a small label
+// space via edge colouring.
+//
+// Label layout used here:
+//
+//  FatTree(k), half = k/2:
+//    * agg-core link (agg index a, core c in group a): label = c.
+//      This is the canonical proper edge colouring of the per-pod agg-core
+//      star forest: every aggregate's uplinks receive distinct labels, and
+//      the same labels repeat in every pod.  Range [0, half^2).
+//    * tor-agg link (tor index t, agg index a): label = half^2 + t*half + a,
+//      reused across pods.  Range [half^2, 2*half^2).
+//    * host-tor links are never sampled and carry no label.
+//    Total: 2*(k/2)^2 labels — k = 90 fits in 12 bits (the paper quotes a
+//    72-port bound because it reserves part of the space).
+//
+//  VL2:
+//    * tor-agg uplinks are sampled into the 6-bit DSCP field: DSCP value =
+//      uplink index + 1 (0 means "DSCP unused").
+//    * agg-intermediate link (agg a, intermediate i): VLAN label =
+//      a * num_intermediates + i (must fit 12 bits; asserted).
+//
+//  Generic topologies: every switch-switch link gets a globally unique
+//  label 1..N (N <= 4095 asserted); host links carry none.
+
+#ifndef PATHDUMP_SRC_TOPOLOGY_LINK_LABELS_H_
+#define PATHDUMP_SRC_TOPOLOGY_LINK_LABELS_H_
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/types.h"
+#include "src/topology/topology.h"
+
+namespace pathdump {
+
+// What kind of link a fat-tree label refers to.
+enum class FatTreeLabelType {
+  kAggCore,
+  kTorAgg,
+};
+
+// Decoded fat-tree label.
+struct FatTreeLabel {
+  FatTreeLabelType type = FatTreeLabelType::kAggCore;
+  int core_index = -1;  // kAggCore: global core index (agg index = core/half)
+  int tor_index = -1;   // kTorAgg: ToR index within pod
+  int agg_index = -1;   // kTorAgg: agg index within pod
+};
+
+// Immutable label map computed from a topology.
+class LinkLabelMap {
+ public:
+  // Computes the label assignment for the given topology (by kind).
+  explicit LinkLabelMap(const Topology* topo);
+
+  // VLAN label of the undirected link {a, b}; kInvalidLabel if the link is
+  // never sampled (host links) or does not exist.
+  LinkLabel LabelOf(NodeId a, NodeId b) const;
+
+  // VL2 only: DSCP value representing ToR->Agg uplink `uplink_index` (0/1).
+  LinkLabel DscpLabelOfUplink(int uplink_index) const { return LinkLabel(uplink_index + 1); }
+  // VL2 only: uplink index from a DSCP value; -1 when DSCP is unused (0).
+  int UplinkIndexOfDscp(LinkLabel dscp) const { return dscp == 0 ? -1 : int(dscp) - 1; }
+
+  // FatTree only: parses a label into its structural components.
+  std::optional<FatTreeLabel> ParseFatTree(LinkLabel label) const;
+
+  // Generic only: endpoints of the uniquely-labelled link.
+  std::optional<std::pair<NodeId, NodeId>> GenericEndpoints(LinkLabel label) const;
+
+  const Topology& topo() const { return *topo_; }
+
+ private:
+  uint64_t Key(NodeId a, NodeId b) const {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    return (uint64_t(a) << 32) | b;
+  }
+
+  const Topology* topo_;
+  // Generic topologies: explicit tables.  Structured ones compute labels.
+  std::unordered_map<uint64_t, LinkLabel> generic_labels_;
+  std::unordered_map<LinkLabel, std::pair<NodeId, NodeId>> generic_reverse_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TOPOLOGY_LINK_LABELS_H_

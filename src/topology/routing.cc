@@ -1,0 +1,366 @@
+#include "src/topology/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "src/topology/fat_tree.h"
+#include "src/topology/vl2.h"
+
+namespace pathdump {
+
+void LinkStateSet::SetDown(NodeId a, NodeId b) { down_.insert(Key(a, b)); }
+void LinkStateSet::SetUp(NodeId a, NodeId b) { down_.erase(Key(a, b)); }
+bool LinkStateSet::IsDown(NodeId a, NodeId b) const { return down_.count(Key(a, b)) > 0; }
+
+Router::Router(const Topology* topo) : topo_(topo) {}
+
+void Router::SetStaticNextHops(SwitchId sw, HostId dst, std::vector<NodeId> prefs) {
+  static_next_hops_[(uint64_t(sw) << 32) | dst] = std::move(prefs);
+}
+
+NodeId Router::PickAlive(SwitchId sw, const std::vector<NodeId>& candidates,
+                         uint64_t entropy) const {
+  std::vector<NodeId> alive;
+  alive.reserve(candidates.size());
+  for (NodeId c : candidates) {
+    if (!links_.IsDown(sw, c)) {
+      alive.push_back(c);
+    }
+  }
+  if (alive.empty()) {
+    return kInvalidNode;
+  }
+  return alive[HashCombine(entropy, sw) % alive.size()];
+}
+
+NodeId Router::NextHop(SwitchId sw, NodeId from, HostId dst, uint64_t entropy) const {
+  auto it = static_next_hops_.find((uint64_t(sw) << 32) | dst);
+  if (it != static_next_hops_.end()) {
+    for (NodeId pref : it->second) {
+      if (!links_.IsDown(sw, pref)) {
+        return pref;
+      }
+    }
+    return kInvalidNode;
+  }
+  switch (topo_->kind()) {
+    case TopologyKind::kFatTree:
+      return NextHopFatTree(sw, from, dst, entropy);
+    case TopologyKind::kVl2:
+      return NextHopVl2(sw, from, dst, entropy);
+    case TopologyKind::kGeneric:
+      return NextHopGeneric(sw, from, dst, entropy);
+  }
+  return kInvalidNode;
+}
+
+NodeId Router::NextHopFatTree(SwitchId sw, NodeId from, HostId dst, uint64_t entropy) const {
+  const FatTreeMeta& m = *topo_->fat_tree();
+  const int half = m.k / 2;
+  const SwitchId dst_tor = topo_->TorOfHost(dst);
+  const int dst_pod = topo_->node(dst_tor).pod;
+  const Node& me = topo_->node(sw);
+
+  switch (me.role) {
+    case NodeRole::kTor: {
+      if (sw == dst_tor) {
+        // Deliver locally if the host link is alive.
+        return links_.IsDown(sw, dst) ? kInvalidNode : dst;
+      }
+      // Upward.  Aggregates of my pod, all candidates under ECMP.
+      const std::vector<NodeId>& aggs = m.agg[size_t(me.pod)];
+      if (from != kInvalidNode && topo_->RoleOf(from) == NodeRole::kAgg) {
+        // Bounce: arrived from above but the destination is not local.
+        // Deterministic failover: next agg index after the one we came from.
+        int from_idx = topo_->node(from).index;
+        for (int step = 1; step <= half; ++step) {
+          NodeId cand = aggs[size_t((from_idx + step) % half)];
+          if (cand != from && !links_.IsDown(sw, cand)) {
+            return cand;
+          }
+        }
+        return kInvalidNode;
+      }
+      return PickAlive(sw, aggs, entropy);
+    }
+    case NodeRole::kAgg: {
+      if (me.pod == dst_pod) {
+        // Down toward the destination ToR.
+        if (!links_.IsDown(sw, dst_tor)) {
+          return dst_tor;
+        }
+        // Down-link dead: bounce via the next ToR, which will re-ascend.
+        // In a k=4 pod the only other ToR may be the one we came from;
+        // bouncing straight back is then legal (it will pick another agg).
+        int want = topo_->node(dst_tor).index;
+        const std::vector<NodeId>& tors = m.tor[size_t(me.pod)];
+        for (int step = 1; step <= half; ++step) {
+          NodeId cand = tors[size_t((want + step) % half)];
+          if (cand != from && cand != dst_tor && !links_.IsDown(sw, cand)) {
+            return cand;
+          }
+        }
+        if (from != kInvalidNode && topo_->RoleOf(from) == NodeRole::kTor &&
+            !links_.IsDown(sw, from)) {
+          return from;
+        }
+        return kInvalidNode;
+      }
+      // Up toward my core group.
+      std::vector<NodeId> cores;
+      cores.reserve(size_t(half));
+      for (int j = 0; j < half; ++j) {
+        cores.push_back(m.core[size_t(me.index * half + j)]);
+      }
+      NodeId up = PickAlive(sw, cores, entropy);
+      if (up != kInvalidNode) {
+        return up;
+      }
+      // All uplinks dead: bounce down via another ToR of my pod.
+      int from_idx =
+          (from != kInvalidNode && topo_->RoleOf(from) == NodeRole::kTor) ? topo_->node(from).index
+                                                                          : 0;
+      const std::vector<NodeId>& tors = m.tor[size_t(me.pod)];
+      for (int step = 1; step <= half; ++step) {
+        NodeId cand = tors[size_t((from_idx + step) % half)];
+        if (cand != from && !links_.IsDown(sw, cand)) {
+          return cand;
+        }
+      }
+      return kInvalidNode;
+    }
+    case NodeRole::kCore: {
+      // Single route down: the agg of my group in the destination pod.
+      NodeId agg = m.agg[size_t(dst_pod)][size_t(me.index / half)];
+      return links_.IsDown(sw, agg) ? kInvalidNode : agg;
+    }
+    default:
+      return kInvalidNode;
+  }
+}
+
+NodeId Router::NextHopVl2(SwitchId sw, NodeId from, HostId dst, uint64_t entropy) const {
+  const Vl2Meta& m = *topo_->vl2();
+  const SwitchId dst_tor = topo_->TorOfHost(dst);
+  const Node& me = topo_->node(sw);
+  (void)from;
+
+  switch (me.role) {
+    case NodeRole::kTor: {
+      if (sw == dst_tor) {
+        return links_.IsDown(sw, dst) ? kInvalidNode : dst;
+      }
+      auto [a0, a1] = vl2::AggsOfTor(*topo_, sw);
+      // If we share an aggregate with the destination ToR, go via it.
+      auto [d0, d1] = vl2::AggsOfTor(*topo_, dst_tor);
+      std::vector<NodeId> shared;
+      for (NodeId mine : {a0, a1}) {
+        if (mine == d0 || mine == d1) {
+          shared.push_back(mine);
+        }
+      }
+      if (!shared.empty()) {
+        NodeId pick = PickAlive(sw, shared, entropy);
+        if (pick != kInvalidNode) {
+          return pick;
+        }
+      }
+      return PickAlive(sw, {a0, a1}, entropy);
+    }
+    case NodeRole::kAgg: {
+      // Down if the destination ToR is adjacent; else up to an intermediate.
+      if (topo_->Adjacent(sw, dst_tor) && !links_.IsDown(sw, dst_tor)) {
+        return dst_tor;
+      }
+      return PickAlive(sw, m.intermediate, entropy);
+    }
+    case NodeRole::kIntermediate: {
+      auto [d0, d1] = vl2::AggsOfTor(*topo_, dst_tor);
+      return PickAlive(sw, {d0, d1}, entropy);
+    }
+    default:
+      return kInvalidNode;
+  }
+}
+
+const std::vector<std::vector<NodeId>>& Router::GenericNextHops(HostId dst) const {
+  auto it = generic_table_.find(dst);
+  if (it != generic_table_.end()) {
+    return it->second;
+  }
+  // Reverse BFS from dst over the full graph; next hops = neighbors one
+  // step closer to dst.
+  size_t n = topo_->node_count();
+  std::vector<int> dist(n, -1);
+  std::deque<NodeId> q;
+  dist[dst] = 0;
+  q.push_back(dst);
+  while (!q.empty()) {
+    NodeId cur = q.front();
+    q.pop_front();
+    for (NodeId nb : topo_->NeighborsOf(cur)) {
+      if (dist[nb] < 0) {
+        // Do not route *through* hosts.
+        if (topo_->IsHost(nb) && nb != dst) {
+          dist[nb] = dist[cur] + 1;  // reachable but not expandable
+          continue;
+        }
+        dist[nb] = dist[cur] + 1;
+        q.push_back(nb);
+      }
+    }
+  }
+  std::vector<std::vector<NodeId>> table(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dist[v] < 0 || topo_->IsHost(v)) {
+      continue;
+    }
+    for (NodeId nb : topo_->NeighborsOf(v)) {
+      if (dist[nb] >= 0 && dist[nb] == dist[v] - 1) {
+        table[v].push_back(nb);
+      }
+    }
+  }
+  auto [ins, unused] = generic_table_.emplace(dst, std::move(table));
+  (void)unused;
+  return ins->second;
+}
+
+NodeId Router::NextHopGeneric(SwitchId sw, NodeId from, HostId dst, uint64_t entropy) const {
+  (void)from;
+  const auto& table = GenericNextHops(dst);
+  return PickAlive(sw, table[sw], entropy);
+}
+
+Path Router::WalkPath(HostId src, HostId dst, uint64_t entropy, int max_hops) const {
+  Path path;
+  if (src == dst) {
+    return path;
+  }
+  NodeId prev = src;
+  NodeId cur = topo_->TorOfHost(src);
+  for (int hop = 0; hop < max_hops; ++hop) {
+    path.push_back(cur);
+    NodeId next = NextHop(cur, prev, dst, entropy);
+    if (next == kInvalidNode) {
+      return {};
+    }
+    if (next == dst) {
+      return path;
+    }
+    prev = cur;
+    cur = next;
+  }
+  return {};
+}
+
+int Router::ShortestPathSwitchCount(HostId src, HostId dst) const {
+  std::vector<Path> paths = EcmpPaths(src, dst);
+  if (paths.empty()) {
+    return -1;
+  }
+  return int(paths.front().size());
+}
+
+std::vector<Path> Router::EcmpPaths(HostId src, HostId dst) const {
+  std::vector<Path> out;
+  if (src == dst) {
+    return out;
+  }
+  const SwitchId src_tor = topo_->TorOfHost(src);
+  const SwitchId dst_tor = topo_->TorOfHost(dst);
+
+  if (topo_->kind() == TopologyKind::kFatTree) {
+    const FatTreeMeta& m = *topo_->fat_tree();
+    const int half = m.k / 2;
+    if (src_tor == dst_tor) {
+      out.push_back({src_tor});
+      return out;
+    }
+    int sp = topo_->node(src_tor).pod;
+    int dp = topo_->node(dst_tor).pod;
+    if (sp == dp) {
+      for (int a = 0; a < half; ++a) {
+        out.push_back({src_tor, m.agg[size_t(sp)][size_t(a)], dst_tor});
+      }
+      return out;
+    }
+    for (int a = 0; a < half; ++a) {
+      for (int j = 0; j < half; ++j) {
+        NodeId core = m.core[size_t(a * half + j)];
+        out.push_back(
+            {src_tor, m.agg[size_t(sp)][size_t(a)], core, m.agg[size_t(dp)][size_t(a)], dst_tor});
+      }
+    }
+    return out;
+  }
+
+  if (topo_->kind() == TopologyKind::kVl2) {
+    const Vl2Meta& m = *topo_->vl2();
+    if (src_tor == dst_tor) {
+      out.push_back({src_tor});
+      return out;
+    }
+    auto [s0, s1] = vl2::AggsOfTor(*topo_, src_tor);
+    auto [d0, d1] = vl2::AggsOfTor(*topo_, dst_tor);
+    std::vector<NodeId> shared;
+    for (NodeId mine : {s0, s1}) {
+      if (mine == d0 || mine == d1) {
+        shared.push_back(mine);
+      }
+    }
+    if (!shared.empty()) {
+      for (NodeId a : shared) {
+        out.push_back({src_tor, a, dst_tor});
+      }
+      return out;
+    }
+    for (NodeId up : {s0, s1}) {
+      for (NodeId mid : m.intermediate) {
+        for (NodeId down : {d0, d1}) {
+          out.push_back({src_tor, up, mid, down, dst_tor});
+        }
+      }
+    }
+    return out;
+  }
+
+  // Generic: enumerate all shortest switch paths src_tor..dst_tor via BFS
+  // layering (host links excluded except at the endpoints).
+  const auto& table = GenericNextHops(dst);
+  // Walk the DAG of shortest-path next hops from src_tor.
+  Path cur{src_tor};
+  // Depth-first expansion; topologies here are small.
+  struct Frame {
+    NodeId node;
+    size_t next_index;
+  };
+  std::vector<Frame> stack{{src_tor, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.node == dst_tor) {
+      out.push_back(cur);
+      stack.pop_back();
+      cur.pop_back();
+      continue;
+    }
+    const std::vector<NodeId>& nexts = table[f.node];
+    if (f.next_index >= nexts.size()) {
+      stack.pop_back();
+      cur.pop_back();
+      continue;
+    }
+    NodeId nb = nexts[f.next_index++];
+    if (topo_->IsHost(nb)) {
+      // Next hop is the destination host itself; the path ends at f.node,
+      // which must be dst_tor (handled above) — skip otherwise.
+      continue;
+    }
+    stack.push_back({nb, 0});
+    cur.push_back(nb);
+  }
+  return out;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,113 @@
+// Routing: per-switch next-hop selection and equal-cost path enumeration.
+//
+// The data plane in PathDump is deliberately dumb: static forwarding with
+// ECMP or per-packet spraying, plus deterministic local failover when a link
+// is down (the paper's Fig. 4 scenario: "we implement a simple failover
+// mechanism in switches with a few flow rules").  The failover policy is
+// deterministic *by design* — the paper stores forwarding-policy
+// configuration at the end hosts (§2.2) so the trajectory decoder can expand
+// the unlabelled leg after a bounce.
+//
+// Failover rules (fat-tree):
+//  * ToR, up direction: pick the next alive uplink by ECMP index.
+//  * Agg in dst pod, down-link to the destination ToR dead: bounce the
+//    packet down to ToR (dst_tor_index + 1) % half (first alive), which
+//    sends it back up — a 2-hop detour.
+//  * Agg in src pod with all uplinks dead: bounce down to ToR
+//    (ingress_tor_index + 1) % half, which picks a different aggregate —
+//    a 2-hop detour.
+
+#ifndef PATHDUMP_SRC_TOPOLOGY_ROUTING_H_
+#define PATHDUMP_SRC_TOPOLOGY_ROUTING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/topology/topology.h"
+
+namespace pathdump {
+
+// How a switch picks among equal-cost uplinks.
+enum class LoadBalanceMode {
+  kEcmpHash,     // per-flow hash (stable path per flow)
+  kPacketSpray,  // per-packet random (Dixit et al. [15])
+};
+
+// Mutable view of which physical links are administratively down.
+class LinkStateSet {
+ public:
+  // Marks the undirected link {a, b} down / up.
+  void SetDown(NodeId a, NodeId b);
+  void SetUp(NodeId a, NodeId b);
+  bool IsDown(NodeId a, NodeId b) const;
+  bool empty() const { return down_.empty(); }
+  void Clear() { down_.clear(); }
+
+ private:
+  static uint64_t Key(NodeId a, NodeId b) {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    return (uint64_t(a) << 32) | b;
+  }
+  std::unordered_set<uint64_t> down_;
+};
+
+// Stateless-per-packet router over a static topology + link state.
+class Router {
+ public:
+  explicit Router(const Topology* topo);
+
+  LinkStateSet& link_state() { return links_; }
+  const LinkStateSet& link_state() const { return links_; }
+
+  // Installs an explicit preference list of next hops for (switch, dst
+  // host); the first alive entry wins.  Used by hand-built scenarios
+  // (Fig. 4 failover, Fig. 9 routing loops) to pin exact behaviour.
+  void SetStaticNextHops(SwitchId sw, HostId dst, std::vector<NodeId> prefs);
+
+  // Next hop for a packet at `sw` that arrived from `from` (kInvalidNode for
+  // locally originated) heading to host `dst`.  `entropy` disambiguates
+  // equal-cost choices: for kEcmpHash pass a per-flow hash, for kPacketSpray
+  // pass a fresh random number per packet.  Returns kInvalidNode when the
+  // switch has no viable route (routing blackhole).
+  NodeId NextHop(SwitchId sw, NodeId from, HostId dst, uint64_t entropy) const;
+
+  // All equal-cost shortest paths (switch sequences, failures ignored)
+  // between two distinct hosts.  These are the paths ECMP/spraying can use.
+  std::vector<Path> EcmpPaths(HostId src, HostId dst) const;
+
+  // The exact switch path a packet with this entropy takes hop by hop —
+  // including deterministic failover detours around down links.  Empty on
+  // routing failure.  This is the path the per-packet simulator realizes;
+  // the flow-level engine uses it so both engines agree per flow.
+  Path WalkPath(HostId src, HostId dst, uint64_t entropy, int max_hops = 16) const;
+
+  // Number of switches on a shortest path between the hosts.
+  int ShortestPathSwitchCount(HostId src, HostId dst) const;
+
+ private:
+  NodeId NextHopFatTree(SwitchId sw, NodeId from, HostId dst, uint64_t entropy) const;
+  NodeId NextHopVl2(SwitchId sw, NodeId from, HostId dst, uint64_t entropy) const;
+  NodeId NextHopGeneric(SwitchId sw, NodeId from, HostId dst, uint64_t entropy) const;
+
+  // Picks candidates[HashCombine(entropy, salt) % n] after filtering dead
+  // links from `sw`; returns kInvalidNode if none alive.
+  NodeId PickAlive(SwitchId sw, const std::vector<NodeId>& candidates, uint64_t entropy) const;
+
+  // Generic-topology shortest-path next hops toward each host (lazy BFS).
+  const std::vector<std::vector<NodeId>>& GenericNextHops(HostId dst) const;
+
+  const Topology* topo_;
+  LinkStateSet links_;
+  std::unordered_map<uint64_t, std::vector<NodeId>> static_next_hops_;
+  // dst host -> per-node list of shortest-path next hops (generic only).
+  mutable std::unordered_map<HostId, std::vector<std::vector<NodeId>>> generic_table_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TOPOLOGY_ROUTING_H_

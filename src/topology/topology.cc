@@ -1,0 +1,132 @@
+#include "src/topology/topology.h"
+
+#include <algorithm>
+
+namespace pathdump {
+
+const char* NodeRoleName(NodeRole role) {
+  switch (role) {
+    case NodeRole::kHost:
+      return "host";
+    case NodeRole::kTor:
+      return "tor";
+    case NodeRole::kAgg:
+      return "agg";
+    case NodeRole::kCore:
+      return "core";
+    case NodeRole::kIntermediate:
+      return "int";
+  }
+  return "?";
+}
+
+NodeId Topology::AddSwitch(NodeRole role, int pod, int index, std::string name) {
+  NodeId id = NodeId(nodes_.size());
+  Node n;
+  n.role = role;
+  n.pod = pod;
+  n.index = index;
+  n.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  switches_.push_back(id);
+  return id;
+}
+
+NodeId Topology::AddHost(int pod, int index, std::string name) {
+  NodeId id = NodeId(nodes_.size());
+  Node n;
+  n.role = NodeRole::kHost;
+  n.pod = pod;
+  n.index = index;
+  n.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  hosts_.push_back(id);
+  return id;
+}
+
+void Topology::AddLink(NodeId a, NodeId b) {
+  nodes_[a].neighbors.push_back(b);
+  nodes_[b].neighbors.push_back(a);
+  ++link_count_;
+}
+
+int Topology::PortTo(NodeId from, NodeId to) const {
+  const auto& nbrs = nodes_[from].neighbors;
+  auto it = std::find(nbrs.begin(), nbrs.end(), to);
+  if (it == nbrs.end()) {
+    return -1;
+  }
+  return int(it - nbrs.begin());
+}
+
+std::vector<HostId> Topology::HostsOfTor(SwitchId tor) const {
+  std::vector<HostId> out;
+  for (NodeId n : nodes_[tor].neighbors) {
+    if (IsHost(n)) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+HostId Topology::HostOfIp(IpAddr ip) const {
+  if ((ip & 0xFF000000u) != kHostIpBase) {
+    return kInvalidNode;
+  }
+  NodeId id = ip & 0x00FFFFFFu;
+  if (id >= nodes_.size() || !IsHost(id)) {
+    return kInvalidNode;
+  }
+  return id;
+}
+
+std::vector<LinkId> Topology::AllDirectedLinks() const {
+  std::vector<LinkId> out;
+  for (NodeId a = 0; a < nodes_.size(); ++a) {
+    for (NodeId b : nodes_[a].neighbors) {
+      out.push_back(LinkId{a, b});
+    }
+  }
+  return out;
+}
+
+std::vector<LinkId> Topology::AllUndirectedLinks() const {
+  std::vector<LinkId> out;
+  for (NodeId a = 0; a < nodes_.size(); ++a) {
+    for (NodeId b : nodes_[a].neighbors) {
+      if (a < b) {
+        out.push_back(LinkId{a, b});
+      }
+    }
+  }
+  return out;
+}
+
+int Topology::LayerOf(NodeId id) const {
+  switch (nodes_[id].role) {
+    case NodeRole::kHost:
+      return 0;
+    case NodeRole::kTor:
+      return 1;
+    case NodeRole::kAgg:
+      return 2;
+    case NodeRole::kCore:
+    case NodeRole::kIntermediate:
+      return 3;
+  }
+  return 0;
+}
+
+bool Topology::IsAbove(NodeId a, NodeId b) const { return LayerOf(a) > LayerOf(b); }
+
+std::string Topology::NameOf(NodeId id) const {
+  const Node& n = nodes_[id];
+  if (!n.name.empty()) {
+    return n.name;
+  }
+  std::string s = NodeRoleName(n.role);
+  s += std::to_string(id);
+  return s;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,155 @@
+// Static datacenter topology graph.
+//
+// PathDump keeps a static view of the physical topology at every edge device
+// (§2.2); it is the "ground truth" against which extracted trajectories are
+// validated and from which sampled link IDs are expanded into full paths.
+//
+// A Topology is a bidirectional graph of nodes (hosts and switches) with
+// per-node role/pod/layer-index metadata.  Builders for the two structured
+// topologies the paper supports (FatTree, VL2) live in fat_tree.h / vl2.h;
+// arbitrary small topologies (used by the paper's Fig. 4 and Fig. 9
+// scenarios) can be assembled by hand with AddSwitch/AddHost/AddLink.
+
+#ifndef PATHDUMP_SRC_TOPOLOGY_TOPOLOGY_H_
+#define PATHDUMP_SRC_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace pathdump {
+
+// Role of a node in the topology.  kIntermediate is VL2's top layer.
+enum class NodeRole : uint8_t {
+  kHost,
+  kTor,
+  kAgg,
+  kCore,
+  kIntermediate,
+};
+
+const char* NodeRoleName(NodeRole role);
+
+// Which topology family a Topology instance belongs to.  The CherryPick
+// codec keys its sampling rules and label layout off this.
+enum class TopologyKind : uint8_t {
+  kGeneric,
+  kFatTree,
+  kVl2,
+};
+
+// Per-node record.
+struct Node {
+  NodeRole role = NodeRole::kHost;
+  // Pod number for podded roles (FatTree ToR/Agg; VL2 has pod = 0).
+  int pod = -1;
+  // Index of the node within (role, pod), e.g. "2nd aggregate in pod 3".
+  int index = -1;
+  std::string name;
+  // Neighbors in port order: neighbors[p] is the node on port p.
+  std::vector<NodeId> neighbors;
+};
+
+// Structural metadata for FatTree(k).
+struct FatTreeMeta {
+  int k = 0;                                      // switch port count (even)
+  int pods = 0;                                   // == k
+  int tors_per_pod = 0;                           // == k/2
+  int aggs_per_pod = 0;                           // == k/2
+  int hosts_per_tor = 0;                          // == k/2
+  int cores = 0;                                  // == (k/2)^2
+  std::vector<std::vector<NodeId>> tor;           // tor[pod][i]
+  std::vector<std::vector<NodeId>> agg;           // agg[pod][i]
+  std::vector<NodeId> core;                       // core[c]; group(c) = c/(k/2)
+};
+
+// Structural metadata for VL2(num_tors, num_aggs, num_intermediates).
+struct Vl2Meta {
+  int num_tors = 0;
+  int num_aggs = 0;
+  int num_intermediates = 0;
+  int hosts_per_tor = 0;
+  std::vector<NodeId> tor;
+  std::vector<NodeId> agg;
+  std::vector<NodeId> intermediate;
+};
+
+// Immutable once built; all simulator components share a const reference.
+class Topology {
+ public:
+  // --- Construction (used by builders and hand-written scenarios) ---
+
+  // Adds a switch with the given role; returns its NodeId.
+  NodeId AddSwitch(NodeRole role, int pod = -1, int index = -1, std::string name = "");
+  // Adds a host attached later via AddLink; returns its NodeId.
+  NodeId AddHost(int pod = -1, int index = -1, std::string name = "");
+  // Adds a bidirectional link; allocates one port on each endpoint.
+  void AddLink(NodeId a, NodeId b);
+
+  void set_kind(TopologyKind kind) { kind_ = kind; }
+  void set_fat_tree_meta(FatTreeMeta meta) { fat_tree_ = std::move(meta); }
+  void set_vl2_meta(Vl2Meta meta) { vl2_ = std::move(meta); }
+
+  // --- Accessors ---
+
+  TopologyKind kind() const { return kind_; }
+  size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  bool IsHost(NodeId id) const { return nodes_[id].role == NodeRole::kHost; }
+  bool IsSwitch(NodeId id) const { return !IsHost(id); }
+  NodeRole RoleOf(NodeId id) const { return nodes_[id].role; }
+
+  const std::vector<HostId>& hosts() const { return hosts_; }
+  const std::vector<SwitchId>& switches() const { return switches_; }
+
+  // Port on `from` that faces `to`, or -1 if not adjacent.
+  int PortTo(NodeId from, NodeId to) const;
+  bool Adjacent(NodeId a, NodeId b) const { return PortTo(a, b) >= 0; }
+  const std::vector<NodeId>& NeighborsOf(NodeId id) const { return nodes_[id].neighbors; }
+
+  // The ToR a host hangs off (hosts have exactly one link).
+  SwitchId TorOfHost(HostId h) const { return nodes_[h].neighbors.at(0); }
+  // Hosts directly attached to a ToR.
+  std::vector<HostId> HostsOfTor(SwitchId tor) const;
+
+  // IP address assignment: host h <-> kHostIpBase | h.
+  IpAddr IpOfHost(HostId h) const { return kHostIpBase | h; }
+  // Returns kInvalidNode for addresses outside the host range.
+  HostId HostOfIp(IpAddr ip) const;
+
+  // Total number of bidirectional links.
+  size_t link_count() const { return link_count_; }
+
+  // Returns all directed links (both directions of every physical link).
+  std::vector<LinkId> AllDirectedLinks() const;
+  // Returns one direction (src < dst) per physical link.
+  std::vector<LinkId> AllUndirectedLinks() const;
+
+  // Layer comparison: true if `a` is strictly above `b` in the hierarchy
+  // (host < ToR < Agg < Core/Intermediate).  Generic topologies have no
+  // defined layers and always return false.
+  bool IsAbove(NodeId a, NodeId b) const;
+  // Numeric layer: host=0, ToR=1, Agg=2, Core/Intermediate=3.
+  int LayerOf(NodeId id) const;
+
+  const std::optional<FatTreeMeta>& fat_tree() const { return fat_tree_; }
+  const std::optional<Vl2Meta>& vl2() const { return vl2_; }
+
+  std::string NameOf(NodeId id) const;
+
+ private:
+  TopologyKind kind_ = TopologyKind::kGeneric;
+  std::vector<Node> nodes_;
+  std::vector<HostId> hosts_;
+  std::vector<SwitchId> switches_;
+  size_t link_count_ = 0;
+  std::optional<FatTreeMeta> fat_tree_;
+  std::optional<Vl2Meta> vl2_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TOPOLOGY_TOPOLOGY_H_

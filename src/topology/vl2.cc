@@ -1,0 +1,58 @@
+#include "src/topology/vl2.h"
+
+#include <cassert>
+#include <string>
+
+namespace pathdump {
+
+Topology BuildVl2(int num_tors, int num_aggs, int num_intermediates, int hosts_per_tor) {
+  assert(num_tors >= 1 && num_aggs >= 2 && num_intermediates >= 1 && hosts_per_tor >= 1);
+  Topology topo;
+  topo.set_kind(TopologyKind::kVl2);
+
+  Vl2Meta meta;
+  meta.num_tors = num_tors;
+  meta.num_aggs = num_aggs;
+  meta.num_intermediates = num_intermediates;
+  meta.hosts_per_tor = hosts_per_tor;
+
+  for (int i = 0; i < num_intermediates; ++i) {
+    meta.intermediate.push_back(
+        topo.AddSwitch(NodeRole::kIntermediate, /*pod=*/0, i, "I" + std::to_string(i)));
+  }
+  for (int a = 0; a < num_aggs; ++a) {
+    meta.agg.push_back(topo.AddSwitch(NodeRole::kAgg, /*pod=*/0, a, "A" + std::to_string(a)));
+    // Aggregates connect to every intermediate.
+    for (int i = 0; i < num_intermediates; ++i) {
+      topo.AddLink(meta.agg.back(), meta.intermediate[size_t(i)]);
+    }
+  }
+  for (int t = 0; t < num_tors; ++t) {
+    NodeId tor = topo.AddSwitch(NodeRole::kTor, /*pod=*/0, t, "T" + std::to_string(t));
+    meta.tor.push_back(tor);
+    topo.AddLink(tor, meta.agg[size_t((2 * t) % num_aggs)]);
+    topo.AddLink(tor, meta.agg[size_t((2 * t + 1) % num_aggs)]);
+  }
+  for (int t = 0; t < num_tors; ++t) {
+    for (int h = 0; h < hosts_per_tor; ++h) {
+      NodeId host = topo.AddHost(0, t * hosts_per_tor + h,
+                                 "H" + std::to_string(t) + "." + std::to_string(h));
+      topo.AddLink(host, meta.tor[size_t(t)]);
+    }
+  }
+
+  topo.set_vl2_meta(std::move(meta));
+  return topo;
+}
+
+namespace vl2 {
+
+std::pair<NodeId, NodeId> AggsOfTor(const Topology& topo, NodeId tor) {
+  const Vl2Meta& m = *topo.vl2();
+  int t = topo.node(tor).index;
+  return {m.agg[size_t((2 * t) % m.num_aggs)], m.agg[size_t((2 * t + 1) % m.num_aggs)]};
+}
+
+}  // namespace vl2
+
+}  // namespace pathdump

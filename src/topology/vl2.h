@@ -1,0 +1,31 @@
+// VL2 topology builder.
+//
+// VL2 (Greenberg et al.) is a Clos with three switch layers: ToRs connect to
+// two aggregate switches; every aggregate connects to every intermediate
+// switch.  PathDump traces VL2 paths with the DSCP field (first sampled
+// link, the ToR->Agg uplink) plus two VLAN tags (§3.1).
+
+#ifndef PATHDUMP_SRC_TOPOLOGY_VL2_H_
+#define PATHDUMP_SRC_TOPOLOGY_VL2_H_
+
+#include "src/topology/topology.h"
+
+namespace pathdump {
+
+// Builds a VL2 instance.
+//   num_tors:           number of ToR switches (each with hosts_per_tor hosts)
+//   num_aggs:           number of aggregate switches (>= 2)
+//   num_intermediates:  number of intermediate (top-layer) switches
+// ToR t uplinks to aggregates (2t) % num_aggs and (2t+1) % num_aggs.
+Topology BuildVl2(int num_tors, int num_aggs, int num_intermediates, int hosts_per_tor);
+
+namespace vl2 {
+
+// The two aggregates ToR t connects to, in uplink order (uplink 0, uplink 1).
+std::pair<NodeId, NodeId> AggsOfTor(const Topology& topo, NodeId tor);
+
+}  // namespace vl2
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TOPOLOGY_VL2_H_

@@ -1,0 +1,50 @@
+#include "src/workload/flow_size.h"
+
+#include <cmath>
+
+namespace pathdump {
+
+WebSearchFlowSizes::WebSearchFlowSizes() {
+  // CDF knots (fraction of flows, size in bytes) approximating the
+  // web-search workload of [10]/pFabric.
+  points_ = {
+      {0.00, 1e3},   {0.15, 6e3},   {0.20, 13e3},  {0.30, 19e3},  {0.40, 33e3},
+      {0.53, 53e3},  {0.60, 133e3}, {0.70, 667e3}, {0.80, 1467e3}, {0.90, 3333e3},
+      {0.97, 6667e3}, {1.00, 20000e3},
+  };
+  // Numeric mean via fine quantile integration.
+  double acc = 0;
+  const int steps = 10000;
+  Rng tmp(7);
+  for (int i = 0; i < steps; ++i) {
+    double u = (double(i) + 0.5) / double(steps);
+    // Inline inverse CDF (same as Sample's math).
+    for (size_t j = 1; j < points_.size(); ++j) {
+      if (u <= points_[j].cdf) {
+        double f = (u - points_[j - 1].cdf) / (points_[j].cdf - points_[j - 1].cdf);
+        double lo = std::log(points_[j - 1].bytes);
+        double hi = std::log(points_[j].bytes);
+        acc += std::exp(lo + f * (hi - lo));
+        break;
+      }
+    }
+  }
+  mean_ = acc / double(steps);
+}
+
+uint64_t WebSearchFlowSizes::Sample(Rng& rng) const {
+  double u = rng.Uniform01();
+  for (size_t j = 1; j < points_.size(); ++j) {
+    if (u <= points_[j].cdf) {
+      double f = (u - points_[j - 1].cdf) / (points_[j].cdf - points_[j - 1].cdf);
+      double lo = std::log(points_[j - 1].bytes);
+      double hi = std::log(points_[j].bytes);
+      return uint64_t(std::exp(lo + f * (hi - lo)));
+    }
+  }
+  return uint64_t(points_.back().bytes);
+}
+
+double WebSearchFlowSizes::MeanBytes() const { return mean_; }
+
+}  // namespace pathdump

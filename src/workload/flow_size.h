@@ -1,0 +1,72 @@
+// Flow-size distributions for workload generation.
+//
+// The paper generates traffic "based on the web traffic model in [10]"
+// (pFabric / DCTCP web-search): heavy-tailed, mostly sub-100 KB flows with
+// a tail of multi-MB responses.  WebSearchFlowSizes samples from a
+// piecewise log-linear fit of that distribution's published CDF.
+
+#ifndef PATHDUMP_SRC_WORKLOAD_FLOW_SIZE_H_
+#define PATHDUMP_SRC_WORKLOAD_FLOW_SIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace pathdump {
+
+// Interface: samples one flow size in bytes.
+class FlowSizeSampler {
+ public:
+  virtual ~FlowSizeSampler() = default;
+  virtual uint64_t Sample(Rng& rng) const = 0;
+  // Mean flow size (bytes), used for load calibration.
+  virtual double MeanBytes() const = 0;
+};
+
+// Web-search workload [10]: piecewise log-linear inverse CDF.
+class WebSearchFlowSizes : public FlowSizeSampler {
+ public:
+  WebSearchFlowSizes();
+  uint64_t Sample(Rng& rng) const override;
+  double MeanBytes() const override;
+
+ private:
+  struct Point {
+    double cdf;
+    double bytes;
+  };
+  std::vector<Point> points_;
+  double mean_ = 0;
+};
+
+// Fixed-size flows (microbenchmarks, spray experiments).
+class FixedFlowSizes : public FlowSizeSampler {
+ public:
+  explicit FixedFlowSizes(uint64_t bytes) : bytes_(bytes) {}
+  uint64_t Sample(Rng&) const override { return bytes_; }
+  double MeanBytes() const override { return double(bytes_); }
+
+ private:
+  uint64_t bytes_;
+};
+
+// Pareto-distributed flow sizes (sensitivity experiments).
+class ParetoFlowSizes : public FlowSizeSampler {
+ public:
+  ParetoFlowSizes(uint64_t min_bytes, double alpha) : min_(min_bytes), alpha_(alpha) {}
+  uint64_t Sample(Rng& rng) const override {
+    return uint64_t(rng.Pareto(double(min_), alpha_));
+  }
+  double MeanBytes() const override {
+    return alpha_ > 1 ? alpha_ * double(min_) / (alpha_ - 1) : double(min_) * 10;
+  }
+
+ private:
+  uint64_t min_;
+  double alpha_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_WORKLOAD_FLOW_SIZE_H_

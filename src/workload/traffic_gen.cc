@@ -1,0 +1,78 @@
+#include "src/workload/traffic_gen.h"
+
+#include <algorithm>
+
+namespace pathdump {
+
+std::vector<FlowDesc> TrafficGenerator::Generate(const TrafficParams& params) const {
+  Rng rng(params.seed);
+  std::vector<FlowDesc> out;
+  const std::vector<HostId>& sources =
+      params.sources.empty() ? topo_->hosts() : params.sources;
+  const std::vector<HostId>& all_hosts = topo_->hosts();
+
+  double mean_gap_ns = double(kNsPerSec) / std::max(params.flows_per_sec_per_host, 1e-9);
+  uint16_t next_port = 10000;
+
+  for (HostId src : sources) {
+    SimTime t = SimTime(rng.Exponential(mean_gap_ns));
+    while (t < params.duration) {
+      FlowDesc f;
+      f.src = src;
+      f.start = t;
+      f.bytes = std::max<uint64_t>(sizes_->Sample(rng), 64);
+
+      // Destination per policy.
+      switch (params.dst_policy) {
+        case DstPolicy::kFixed:
+          f.dst = params.fixed_dst;
+          break;
+        case DstPolicy::kInterPod: {
+          int my_pod = topo_->node(topo_->TorOfHost(src)).pod;
+          HostId dst = src;
+          for (int attempts = 0; attempts < 64; ++attempts) {
+            dst = all_hosts[rng.UniformInt(uint32_t(all_hosts.size()))];
+            if (dst != src && topo_->node(topo_->TorOfHost(dst)).pod != my_pod) {
+              break;
+            }
+          }
+          f.dst = dst;
+          break;
+        }
+        case DstPolicy::kUniformOther:
+        default: {
+          HostId dst = src;
+          while (dst == src) {
+            dst = all_hosts[rng.UniformInt(uint32_t(all_hosts.size()))];
+          }
+          f.dst = dst;
+          break;
+        }
+      }
+      if (f.dst == src || f.dst == kInvalidNode) {
+        t += SimTime(rng.Exponential(mean_gap_ns));
+        continue;
+      }
+      f.tuple.src_ip = topo_->IpOfHost(f.src);
+      f.tuple.dst_ip = topo_->IpOfHost(f.dst);
+      f.tuple.src_port = next_port++;
+      if (next_port < 10000) {
+        next_port = 10000;  // wrapped
+      }
+      f.tuple.dst_port = 80;
+      f.tuple.protocol = kProtoTcp;
+      out.push_back(f);
+      t += SimTime(rng.Exponential(mean_gap_ns));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlowDesc& a, const FlowDesc& b) { return a.start < b.start; });
+  return out;
+}
+
+double TrafficGenerator::RateForLoad(double utilization, double link_bps) const {
+  double mean_bits = sizes_->MeanBytes() * 8.0;
+  return utilization * link_bps / mean_bits;
+}
+
+}  // namespace pathdump

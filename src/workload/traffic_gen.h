@@ -1,0 +1,64 @@
+// Flow arrival generation.
+//
+// Produces time-ordered FlowDesc lists: Poisson arrivals per source host
+// (the paper estimates ~67 flows/s/server from [19]), destinations drawn
+// by policy, sizes from a FlowSizeSampler.
+
+#ifndef PATHDUMP_SRC_WORKLOAD_TRAFFIC_GEN_H_
+#define PATHDUMP_SRC_WORKLOAD_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/topology/topology.h"
+#include "src/workload/flow_size.h"
+
+namespace pathdump {
+
+struct FlowDesc {
+  FiveTuple tuple;
+  HostId src = kInvalidNode;
+  HostId dst = kInvalidNode;
+  uint64_t bytes = 0;
+  SimTime start = 0;
+};
+
+enum class DstPolicy {
+  kUniformOther,  // any other host
+  kInterPod,      // host in a different pod (fat-tree only)
+  kFixed,         // everyone talks to fixed_dst
+};
+
+struct TrafficParams {
+  double flows_per_sec_per_host = 10.0;
+  SimTime duration = 10 * kNsPerSec;
+  DstPolicy dst_policy = DstPolicy::kUniformOther;
+  HostId fixed_dst = kInvalidNode;
+  // Sources; empty = all hosts of the topology.
+  std::vector<HostId> sources;
+  uint64_t seed = 1;
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const Topology* topo, const FlowSizeSampler* sizes)
+      : topo_(topo), sizes_(sizes) {}
+
+  // Generates flows sorted by start time.  Port numbers make each tuple
+  // unique within the run.
+  std::vector<FlowDesc> Generate(const TrafficParams& params) const;
+
+  // Arrival rate (flows/s/host) that produces `utilization` average load on
+  // a host's access link of `link_bps` given this sampler's mean flow size.
+  double RateForLoad(double utilization, double link_bps) const;
+
+ private:
+  const Topology* topo_;
+  const FlowSizeSampler* sizes_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_WORKLOAD_TRAFFIC_GEN_H_

@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/blackhole.h"
+#include "src/apps/load_imbalance.h"
+#include "src/apps/max_coverage.h"
+#include "src/apps/outcast_diagnosis.h"
+#include "src/apps/path_conformance.h"
+#include "src/apps/silent_drop.h"
+#include "src/apps/traffic_measure.h"
+#include "src/fluidsim/fluid.h"
+#include "src/topology/fat_tree.h"
+#include "src/workload/flow_size.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+// --- MAX-COVERAGE ---
+
+TEST(MaxCoverageTest, SingleFaultExactlyLocalized) {
+  MaxCoverageLocalizer loc;
+  // Three flows through the same faulty link (2->3), different elsewhere.
+  loc.AddSignature({1, 2, 3, 4});
+  loc.AddSignature({7, 2, 3, 9});
+  loc.AddSignature({8, 2, 3, 5});
+  auto hyp = loc.Localize();
+  ASSERT_EQ(hyp.size(), 1u);
+  EXPECT_EQ(hyp[0], (LinkId{2, 3}));
+  auto acc = MaxCoverageLocalizer::Evaluate(hyp, {{2, 3}});
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_TRUE(acc.Perfect());
+}
+
+TEST(MaxCoverageTest, TwoFaultsNeedTwoLinks) {
+  MaxCoverageLocalizer loc;
+  loc.AddSignature({1, 2, 9});   // fault on 1->2
+  loc.AddSignature({1, 2, 8});
+  loc.AddSignature({5, 6, 7});   // fault on 6->7
+  loc.AddSignature({4, 6, 7});
+  auto hyp = loc.Localize();
+  EXPECT_EQ(hyp.size(), 2u);
+  auto acc = MaxCoverageLocalizer::Evaluate(hyp, {{1, 2}, {6, 7}});
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+}
+
+TEST(MaxCoverageTest, FewSignaturesGiveImperfectPrecision) {
+  MaxCoverageLocalizer loc;
+  // One signature: greedy picks one link of the path — 1/1 chance it is
+  // wrong if the fault was elsewhere on the path.
+  loc.AddSignature({1, 2, 3});
+  auto hyp = loc.Localize();
+  EXPECT_EQ(hyp.size(), 1u);
+  auto acc = MaxCoverageLocalizer::Evaluate(hyp, {{2, 3}});
+  // recall + precision are either 0 or 1 here, but the hypothesis may miss.
+  EXPECT_LE(acc.recall, 1.0);
+}
+
+TEST(MaxCoverageTest, EmptyAndClear) {
+  MaxCoverageLocalizer loc;
+  EXPECT_TRUE(loc.Localize().empty());
+  loc.AddSignature({1, 2});
+  EXPECT_EQ(loc.signature_count(), 1u);
+  loc.Clear();
+  EXPECT_EQ(loc.signature_count(), 0u);
+  // Single-switch paths produce no links and are ignored.
+  loc.AddSignature({5});
+  EXPECT_EQ(loc.signature_count(), 0u);
+}
+
+TEST(MaxCoverageTest, EvaluateEdgeCases) {
+  auto acc = MaxCoverageLocalizer::Evaluate({}, {});
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  acc = MaxCoverageLocalizer::Evaluate({{1, 2}}, {});
+  EXPECT_DOUBLE_EQ(acc.precision, 0.0);
+  acc = MaxCoverageLocalizer::Evaluate({}, {{1, 2}});
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+  EXPECT_DOUBLE_EQ(acc.precision, 0.0);
+}
+
+// --- Conformance / isolation ---
+
+class ConformanceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = BuildFatTree(4);
+    labels_ = std::make_unique<LinkLabelMap>(&topo_);
+    codec_ = std::make_unique<CherryPickCodec>(&topo_, labels_.get());
+    agent_ = std::make_unique<EdgeAgent>(topo_.hosts().back(), &topo_, codec_.get());
+    agent_->SetAlarmHandler([this](const Alarm& a) { alarms_.push_back(a); });
+  }
+
+  TibRecord Record(Path path) {
+    TibRecord r;
+    r.flow = testutil::MakeFlow(topo_, topo_.hosts().front(), topo_.hosts().back());
+    r.path = CompactPath::FromPath(path);
+    r.stime = 0;
+    r.etime = 100;
+    r.bytes = 1000;
+    r.pkts = 1;
+    return r;
+  }
+
+  Topology topo_;
+  std::unique_ptr<LinkLabelMap> labels_;
+  std::unique_ptr<CherryPickCodec> codec_;
+  std::unique_ptr<EdgeAgent> agent_;
+  std::vector<Alarm> alarms_;
+};
+
+TEST_F(ConformanceFixture, PolicyPredicate) {
+  ConformancePolicy policy;
+  policy.max_path_switches = 6;
+  policy.forbidden = {42};
+  policy.required_waypoints = {7};
+  EXPECT_TRUE(policy.Check({1, 7, 3}));
+  EXPECT_FALSE(policy.Check({1, 2, 3}));          // waypoint missing
+  EXPECT_FALSE(policy.Check({1, 7, 42}));         // forbidden switch
+  EXPECT_FALSE(policy.Check({1, 7, 3, 4, 5, 6})); // too long
+}
+
+TEST_F(ConformanceFixture, ViolationRaisesPcFail) {
+  ConformancePolicy policy;
+  policy.max_path_switches = 6;  // 6+ switches violate (paper's example)
+  InstallPathConformance(*agent_, policy);
+
+  agent_->IngestRecord(Record({1, 2, 3, 4, 5}), 0);  // 5 switches: fine
+  EXPECT_TRUE(alarms_.empty());
+  agent_->IngestRecord(Record({1, 2, 3, 4, 5, 6, 7}), 0);  // 7: violation
+  ASSERT_EQ(alarms_.size(), 1u);
+  EXPECT_EQ(alarms_[0].reason, AlarmReason::kPathConformance);
+  ASSERT_EQ(alarms_[0].paths.size(), 1u);
+  EXPECT_EQ(alarms_[0].paths[0].size(), 7u);
+}
+
+TEST_F(ConformanceFixture, IsolationViolationDetected) {
+  IpAddr src_ip = topo_.IpOfHost(topo_.hosts().front());
+  IpAddr dst_ip = topo_.IpOfHost(topo_.hosts().back());
+  InstallIsolationCheck(*agent_, {src_ip}, {dst_ip});
+  agent_->IngestRecord(Record({1, 2, 3}), 0);
+  ASSERT_EQ(alarms_.size(), 1u);
+  EXPECT_EQ(alarms_[0].reason, AlarmReason::kPathConformance);
+}
+
+// --- Blackhole diagnosis (paper §4.4 numbers) ---
+
+class BlackholeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = BuildFatTree(4);
+    router_ = std::make_unique<Router>(&topo_);
+    labels_ = std::make_unique<LinkLabelMap>(&topo_);
+    codec_ = std::make_unique<CherryPickCodec>(&topo_, labels_.get());
+    const FatTreeMeta& m = *topo_.fat_tree();
+    src_ = topo_.HostsOfTor(m.tor[0][0])[0];
+    dst_ = topo_.HostsOfTor(m.tor[1][0])[0];
+    agent_ = std::make_unique<EdgeAgent>(dst_, &topo_, codec_.get());
+    flow_ = testutil::MakeFlow(topo_, src_, dst_);
+  }
+
+  void IngestPaths(const std::vector<Path>& paths) {
+    for (const Path& p : paths) {
+      TibRecord r;
+      r.flow = flow_;
+      r.path = CompactPath::FromPath(p);
+      r.stime = 0;
+      r.etime = 100;
+      r.bytes = 25000;
+      r.pkts = 17;
+      agent_->IngestRecord(r, 100);
+    }
+  }
+
+  Topology topo_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<LinkLabelMap> labels_;
+  std::unique_ptr<CherryPickCodec> codec_;
+  HostId src_, dst_;
+  std::unique_ptr<EdgeAgent> agent_;
+  FiveTuple flow_;
+};
+
+TEST_F(BlackholeFixture, AggCoreBlackholeYieldsThreeCandidates) {
+  std::vector<Path> all = router_->EcmpPaths(src_, dst_);
+  ASSERT_EQ(all.size(), 4u);
+  // Blackhole on the agg->core link of path 0: that subflow vanishes.
+  std::vector<Path> observed(all.begin() + 1, all.end());
+  IngestPaths(observed);
+
+  BlackholeDiagnosis d =
+      DiagnoseBlackhole(*router_, *agent_, flow_, src_, dst_, TimeRange::All());
+  ASSERT_EQ(d.missing.size(), 1u);
+  EXPECT_EQ(d.missing[0], all[0]);
+  // Paper: three candidate switches (src agg, core, dst agg) out of 10.
+  EXPECT_EQ(d.candidates.size(), 3u);
+  // The refined set drops switches seen on healthy paths: only the core
+  // of the dead path is unique to it.
+  ASSERT_EQ(d.refined_candidates.size(), 1u);
+  EXPECT_EQ(topo_.RoleOf(d.refined_candidates[0]), NodeRole::kCore);
+}
+
+TEST_F(BlackholeFixture, TorAggBlackholeYieldsFourCommonSwitches) {
+  std::vector<Path> all = router_->EcmpPaths(src_, dst_);
+  // ToR->agg0 blackhole kills both subflows via agg index 0 (paths sharing
+  // all[0][1]).
+  NodeId agg0 = all[0][1];
+  std::vector<Path> observed;
+  for (const Path& p : all) {
+    if (p[1] != agg0) {
+      observed.push_back(p);
+    }
+  }
+  ASSERT_EQ(observed.size(), 2u);
+  IngestPaths(observed);
+
+  BlackholeDiagnosis d =
+      DiagnoseBlackhole(*router_, *agent_, flow_, src_, dst_, TimeRange::All());
+  EXPECT_EQ(d.missing.size(), 2u);
+  // Paper: four common switches (srcToR, srcAgg, dstAgg, dstToR).
+  EXPECT_EQ(d.candidates.size(), 4u);
+}
+
+TEST_F(BlackholeFixture, HealthyFlowHasNoMissingPaths) {
+  IngestPaths(router_->EcmpPaths(src_, dst_));
+  BlackholeDiagnosis d =
+      DiagnoseBlackhole(*router_, *agent_, flow_, src_, dst_, TimeRange::All());
+  EXPECT_TRUE(d.missing.empty());
+  EXPECT_TRUE(d.candidates.empty());
+}
+
+// --- Outcast diagnosis ---
+
+TEST(OutcastDiagnosisTest, DetectsOutcastProfile) {
+  Topology topo = BuildFatTree(4);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  const FatTreeMeta& m = *topo.fat_tree();
+  HostId receiver = topo.HostsOfTor(m.tor[0][0])[0];
+  EdgeAgent agent(receiver, &topo, &codec);
+  OutcastDiagnoser diag(/*min_alerts=*/3, /*unfairness=*/2.0);
+
+  // Victim: same-rack sender, 1-switch path, tiny byte count.
+  HostId victim = topo.HostsOfTor(m.tor[0][0])[1];
+  FiveTuple victim_flow = testutil::MakeFlow(topo, victim, receiver, 30001);
+  TibRecord vr;
+  vr.flow = victim_flow;
+  vr.path = CompactPath::FromPath({m.tor[0][0]});
+  vr.stime = 0;
+  vr.etime = 10 * kNsPerSec;
+  vr.bytes = 1000000;  // ~0.8 Mbps over 10 s
+  vr.pkts = 700;
+  agent.IngestRecord(vr, vr.etime);
+
+  // Far senders: 5-switch paths, healthy throughput.
+  int port = 30002;
+  std::vector<Alarm> alarms;
+  for (int i = 0; i < 4; ++i) {
+    HostId far = topo.HostsOfTor(m.tor[1][i % 2])[i / 2];
+    FiveTuple f = testutil::MakeFlow(topo, far, receiver, uint16_t(port++));
+    TibRecord r;
+    r.flow = f;
+    Path p = Router(&topo).EcmpPaths(far, receiver)[0];
+    r.path = CompactPath::FromPath(p);
+    r.stime = 0;
+    r.etime = 10 * kNsPerSec;
+    r.bytes = 50000000;  // ~40 Mbps
+    r.pkts = 35000;
+    agent.IngestRecord(r, r.etime);
+  }
+
+  // Alarms from 3 distinct sources to the receiver trigger diagnosis.
+  Alarm a;
+  a.reason = AlarmReason::kPoorPerf;
+  a.flow = victim_flow;
+  EXPECT_FALSE(diag.OnAlarm(a));
+  a.flow.src_ip = topo.IpOfHost(topo.HostsOfTor(m.tor[1][0])[0]);
+  EXPECT_FALSE(diag.OnAlarm(a));
+  a.flow.src_ip = topo.IpOfHost(topo.HostsOfTor(m.tor[1][1])[0]);
+  EXPECT_TRUE(diag.OnAlarm(a));
+  EXPECT_EQ(diag.AlertCountFor(a.flow.dst_ip), 3);
+
+  OutcastVerdict v = diag.Diagnose(agent, TimeRange::All(), 10.0);
+  EXPECT_TRUE(v.is_outcast);
+  EXPECT_EQ(v.victim.flow, victim_flow);
+  EXPECT_EQ(v.victim.path_switches, 1);
+  EXPECT_GT(v.unfairness, 2.0);
+  EXPECT_EQ(v.path_tree.at(1), 1);
+  EXPECT_EQ(v.path_tree.at(5), 4);
+}
+
+TEST(OutcastDiagnosisTest, FairTrafficIsNotOutcast) {
+  Topology topo = BuildFatTree(4);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  const FatTreeMeta& m = *topo.fat_tree();
+  HostId receiver = topo.HostsOfTor(m.tor[0][0])[0];
+  EdgeAgent agent(receiver, &topo, &codec);
+  Router router(&topo);
+
+  int port = 30001;
+  for (int i = 0; i < 5; ++i) {
+    HostId far = topo.HostsOfTor(m.tor[1][i % 2])[i / 2 % 2];
+    FiveTuple f = testutil::MakeFlow(topo, far, receiver, uint16_t(port++));
+    TibRecord r;
+    r.flow = f;
+    r.path = CompactPath::FromPath(router.EcmpPaths(far, receiver)[0]);
+    r.stime = 0;
+    r.etime = 10 * kNsPerSec;
+    r.bytes = 50000000;
+    r.pkts = 35000;
+    agent.IngestRecord(r, r.etime);
+  }
+  OutcastDiagnoser diag(1, 2.0);
+  OutcastVerdict v = diag.Diagnose(agent, TimeRange::All(), 10.0);
+  EXPECT_FALSE(v.is_outcast);
+}
+
+// --- Traffic measurement + silent drop end-to-end over fluid engine ---
+
+TEST(SilentDropAppTest, LocalizesFaultyLinksFromAlarms) {
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  AgentFleet fleet(&topo, &codec);
+  Controller controller;
+  controller.RegisterFleet(fleet);
+  fleet.SetAlarmHandler(controller.MakeAlarmSink());
+
+  SilentDropDebugger debugger(&controller, &fleet);
+  debugger.Start();
+
+  // Fault: one agg->core interface drops 2% silently.
+  const FatTreeMeta& m = *topo.fat_tree();
+  NodeId agg = m.agg[0][0];
+  NodeId core = m.core[0];
+  FluidConfig fcfg;
+  fcfg.seed = 3;
+  FluidSimulation fluid(&topo, &router, fcfg);
+  fluid.AddSilentDrop(agg, core, 0.02);
+
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 30;
+  params.duration = 30 * kNsPerSec;
+  params.seed = 12;
+  auto flows = gen.Generate(params);
+  ASSERT_GT(flows.size(), 1000u);
+
+  AlarmHandler sink = controller.MakeAlarmSink();
+  auto stats = fluid.Run(flows, &fleet, sink);
+  EXPECT_GT(stats.alarms, 0u);
+  EXPECT_GT(debugger.signature_count(), 0u);
+
+  auto acc = debugger.Accuracy({{agg, core}});
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0) << "the faulty link must be implicated";
+}
+
+TEST(TrafficMeasureTest, TopKTrafficMatrixHeavyHittersDdos) {
+  Topology topo = BuildFatTree(4);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  AgentFleet fleet(&topo, &codec);
+  Controller controller;
+  controller.RegisterFleet(fleet);
+  Router router(&topo);
+
+  HostId victim = topo.hosts().back();
+  // 5 sources send to the victim with distinct sizes.
+  for (int i = 0; i < 5; ++i) {
+    HostId src = topo.hosts()[size_t(i)];
+    TibRecord r;
+    r.flow = testutil::MakeFlow(topo, src, victim, uint16_t(40000 + i));
+    r.path = CompactPath::FromPath(router.EcmpPaths(src, victim)[0]);
+    r.stime = 0;
+    r.etime = kNsPerSec;
+    r.bytes = uint64_t(i + 1) * 100000;
+    r.pkts = 100;
+    fleet.agent(victim).IngestRecord(r, r.etime);
+  }
+
+  TopKFlows top = TopKAcrossHosts(controller, controller.registered_hosts(), 3,
+                                  TimeRange::All(), /*multi_level=*/true);
+  ASSERT_EQ(top.items.size(), 3u);
+  EXPECT_EQ(top.items[0].first, 500000u);
+
+  auto matrix = TrafficMatrix(fleet, TimeRange::All());
+  EXPECT_FALSE(matrix.empty());
+  uint64_t total = 0;
+  for (auto& [key, bytes] : matrix) {
+    total += bytes;
+  }
+  EXPECT_EQ(total, 1500000u);
+
+  auto hh = HeavyHitters(controller, controller.registered_hosts(), 400000, TimeRange::All());
+  ASSERT_EQ(hh.size(), 2u);
+
+  auto ddos = DdosSources(fleet.agent(victim), TimeRange::All());
+  ASSERT_EQ(ddos.size(), 5u);
+  EXPECT_EQ(ddos[0].first, 500000u);
+
+  auto congested = CongestedLinkFlows(controller, controller.registered_hosts(),
+                                      LinkId{kInvalidNode, topo.TorOfHost(victim)},
+                                      TimeRange::All());
+  EXPECT_EQ(congested.size(), 5u);
+  EXPECT_GE(congested[0].first, congested.back().first);
+}
+
+}  // namespace
+}  // namespace pathdump

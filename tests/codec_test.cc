@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cherrypick/codec.h"
+#include "src/cherrypick/trajectory_cache.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/link_labels.h"
+#include "src/topology/routing.h"
+#include "src/topology/vl2.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+using testutil::EncodeAlongPath;
+
+// --- FatTree: shortest paths round-trip with exactly one label ---
+
+class FatTreeCodec : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    topo_ = BuildFatTree(GetParam());
+    labels_ = std::make_unique<LinkLabelMap>(&topo_);
+    codec_ = std::make_unique<CherryPickCodec>(&topo_, labels_.get());
+    router_ = std::make_unique<Router>(&topo_);
+  }
+
+  Topology topo_;
+  std::unique_ptr<LinkLabelMap> labels_;
+  std::unique_ptr<CherryPickCodec> codec_;
+  std::unique_ptr<Router> router_;
+};
+
+TEST_P(FatTreeCodec, EveryEcmpPathRoundTrips) {
+  // Exhaustive over representative host pairs: same rack, same pod,
+  // inter-pod — and for inter-pod, over EVERY equal-cost path.
+  const FatTreeMeta& m = *topo_.fat_tree();
+  std::vector<std::pair<HostId, HostId>> pairs;
+  HostId h00 = topo_.HostsOfTor(m.tor[0][0])[0];
+  pairs.push_back({h00, topo_.HostsOfTor(m.tor[0][0])[1]});   // intra-rack
+  pairs.push_back({h00, topo_.HostsOfTor(m.tor[0][1])[0]});   // intra-pod
+  pairs.push_back({h00, topo_.HostsOfTor(m.tor[1][0])[0]});   // inter-pod
+  pairs.push_back({h00, topo_.HostsOfTor(m.tor.back()[0])[0]});
+  pairs.push_back({topo_.hosts().back(), h00});  // reverse direction
+
+  for (auto [src, dst] : pairs) {
+    for (const Path& path : router_->EcmpPaths(src, dst)) {
+      auto [dscp, tags] = EncodeAlongPath(*codec_, src, dst, path);
+      // Shortest paths: 0 labels intra-rack, 1 otherwise.
+      if (path.size() == 1) {
+        EXPECT_TRUE(tags.empty());
+      } else {
+        EXPECT_EQ(tags.size(), 1u) << PathToString(path);
+      }
+      auto decoded = codec_->Decode(src, dst, dscp, tags);
+      ASSERT_TRUE(decoded.has_value()) << PathToString(path);
+      EXPECT_EQ(*decoded, path) << "decoded " << PathToString(*decoded);
+    }
+  }
+}
+
+TEST_P(FatTreeCodec, DecodeIsUniqueAcrossAllLabelValues) {
+  // For a fixed host pair, distinct ECMP paths must yield distinct tag
+  // sequences (otherwise decode could not be unique).
+  const FatTreeMeta& m = *topo_.fat_tree();
+  HostId src = topo_.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo_.HostsOfTor(m.tor[1][0])[0];
+  std::set<std::vector<LinkLabel>> seen;
+  for (const Path& path : router_->EcmpPaths(src, dst)) {
+    auto [dscp, tags] = EncodeAlongPath(*codec_, src, dst, path);
+    EXPECT_TRUE(seen.insert(tags).second) << "tag collision for " << PathToString(path);
+  }
+}
+
+TEST_P(FatTreeCodec, DstPodTorBounceRoundTripsWithTwoLabels) {
+  const FatTreeMeta& m = *topo_.fat_tree();
+  HostId src = topo_.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo_.HostsOfTor(m.tor[1][0])[0];
+
+  // Walk with entropy 0 to find the path actually taken, then break its
+  // dst-pod agg -> ToR down-link to force the bounce on re-walk.
+  Path base;
+  {
+    NodeId prev = src;
+    NodeId cur = topo_.TorOfHost(src);
+    for (int hop = 0; hop < 8; ++hop) {
+      base.push_back(cur);
+      NodeId next = router_->NextHop(cur, prev, dst, /*entropy=*/0);
+      ASSERT_NE(next, kInvalidNode);
+      if (next == dst) {
+        break;
+      }
+      prev = cur;
+      cur = next;
+    }
+  }
+  ASSERT_EQ(base.size(), 5u);
+  NodeId down_agg = base[3];
+  SwitchId dst_tor = base[4];
+  router_->link_state().SetDown(down_agg, dst_tor);
+
+  // Walk with entropy matching path[0..2]; reconstruct via NextHop.
+  Path detour;
+  NodeId prev = src;
+  NodeId cur = topo_.TorOfHost(src);
+  for (int hop = 0; hop < 12; ++hop) {
+    detour.push_back(cur);
+    NodeId next = router_->NextHop(cur, prev, dst, /*entropy=*/0);
+    ASSERT_NE(next, kInvalidNode);
+    if (next == dst) {
+      break;
+    }
+    prev = cur;
+    cur = next;
+  }
+  ASSERT_EQ(detour.size(), 7u) << PathToString(detour);
+
+  auto [dscp, tags] = EncodeAlongPath(*codec_, src, dst, detour);
+  EXPECT_EQ(tags.size(), 2u) << "6-hop detour must fit in two VLAN tags";
+  auto decoded = codec_->Decode(src, dst, dscp, tags);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, detour) << "decoded " << PathToString(*decoded);
+}
+
+TEST_P(FatTreeCodec, SrcPodBounceRoundTripsWithTwoLabels) {
+  const FatTreeMeta& m = *topo_.fat_tree();
+  HostId src = topo_.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo_.HostsOfTor(m.tor[1][0])[0];
+
+  Path base = router_->EcmpPaths(src, dst)[0];
+  NodeId first_agg = base[1];
+  for (NodeId nbr : topo_.NeighborsOf(first_agg)) {
+    if (topo_.RoleOf(nbr) == NodeRole::kCore) {
+      router_->link_state().SetDown(first_agg, nbr);
+    }
+  }
+  // Entropy 0 at the ToR picks aggs[HashCombine(0,tor) % alive]; sweep
+  // entropies until the dead aggregate is chosen so the bounce happens.
+  for (uint64_t entropy = 0; entropy < 64; ++entropy) {
+    Path walk;
+    NodeId prev = src;
+    NodeId cur = topo_.TorOfHost(src);
+    bool delivered = false;
+    for (int hop = 0; hop < 12; ++hop) {
+      walk.push_back(cur);
+      NodeId next = router_->NextHop(cur, prev, dst, entropy);
+      ASSERT_NE(next, kInvalidNode);
+      if (next == dst) {
+        delivered = true;
+        break;
+      }
+      prev = cur;
+      cur = next;
+    }
+    ASSERT_TRUE(delivered);
+    if (walk[1] != first_agg) {
+      continue;  // ECMP dodged the dead aggregate; try other entropy
+    }
+    ASSERT_EQ(walk.size(), 7u) << PathToString(walk);
+    auto [dscp, tags] = EncodeAlongPath(*codec_, src, dst, walk);
+    EXPECT_EQ(tags.size(), 2u);
+    auto decoded = codec_->Decode(src, dst, dscp, tags);
+    ASSERT_TRUE(decoded.has_value()) << PathToString(walk);
+    EXPECT_EQ(*decoded, walk);
+    return;
+  }
+  FAIL() << "no entropy routed through the dead aggregate";
+}
+
+TEST_P(FatTreeCodec, IntraPodBounceRoundTrips) {
+  const FatTreeMeta& m = *topo_.fat_tree();
+  HostId src = topo_.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo_.HostsOfTor(m.tor[0][1])[0];
+
+  // Break chosen agg -> dst_tor for the aggregate entropy 0 picks.
+  Path base;
+  {
+    NodeId prev = src;
+    NodeId cur = topo_.TorOfHost(src);
+    for (int hop = 0; hop < 8; ++hop) {
+      base.push_back(cur);
+      NodeId next = router_->NextHop(cur, prev, dst, 0);
+      if (next == dst) {
+        break;
+      }
+      prev = cur;
+      cur = next;
+    }
+  }
+  ASSERT_EQ(base.size(), 3u);
+  router_->link_state().SetDown(base[1], base[2]);
+
+  Path detour;
+  NodeId prev = src;
+  NodeId cur = topo_.TorOfHost(src);
+  for (int hop = 0; hop < 10; ++hop) {
+    detour.push_back(cur);
+    NodeId next = router_->NextHop(cur, prev, dst, 0);
+    ASSERT_NE(next, kInvalidNode);
+    if (next == dst) {
+      break;
+    }
+    prev = cur;
+    cur = next;
+  }
+  ASSERT_EQ(detour.size(), 5u) << PathToString(detour);
+  auto [dscp, tags] = EncodeAlongPath(*codec_, src, dst, detour);
+  EXPECT_EQ(tags.size(), 2u);
+  auto decoded = codec_->Decode(src, dst, dscp, tags);
+  ASSERT_TRUE(decoded.has_value()) << PathToString(detour);
+  EXPECT_EQ(*decoded, detour);
+}
+
+TEST_P(FatTreeCodec, InfeasibleTagsRejected) {
+  const FatTreeMeta& m = *topo_.fat_tree();
+  int half = GetParam() / 2;
+  HostId src = topo_.HostsOfTor(m.tor[0][0])[0];
+  HostId same_rack = topo_.HostsOfTor(m.tor[0][0])[1];
+  HostId other_pod = topo_.HostsOfTor(m.tor[1][0])[0];
+
+  // A core label for an intra-rack pair is infeasible.
+  EXPECT_FALSE(codec_->Decode(src, same_rack, 0, {0}).has_value());
+  // No label for an inter-pod pair is infeasible.
+  EXPECT_FALSE(codec_->Decode(src, other_pod, 0, {}).has_value());
+  // An out-of-range label is infeasible.
+  EXPECT_FALSE(
+      codec_->Decode(src, other_pod, 0, {LinkLabel(2 * half * half)}).has_value());
+  // Three labels (suspiciously long) never reach the edge decoder.
+  EXPECT_FALSE(codec_->Decode(src, other_pod, 0, {0, 1, 2}).has_value());
+  // A tor-agg label whose ToR part is not the source ToR (wrong switchID
+  // insertion, §2.4) is infeasible for the intra-pod case.
+  HostId same_pod = topo_.HostsOfTor(m.tor[0][1])[0];
+  LinkLabel bogus = labels_->LabelOf(m.tor[0][1], m.agg[0][0]);  // tor part = 1
+  EXPECT_FALSE(codec_->Decode(src, same_pod, 0, {bogus}).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeCodec, ::testing::Values(4, 6, 8));
+
+// --- VL2 ---
+
+class Vl2Codec : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = BuildVl2(8, 4, 3, 2);
+    labels_ = std::make_unique<LinkLabelMap>(&topo_);
+    codec_ = std::make_unique<CherryPickCodec>(&topo_, labels_.get());
+    router_ = std::make_unique<Router>(&topo_);
+  }
+  Topology topo_;
+  std::unique_ptr<LinkLabelMap> labels_;
+  std::unique_ptr<CherryPickCodec> codec_;
+  std::unique_ptr<Router> router_;
+};
+
+TEST_F(Vl2Codec, FiveSwitchPathsCarryDscpPlusTwoTags) {
+  const Vl2Meta& m = *topo_.vl2();
+  HostId src = topo_.HostsOfTor(m.tor[0])[0];
+  HostId dst = topo_.HostsOfTor(m.tor[1])[0];  // disjoint aggs
+  for (const Path& path : router_->EcmpPaths(src, dst)) {
+    ASSERT_EQ(path.size(), 5u);
+    auto [dscp, tags] = EncodeAlongPath(*codec_, src, dst, path);
+    EXPECT_NE(dscp, 0) << "first sampled link must ride in DSCP";
+    EXPECT_EQ(tags.size(), 2u) << "§3.1: one DSCP value and two VLAN tags";
+    auto decoded = codec_->Decode(src, dst, dscp, tags);
+    ASSERT_TRUE(decoded.has_value()) << PathToString(path);
+    EXPECT_EQ(*decoded, path);
+  }
+}
+
+TEST_F(Vl2Codec, SharedAggPathRoundTrips) {
+  const Vl2Meta& m = *topo_.vl2();
+  HostId src = topo_.HostsOfTor(m.tor[0])[0];
+  HostId dst = topo_.HostsOfTor(m.tor[4])[0];  // shares aggs {0,1}
+  for (const Path& path : router_->EcmpPaths(src, dst)) {
+    ASSERT_EQ(path.size(), 3u);
+    auto [dscp, tags] = EncodeAlongPath(*codec_, src, dst, path);
+    EXPECT_NE(dscp, 0);
+    EXPECT_TRUE(tags.empty());
+    auto decoded = codec_->Decode(src, dst, dscp, tags);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, path);
+  }
+}
+
+TEST_F(Vl2Codec, IntraRack) {
+  const Vl2Meta& m = *topo_.vl2();
+  HostId src = topo_.HostsOfTor(m.tor[0])[0];
+  HostId dst = topo_.HostsOfTor(m.tor[0])[1];
+  auto decoded = codec_->Decode(src, dst, 0, {});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, Path{m.tor[0]});
+}
+
+TEST_F(Vl2Codec, InfeasibleRejected) {
+  const Vl2Meta& m = *topo_.vl2();
+  HostId src = topo_.HostsOfTor(m.tor[0])[0];
+  HostId dst = topo_.HostsOfTor(m.tor[1])[0];
+  // Missing DSCP with tags present.
+  EXPECT_FALSE(codec_->Decode(src, dst, 0, {0, 1}).has_value());
+  // One tag only (down-agg sample missing) is invalid.
+  EXPECT_FALSE(codec_->Decode(src, dst, 1, {0}).has_value());
+  // Mid mismatch between the two tags.
+  const int ni = m.num_intermediates;
+  LinkLabel up = LinkLabel(0 * ni + 0);    // agg0 - int0
+  LinkLabel down = LinkLabel(2 * ni + 1);  // agg2 - int1 (different mid)
+  EXPECT_FALSE(codec_->Decode(src, dst, 1, {up, down}).has_value());
+}
+
+// --- Generic topology (paper Figs. 4/9 style) ---
+
+TEST(GenericCodec, ChainRoundTrip) {
+  testutil::LoopScenario sc = testutil::BuildLoopScenario();
+  LinkLabelMap labels(&sc.topo);
+  CherryPickCodec codec(&sc.topo, &labels);
+  // Default: every switch samples.
+  Path path{sc.s1, sc.s2, sc.s3, sc.s4, sc.s6};
+  auto [dscp, tags] = EncodeAlongPath(codec, sc.host_a, sc.host_b, path);
+  EXPECT_EQ(dscp, 0);
+  EXPECT_EQ(tags.size(), 4u);  // S2, S3, S4, S6 each push their ingress
+  auto decoded = codec.Decode(sc.host_a, sc.host_b, dscp, tags);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, path);
+}
+
+TEST(GenericCodec, RestrictedPushersStillDecode) {
+  testutil::LoopScenario sc = testutil::BuildLoopScenario();
+  LinkLabelMap labels(&sc.topo);
+  CherryPickCodec codec(&sc.topo, &labels);
+  codec.SetGenericPushers({sc.s3, sc.s5});
+  EXPECT_TRUE(codec.IsGenericPusher(sc.s3));
+  EXPECT_FALSE(codec.IsGenericPusher(sc.s2));
+
+  Path path{sc.s1, sc.s2, sc.s3, sc.s4, sc.s6};
+  auto [dscp, tags] = EncodeAlongPath(codec, sc.host_a, sc.host_b, path);
+  EXPECT_EQ(tags.size(), 1u);  // only S3 samples (ingress S2-S3)
+  auto decoded = codec.Decode(sc.host_a, sc.host_b, dscp, tags);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, path);
+}
+
+TEST(GenericCodec, AmbiguousDecodeReturnsNullopt) {
+  // Two parallel equal switches between s1 and s4 with NO pushers: the
+  // decoder cannot distinguish the two paths and must refuse.
+  Topology t;
+  SwitchId s1 = t.AddSwitch(NodeRole::kTor);
+  SwitchId mid_a = t.AddSwitch(NodeRole::kAgg);
+  SwitchId mid_b = t.AddSwitch(NodeRole::kAgg);
+  SwitchId s4 = t.AddSwitch(NodeRole::kTor);
+  HostId ha = t.AddHost();
+  HostId hb = t.AddHost();
+  t.AddLink(ha, s1);
+  t.AddLink(s1, mid_a);
+  t.AddLink(s1, mid_b);
+  t.AddLink(mid_a, s4);
+  t.AddLink(mid_b, s4);
+  t.AddLink(hb, s4);
+  LinkLabelMap labels(&t);
+  CherryPickCodec codec(&t, &labels);
+  codec.SetGenericPushers({});  // nobody samples
+  EXPECT_FALSE(codec.Decode(ha, hb, 0, {}).has_value());
+}
+
+// --- Trajectory cache ---
+
+TEST(TrajectoryCacheTest, HitAfterInsert) {
+  TrajectoryCache cache(8);
+  Path p{1, 2, 3};
+  EXPECT_FALSE(cache.Lookup(0x0A000001, 0, {5}).has_value());
+  cache.Insert(0x0A000001, 0, {5}, p);
+  auto got = cache.Lookup(0x0A000001, 0, {5});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, p);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(TrajectoryCacheTest, KeyComponentsMatter) {
+  TrajectoryCache cache(8);
+  cache.Insert(0x0A000001, 0, {5}, {1});
+  EXPECT_FALSE(cache.Lookup(0x0A000002, 0, {5}).has_value());  // different src
+  EXPECT_FALSE(cache.Lookup(0x0A000001, 1, {5}).has_value());  // different dscp
+  EXPECT_FALSE(cache.Lookup(0x0A000001, 0, {6}).has_value());  // different tags
+  EXPECT_FALSE(cache.Lookup(0x0A000001, 0, {5, 5}).has_value());
+}
+
+TEST(TrajectoryCacheTest, LruEviction) {
+  TrajectoryCache cache(2);
+  cache.Insert(1, 0, {1}, {1});
+  cache.Insert(2, 0, {2}, {2});
+  // Touch entry 1 so entry 2 becomes LRU.
+  EXPECT_TRUE(cache.Lookup(1, 0, {1}).has_value());
+  cache.Insert(3, 0, {3}, {3});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(1, 0, {1}).has_value());
+  EXPECT_FALSE(cache.Lookup(2, 0, {2}).has_value());
+  EXPECT_TRUE(cache.Lookup(3, 0, {3}).has_value());
+}
+
+TEST(TrajectoryCacheTest, ReinsertRefreshes) {
+  TrajectoryCache cache(2);
+  cache.Insert(1, 0, {1}, {1});
+  cache.Insert(2, 0, {2}, {2});
+  cache.Insert(1, 0, {1}, {9});  // refresh + new value
+  cache.Insert(3, 0, {3}, {3});
+  auto got = cache.Lookup(1, 0, {1});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Path{9});
+}
+
+}  // namespace
+}  // namespace pathdump

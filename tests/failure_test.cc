@@ -1,0 +1,332 @@
+// Failure-injection suites: silent drops at swept rates, combined faults,
+// blackholes at every layer, live-memory queries during incidents, and the
+// installable TCP monitor.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/blackhole.h"
+#include "src/apps/silent_drop.h"
+#include "src/controller/controller.h"
+#include "src/controller/loop_detector.h"
+#include "src/edge/fleet.h"
+#include "src/fluidsim/fluid.h"
+#include "src/netsim/network.h"
+#include "src/tcp/segmenter.h"
+#include "src/topology/fat_tree.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+// --- Silent drop rate sweep through the per-packet switch ---
+
+class DropRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DropRateSweep, DeliveredFractionTracksRate) {
+  double rate = GetParam();
+  Topology topo = BuildFatTree(4);
+  Network net(&topo, NetworkConfig{});
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+
+  // Discover the flow's path, fault its first switch hop.
+  Path taken;
+  net.SetHostSink(dst, [&](const Packet& p, SimTime) { taken = p.trace; });
+  Packet probe;
+  probe.flow = testutil::MakeFlow(topo, src, dst);
+  probe.src_host = src;
+  probe.dst_host = dst;
+  net.InjectPacket(probe, 0);
+  net.events().RunAll();
+  ASSERT_FALSE(taken.empty());
+  net.switch_at(taken[0]).SetSilentDropRate(taken[1], rate);
+
+  int delivered = 0;
+  net.SetHostSink(dst, [&](const Packet&, SimTime) { ++delivered; });
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    Packet p = probe;
+    p.seq = uint32_t(i + 1);
+    net.InjectPacket(p, kNsPerSec + SimTime(i) * kNsPerUs);
+  }
+  net.events().RunAll();
+  EXPECT_NEAR(double(delivered) / n, 1.0 - rate, 0.03);
+  // Silent drops never touch the reported counter.
+  EXPECT_EQ(net.switch_at(taken[0]).counters().drops_reported, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DropRateSweep, ::testing::Values(0.01, 0.05, 0.2, 0.5));
+
+// --- Combined failure: a link-down detour AND a silent dropper elsewhere.
+// The detour must still decode; the dropper must still be localizable. ---
+
+TEST(CombinedFailures, DetourDecodesWhileDropperIsLocalized) {
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  AgentFleet fleet(&topo, &codec);
+  Controller controller;
+  controller.RegisterFleet(fleet);
+  fleet.SetAlarmHandler(controller.MakeAlarmSink());
+  SilentDropDebugger debugger(&controller, &fleet);
+  debugger.Start();
+
+  const FatTreeMeta& m = *topo.fat_tree();
+  // Fault 1: link down in pod 3 (handled by routing failover).
+  router.link_state().SetDown(m.agg[3][0], m.tor[3][0]);
+  // Fault 2: silent 3% dropper on agg0->core0.
+  FluidConfig cfg;
+  cfg.seed = 21;
+  FluidSimulation fluid(&topo, &router, cfg);
+  fluid.AddSilentDrop(m.agg[0][0], m.core[0], 0.03);
+
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 25;
+  params.duration = 20 * kNsPerSec;
+  params.seed = 22;
+  fluid.Run(gen.Generate(params), &fleet, controller.MakeAlarmSink());
+
+  // Dropper localized despite the concurrent detours.
+  auto acc = debugger.Accuracy({{m.agg[0][0], m.core[0]}});
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+
+  // And flows forced through the broken down-link took 7-switch detours
+  // that landed decodable in the TIBs (fluid uses the router's failover
+  // paths through EcmpPaths, so cross-check with the per-packet engine).
+  Network net(&topo, NetworkConfig{});
+  net.router().link_state().SetDown(m.agg[3][0], m.tor[3][0]);
+  HostId src = topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo.HostsOfTor(m.tor[3][0])[0];
+  bool detour_checked = false;
+  net.SetHostSink(dst, [&](const Packet& pkt, SimTime) {
+    auto decoded = net.codec().Decode(pkt.src_host, pkt.dst_host, pkt.dscp, pkt.tags);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, pkt.trace);
+    if (pkt.trace.size() == 7) {
+      detour_checked = true;
+    }
+  });
+  for (uint16_t port = 0; port < 32; ++port) {
+    Packet p;
+    p.flow = testutil::MakeFlow(topo, src, dst, uint16_t(30000 + port));
+    p.src_host = src;
+    p.dst_host = dst;
+    net.InjectPacket(p, SimTime(port) * kNsPerUs);
+  }
+  net.events().RunAll();
+  EXPECT_TRUE(detour_checked) << "no flow crossed the broken down-link";
+}
+
+// --- Blackhole coverage at each layer of the spray path set ---
+
+class BlackholeLayer : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlackholeLayer, CandidatesAlwaysCoverTheFault) {
+  // Parameter = index of the path link that silently eats one subflow:
+  // 0: tor->agg (kills 2 subflows), 1: agg->core (kills 1),
+  // 2: core->agg (kills 1), 3: agg->tor (kills 2).
+  int fault_hop = GetParam();
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  const FatTreeMeta& m = *topo.fat_tree();
+  HostId src = topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo.HostsOfTor(m.tor[1][0])[0];
+  EdgeAgent agent(dst, &topo, &codec);
+  FiveTuple flow = testutil::MakeFlow(topo, src, dst);
+
+  std::vector<Path> all = router.EcmpPaths(src, dst);
+  const Path& victim = all[0];
+  NodeId fa = victim[size_t(fault_hop)];
+  NodeId fb = victim[size_t(fault_hop) + 1];
+
+  // Subflows whose path crosses the faulty directed link never arrive.
+  std::vector<Path> observed;
+  int missing = 0;
+  for (const Path& p : all) {
+    bool dead = false;
+    for (size_t i = 0; i + 1 < p.size(); ++i) {
+      if (p[i] == fa && p[i + 1] == fb) {
+        dead = true;
+      }
+    }
+    if (dead) {
+      ++missing;
+      continue;
+    }
+    TibRecord rec;
+    rec.flow = flow;
+    rec.path = CompactPath::FromPath(p);
+    rec.stime = 0;
+    rec.etime = 100;
+    rec.bytes = 25000;
+    rec.pkts = 17;
+    agent.IngestRecord(rec, 100);
+    observed.push_back(p);
+  }
+  ASSERT_GT(missing, 0);
+
+  BlackholeDiagnosis d = DiagnoseBlackhole(router, agent, flow, src, dst, TimeRange::All());
+  EXPECT_EQ(int(d.missing.size()), missing);
+  // The candidate set must contain at least one endpoint of the fault.
+  bool covered = false;
+  for (SwitchId s : d.candidates) {
+    if (s == fa || s == fb) {
+      covered = true;
+    }
+  }
+  EXPECT_TRUE(covered) << "candidates miss the faulty link " << topo.NameOf(fa) << "->"
+                       << topo.NameOf(fb);
+  // And it must be a strict reduction of the full 10-switch search space.
+  EXPECT_LT(d.candidates.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, BlackholeLayer, ::testing::Range(0, 4));
+
+// --- Concurrent loops: the detector separates flows ---
+
+TEST(LoopDetectorConcurrency, TwoFlowsTwoDetections) {
+  testutil::LoopScenario sc = testutil::BuildLoopScenario();
+  NetworkConfig cfg;
+  cfg.max_hops = 256;
+  Network net(&sc.topo, cfg);
+  net.codec().SetGenericPushers({sc.s3, sc.s5});
+  LoopDetector det(&net);
+  det.Attach();
+  Router& r = net.router();
+  r.SetStaticNextHops(sc.s1, sc.host_b, {sc.s2});
+  r.SetStaticNextHops(sc.s2, sc.host_b, {sc.s3});
+  r.SetStaticNextHops(sc.s3, sc.host_b, {sc.s4});
+  r.SetStaticNextHops(sc.s4, sc.host_b, {sc.s5});
+  r.SetStaticNextHops(sc.s5, sc.host_b, {sc.s2});
+
+  for (uint16_t port : {100, 200}) {
+    Packet p;
+    p.flow = testutil::MakeFlow(sc.topo, sc.host_a, sc.host_b, port);
+    p.src_host = sc.host_a;
+    p.dst_host = sc.host_b;
+    net.InjectPacket(p, SimTime(port) * kNsPerUs);
+  }
+  net.events().RunAll(100000);
+  ASSERT_EQ(det.detections().size(), 2u);
+  EXPECT_NE(det.detections()[0].flow, det.detections()[1].flow);
+}
+
+// --- Live trajectory-memory queries (alarm-time fine-grained debugging) ---
+
+TEST(LiveQueries, GetPathsLiveSeesUnEvictedRecords) {
+  Topology topo = BuildFatTree(4);
+  Network net(&topo, NetworkConfig{});
+  AgentFleet fleet(&topo, &net.codec());
+  fleet.AttachTo(net);
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+  EdgeAgent& agent = fleet.agent(dst);
+
+  // A long-running flow: no FIN, not yet idle -> not in the TIB.
+  FiveTuple flow = testutil::MakeFlow(topo, src, dst);
+  for (uint32_t seq = 0; seq < 5; ++seq) {
+    Packet p;
+    p.flow = flow;
+    p.src_host = src;
+    p.dst_host = dst;
+    p.seq = seq;
+    net.InjectPacket(p, SimTime(seq) * kNsPerMs);
+  }
+  net.events().RunAll();
+
+  LinkId any{kInvalidNode, kInvalidNode};
+  EXPECT_TRUE(agent.GetPaths(flow, any, TimeRange::All()).empty())
+      << "record should still be live, not in the TIB";
+  auto live = agent.GetPathsLive(flow, any, TimeRange::All());
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].size(), 5u);
+  EXPECT_EQ(live[0].front(), topo.TorOfHost(src));
+
+  // Link filter applies to live paths too.
+  EXPECT_TRUE(agent.GetPathsLive(flow, LinkId{live[0][1], live[0][0]}, TimeRange::All())
+                  .empty());
+
+  // After eviction the same path comes from the TIB, without duplicates.
+  agent.FlushAll(net.events().now());
+  auto after = agent.GetPathsLive(flow, any, TimeRange::All());
+  EXPECT_EQ(after.size(), 1u);
+}
+
+// --- Installable TCP monitor (the §2.3 monitoring query) ---
+
+TEST(PoorTcpMonitor, AlarmsOncePerEpisode) {
+  Topology topo = BuildFatTree(4);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  EdgeAgent agent(topo.hosts().back(), &topo, &codec);
+  std::vector<Alarm> alarms;
+  agent.SetAlarmHandler([&](const Alarm& a) { alarms.push_back(a); });
+  agent.InstallPoorTcpMonitor(200 * kNsPerMs, 3);
+
+  FiveTuple flow{1, 2, 3, 4, kProtoTcp};
+  for (int i = 0; i < 5; ++i) {
+    agent.retx_monitor().OnRetransmission(flow, SimTime(i));
+  }
+  agent.Tick(200 * kNsPerMs);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].reason, AlarmReason::kPoorPerf);
+
+  // Next poll without new retransmissions: silent.
+  agent.Tick(400 * kNsPerMs);
+  EXPECT_EQ(alarms.size(), 1u);
+
+  // A new episode alarms again.
+  for (int i = 0; i < 3; ++i) {
+    agent.retx_monitor().OnRetransmission(flow, 500 * kNsPerMs + SimTime(i));
+  }
+  agent.Tick(600 * kNsPerMs);
+  EXPECT_EQ(alarms.size(), 2u);
+}
+
+// --- Agent robustness: malformed trajectory headers ---
+
+TEST(AgentRobustness, OverLongTagStacksAlarmNotCrash) {
+  Topology topo = BuildFatTree(4);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  EdgeAgent agent(topo.hosts().back(), &topo, &codec);
+  int alarms = 0;
+  agent.SetAlarmHandler([&](const Alarm&) { ++alarms; });
+
+  Packet p;
+  p.flow = testutil::MakeFlow(topo, topo.hosts().front(), topo.hosts().back());
+  p.fin = true;
+  p.tags = {1, 2, 3, 4, 5, 6, 7, 8};  // far beyond the ASIC limit
+  agent.OnPacket(p, 0);
+  agent.FlushAll(kNsPerSec);
+  EXPECT_EQ(agent.tib().size(), 0u);
+  EXPECT_EQ(alarms, 1);
+}
+
+TEST(AgentRobustness, UnknownSourceIpAlarms) {
+  Topology topo = BuildFatTree(4);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  EdgeAgent agent(topo.hosts().back(), &topo, &codec);
+  int alarms = 0;
+  agent.SetAlarmHandler([&](const Alarm&) { ++alarms; });
+
+  Packet p;
+  p.flow.src_ip = 0xC0A80001;  // 192.168.0.1: not a datacenter host
+  p.flow.dst_ip = topo.IpOfHost(topo.hosts().back());
+  p.flow.protocol = kProtoTcp;
+  p.fin = true;
+  p.tags = {0};
+  agent.OnPacket(p, 0);
+  agent.FlushAll(kNsPerSec);
+  EXPECT_EQ(agent.tib().size(), 0u);
+  EXPECT_EQ(alarms, 1);
+}
+
+}  // namespace
+}  // namespace pathdump

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/fluidsim/fluid.h"
+#include "src/topology/fat_tree.h"
+#include "src/workload/flow_size.h"
+#include "src/workload/traffic_gen.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+// --- Workload ---
+
+TEST(FlowSizeTest, WebSearchShape) {
+  WebSearchFlowSizes sizes;
+  Rng rng(1);
+  Cdf cdf;
+  for (int i = 0; i < 20000; ++i) {
+    cdf.Add(double(sizes.Sample(rng)));
+  }
+  // Heavy-tailed: median well under the mean; spread spans 1 KB..20 MB.
+  double median = cdf.Quantile(0.5);
+  EXPECT_LT(median, sizes.MeanBytes());
+  EXPECT_GT(cdf.Quantile(0.99), 5e6);
+  EXPECT_LT(cdf.Quantile(0.05), 10e3);
+  // Sampled mean tracks the analytic mean.
+  Summary s;
+  Rng rng2(2);
+  for (int i = 0; i < 50000; ++i) {
+    s.Add(double(sizes.Sample(rng2)));
+  }
+  EXPECT_NEAR(s.mean() / sizes.MeanBytes(), 1.0, 0.1);
+}
+
+TEST(FlowSizeTest, FixedAndPareto) {
+  FixedFlowSizes fixed(4242);
+  Rng rng(1);
+  EXPECT_EQ(fixed.Sample(rng), 4242u);
+  EXPECT_EQ(fixed.MeanBytes(), 4242.0);
+
+  ParetoFlowSizes pareto(1000, 2.0);
+  Summary s;
+  for (int i = 0; i < 50000; ++i) {
+    s.Add(double(pareto.Sample(rng)));
+  }
+  EXPECT_GE(s.min(), 1000.0);
+  EXPECT_NEAR(s.mean(), pareto.MeanBytes(), 200.0);
+}
+
+TEST(TrafficGenTest, PoissonArrivalsSortedAndValid) {
+  Topology topo = BuildFatTree(4);
+  FixedFlowSizes sizes(10000);
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 50;
+  params.duration = 5 * kNsPerSec;
+  params.seed = 9;
+  auto flows = gen.Generate(params);
+
+  // Expected count ~ 16 hosts * 50/s * 5s = 4000.
+  EXPECT_NEAR(double(flows.size()), 4000.0, 400.0);
+  for (size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_GE(flows[i].start, flows[i - 1].start);
+  }
+  for (const FlowDesc& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_EQ(topo.HostOfIp(f.tuple.src_ip), f.src);
+    EXPECT_EQ(topo.HostOfIp(f.tuple.dst_ip), f.dst);
+    EXPECT_LT(f.start, params.duration);
+  }
+}
+
+TEST(TrafficGenTest, InterPodPolicy) {
+  Topology topo = BuildFatTree(4);
+  FixedFlowSizes sizes(1000);
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 20;
+  params.duration = 2 * kNsPerSec;
+  params.dst_policy = DstPolicy::kInterPod;
+  auto flows = gen.Generate(params);
+  ASSERT_FALSE(flows.empty());
+  for (const FlowDesc& f : flows) {
+    EXPECT_NE(topo.node(topo.TorOfHost(f.src)).pod, topo.node(topo.TorOfHost(f.dst)).pod);
+  }
+}
+
+TEST(TrafficGenTest, FixedDstPolicy) {
+  Topology topo = BuildFatTree(4);
+  FixedFlowSizes sizes(1000);
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 5;
+  params.duration = kNsPerSec;
+  params.dst_policy = DstPolicy::kFixed;
+  params.fixed_dst = topo.hosts().back();
+  params.sources = {topo.hosts()[0], topo.hosts()[1]};
+  auto flows = gen.Generate(params);
+  ASSERT_FALSE(flows.empty());
+  for (const FlowDesc& f : flows) {
+    EXPECT_EQ(f.dst, topo.hosts().back());
+  }
+}
+
+TEST(TrafficGenTest, RateForLoadCalibration) {
+  Topology topo = BuildFatTree(4);
+  FixedFlowSizes sizes(125000);  // 1 Mbit per flow
+  TrafficGenerator gen(&topo, &sizes);
+  // 70% of 1 Gbps = 700 Mbps -> 700 flows/s.
+  EXPECT_NEAR(gen.RateForLoad(0.7, 1e9), 700.0, 1.0);
+}
+
+// --- Fluid engine ---
+
+class FluidFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = BuildFatTree(4);
+    router_ = std::make_unique<Router>(&topo_);
+    labels_ = std::make_unique<LinkLabelMap>(&topo_);
+    codec_ = std::make_unique<CherryPickCodec>(&topo_, labels_.get());
+    fleet_ = std::make_unique<AgentFleet>(&topo_, codec_.get());
+  }
+  Topology topo_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<LinkLabelMap> labels_;
+  std::unique_ptr<CherryPickCodec> codec_;
+  std::unique_ptr<AgentFleet> fleet_;
+};
+
+TEST_F(FluidFixture, EcmpSingleRecordPerFlow) {
+  FluidConfig cfg;
+  FluidSimulation fluid(&topo_, router_.get(), cfg);
+  FlowDesc f;
+  f.src = topo_.hosts().front();
+  f.dst = topo_.hosts().back();
+  f.bytes = 100000;
+  f.start = 0;
+  f.tuple = testutil::MakeFlow(topo_, f.src, f.dst);
+  auto stats = fluid.Run({f}, fleet_.get(), nullptr);
+  EXPECT_EQ(stats.flows, 1u);
+  EXPECT_EQ(stats.subflows, 1u);
+  EXPECT_EQ(fleet_->agent(f.dst).tib().size(), 1u);
+  const TibRecord& rec = fleet_->agent(f.dst).tib().record(0);
+  EXPECT_EQ(rec.bytes, 100000u);
+  EXPECT_EQ(rec.path.len, 5);
+}
+
+TEST_F(FluidFixture, SprayCoversAllPathsProportionally) {
+  FluidConfig cfg;
+  cfg.lb_mode = LoadBalanceMode::kPacketSpray;
+  FluidSimulation fluid(&topo_, router_.get(), cfg);
+  FlowDesc f;
+  f.src = topo_.hosts().front();
+  f.dst = topo_.hosts().back();
+  f.bytes = 100 * 1000 * 1000;  // the paper's 100 MB spray flow
+  f.start = 0;
+  f.tuple = testutil::MakeFlow(topo_, f.src, f.dst);
+  auto stats = fluid.Run({f}, fleet_.get(), nullptr);
+  EXPECT_EQ(stats.subflows, 4u);
+
+  auto& agent = fleet_->agent(f.dst);
+  EXPECT_EQ(agent.tib().size(), 4u);
+  uint64_t total = 0;
+  for (const TibRecord& rec : agent.tib().records()) {
+    EXPECT_NEAR(double(rec.bytes), 25e6, 1e6);
+    total += rec.bytes;
+  }
+  EXPECT_NEAR(double(total), 100e6, 2e6);
+}
+
+TEST_F(FluidFixture, PathChooserOverride) {
+  FluidConfig cfg;
+  FluidSimulation fluid(&topo_, router_.get(), cfg);
+  Path forced = router_->EcmpPaths(topo_.hosts().front(), topo_.hosts().back())[2];
+  fluid.SetPathChooser([&](const FlowDesc&) {
+    return std::vector<std::pair<Path, double>>{{forced, 1.0}};
+  });
+  FlowDesc f;
+  f.src = topo_.hosts().front();
+  f.dst = topo_.hosts().back();
+  f.bytes = 5000;
+  f.tuple = testutil::MakeFlow(topo_, f.src, f.dst);
+  fluid.Run({f}, fleet_.get(), nullptr);
+  ASSERT_EQ(fleet_->agent(f.dst).tib().size(), 1u);
+  EXPECT_EQ(fleet_->agent(f.dst).tib().record(0).path.ToPath(), forced);
+}
+
+TEST_F(FluidFixture, FaultyLinkRaisesAlarms) {
+  FluidConfig cfg;
+  cfg.alarm_drop_threshold = 3;
+  cfg.seed = 5;
+  FluidSimulation fluid(&topo_, router_.get(), cfg);
+
+  FlowDesc f;
+  f.src = topo_.hosts().front();
+  f.dst = topo_.hosts().back();
+  f.bytes = 10 * 1000 * 1000;  // ~6850 packets
+  f.tuple = testutil::MakeFlow(topo_, f.src, f.dst);
+
+  // Find its ECMP path and put a 1% fault on the first switch link.
+  Path p = router_->WalkPath(f.src, f.dst, FiveTupleHash{}(f.tuple));
+  fluid.AddSilentDrop(p[0], p[1], 0.01);
+
+  std::vector<Alarm> alarms;
+  auto stats = fluid.Run({f}, fleet_.get(), [&](const Alarm& a) { alarms.push_back(a); });
+  EXPECT_GT(stats.dropped_pkts, 20u);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].reason, AlarmReason::kPoorPerf);
+  EXPECT_EQ(alarms[0].host, f.src);
+  // Sender-side retx monitor reflects the drops.
+  EXPECT_GE(fleet_->agent(f.src).retx_monitor().TotalRetx(f.tuple), stats.dropped_pkts);
+}
+
+TEST_F(FluidFixture, HealthyFlowNoAlarms) {
+  FluidConfig cfg;
+  FluidSimulation fluid(&topo_, router_.get(), cfg);
+  FlowDesc f;
+  f.src = topo_.hosts().front();
+  f.dst = topo_.hosts().back();
+  f.bytes = 10 * 1000 * 1000;
+  f.tuple = testutil::MakeFlow(topo_, f.src, f.dst);
+  int alarms = 0;
+  fluid.Run({f}, fleet_.get(), [&](const Alarm&) { ++alarms; });
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST_F(FluidFixture, LinkLoadTracking) {
+  FluidConfig cfg;
+  FluidSimulation fluid(&topo_, router_.get(), cfg);
+  fluid.EnableLinkLoadTracking(kNsPerSec);
+
+  FlowDesc f;
+  f.src = topo_.hosts().front();
+  f.dst = topo_.hosts().back();
+  f.bytes = 77777;
+  f.start = 2 * kNsPerSec + 1;  // bucket 2
+  f.tuple = testutil::MakeFlow(topo_, f.src, f.dst);
+  fluid.Run({f}, fleet_.get(), nullptr);
+
+  Path p = router_->WalkPath(f.src, f.dst, FiveTupleHash{}(f.tuple));
+  EXPECT_EQ(fluid.LinkLoad(p[0], p[1], 2), 77777u);
+  EXPECT_EQ(fluid.LinkLoad(p[0], p[1], 1), 0u);
+  EXPECT_EQ(fluid.LinkLoad(p[1], p[0], 2), 0u);  // directed
+}
+
+TEST_F(FluidFixture, DeterministicUnderSeed) {
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&topo_, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 20;
+  params.duration = 3 * kNsPerSec;
+  params.seed = 4;
+  auto flows = gen.Generate(params);
+
+  auto run = [&](uint64_t seed) {
+    FluidConfig cfg;
+    cfg.seed = seed;
+    AgentFleet fleet(&topo_, codec_.get());
+    FluidSimulation fluid(&topo_, router_.get(), cfg);
+    fluid.AddSilentDrop(topo_.fat_tree()->agg[0][0], topo_.fat_tree()->core[0], 0.02);
+    return fluid.Run(flows, &fleet, nullptr).dropped_pkts;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+}  // namespace
+}  // namespace pathdump

@@ -1,0 +1,208 @@
+// Tests for the incast model + diagnoser and for TIB persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/apps/incast_diagnosis.h"
+#include "src/apps/outcast_diagnosis.h"
+#include "src/tcp/incast.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/routing.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+// --- Incast model ---
+
+class IncastSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncastSweep, GoodputCollapsesWithSenderCount) {
+  int senders = GetParam();
+  IncastConfig cfg;
+  cfg.num_senders = senders;
+  cfg.seed = 3;
+  IncastResult r = IncastSimulator(cfg).Run();
+  ASSERT_EQ(int(r.flows.size()), senders);
+  EXPECT_GT(r.link_capacity_mbps, 0);
+  // With few senders the link is reasonably used (the epoch barrier caps
+  // it below line rate); with many, goodput collapses by an order of
+  // magnitude — the classic incast cliff.
+  double util = r.aggregate_goodput_mbps / r.link_capacity_mbps;
+  if (senders <= 2) {
+    EXPECT_GT(util, 0.4) << "no incast with few senders";
+  }
+  if (senders >= 24) {
+    EXPECT_LT(util, 0.15) << "throughput collapse expected";
+    int with_timeouts = 0;
+    for (const auto& f : r.flows) {
+      with_timeouts += f.timeouts > 0 ? 1 : 0;
+    }
+    EXPECT_GT(with_timeouts, senders / 2) << "timeouts should be widespread";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Senders, IncastSweep, ::testing::Values(2, 8, 24, 48));
+
+TEST(IncastModel, CollapseIsMonotoneIsh) {
+  auto util_for = [](int n) {
+    IncastConfig cfg;
+    cfg.num_senders = n;
+    cfg.seed = 9;
+    IncastResult r = IncastSimulator(cfg).Run();
+    return r.aggregate_goodput_mbps / r.link_capacity_mbps;
+  };
+  EXPECT_GT(util_for(2), util_for(48));
+}
+
+// --- Incast vs outcast classification from TIB + alarms ---
+
+struct DiagFixture {
+  Topology topo = BuildFatTree(4);
+  LinkLabelMap labels{&topo};
+  CherryPickCodec codec{&topo, &labels};
+  Router router{&topo};
+};
+
+TEST(IncastDiagnosis, SymmetricCollapseIsIncast) {
+  DiagFixture fx;
+  HostId receiver = fx.topo.hosts()[0];
+  EdgeAgent agent(receiver, &fx.topo, &fx.codec);
+
+  IncastConfig cfg;
+  cfg.num_senders = 15;
+  cfg.seed = 5;
+  IncastResult r = IncastSimulator(cfg).Run();
+  double duration_s = r.duration_seconds;
+
+  std::vector<HostId> senders;
+  for (HostId h : fx.topo.hosts()) {
+    if (h != receiver && int(senders.size()) < cfg.num_senders) {
+      senders.push_back(h);
+    }
+  }
+  std::vector<SimTime> alarm_times;
+  for (size_t i = 0; i < senders.size(); ++i) {
+    TibRecord rec;
+    rec.flow = testutil::MakeFlow(fx.topo, senders[i], receiver, uint16_t(21000 + i));
+    rec.path = CompactPath::FromPath(fx.router.EcmpPaths(senders[i], receiver)[0]);
+    rec.stime = 0;
+    rec.etime = SimTime(duration_s * double(kNsPerSec));
+    rec.bytes = r.flows[i].delivered_pkts * cfg.mss_bytes;
+    rec.pkts = uint32_t(r.flows[i].delivered_pkts);
+    agent.IngestRecord(rec, rec.etime);
+  }
+  for (const RetxEvent& e : r.retx_events) {
+    alarm_times.push_back(e.at);
+  }
+  ASSERT_GT(alarm_times.size(), 10u);
+
+  IncastDiagnoser diag(r.link_capacity_mbps);
+  IncastVerdict v =
+      diag.Diagnose(agent, TimeRange::All(), duration_s, alarm_times);
+  EXPECT_TRUE(v.is_incast) << "util=" << v.utilization << " sym=" << v.symmetric_fraction
+                           << " burst=" << v.alarm_burstiness;
+  EXPECT_GE(v.symmetric_fraction, 0.7);
+  EXPECT_LT(v.utilization, 0.7);
+
+  // The same data must NOT read as outcast (no asymmetric victim).
+  OutcastDiagnoser out(1, 2.0);
+  OutcastVerdict ov = out.Diagnose(agent, TimeRange::All(), duration_s);
+  EXPECT_FALSE(ov.is_outcast);
+}
+
+TEST(IncastDiagnosis, HealthyTrafficIsNotIncast) {
+  DiagFixture fx;
+  HostId receiver = fx.topo.hosts()[0];
+  EdgeAgent agent(receiver, &fx.topo, &fx.codec);
+  // Two senders, high utilization, no alarms.
+  for (int i = 1; i <= 2; ++i) {
+    HostId src = fx.topo.hosts()[size_t(i)];
+    TibRecord rec;
+    rec.flow = testutil::MakeFlow(fx.topo, src, receiver, uint16_t(22000 + i));
+    rec.path = CompactPath::FromPath(fx.router.EcmpPaths(src, receiver)[0]);
+    rec.stime = 0;
+    rec.etime = kNsPerSec;
+    rec.bytes = 56'000'000;  // ~450 Mbps each over 1 s
+    rec.pkts = 40000;
+    agent.IngestRecord(rec, rec.etime);
+  }
+  IncastDiagnoser diag(1000.0);
+  IncastVerdict v = diag.Diagnose(agent, TimeRange::All(), 1.0, {});
+  EXPECT_FALSE(v.is_incast);
+  EXPECT_GT(v.utilization, 0.7);
+}
+
+// --- TIB persistence ---
+
+TEST(TibPersistence, SaveLoadRoundTrip) {
+  Tib tib;
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  for (int i = 0; i < 500; ++i) {
+    HostId src = topo.hosts()[size_t(i) % topo.hosts().size()];
+    HostId dst = topo.hosts()[(size_t(i) + 3) % topo.hosts().size()];
+    if (src == dst) {
+      continue;
+    }
+    TibRecord rec;
+    rec.flow = testutil::MakeFlow(topo, src, dst, uint16_t(i));
+    rec.path = CompactPath::FromPath(router.EcmpPaths(src, dst)[size_t(i) % 2]);
+    rec.stime = SimTime(i) * kNsPerMs;
+    rec.etime = rec.stime + kNsPerMs;
+    rec.bytes = uint64_t(i) * 1000 + 5;
+    rec.pkts = uint32_t(i + 1);
+    tib.Insert(rec);
+  }
+
+  const std::string path = "/tmp/pathdump_tib_test.bin";
+  size_t written = tib.SaveTo(path);
+  ASSERT_GT(written, 0u);
+
+  Tib loaded;
+  ASSERT_EQ(loaded.LoadFrom(path), int64_t(tib.size()));
+  ASSERT_EQ(loaded.size(), tib.size());
+  for (size_t i = 0; i < tib.size(); ++i) {
+    const TibRecord& a = tib.record(i);
+    const TibRecord& b = loaded.record(i);
+    EXPECT_EQ(a.flow, b.flow);
+    EXPECT_TRUE(a.path == b.path);
+    EXPECT_EQ(a.stime, b.stime);
+    EXPECT_EQ(a.etime, b.etime);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.pkts, b.pkts);
+  }
+  // Indexes were rebuilt on load.
+  const TibRecord& probe = tib.record(7);
+  EXPECT_FALSE(loaded.RecordsOfFlow(probe.flow, TimeRange::All()).empty());
+  std::remove(path.c_str());
+}
+
+TEST(TibPersistence, RejectsGarbageAndMissingFiles) {
+  Tib tib;
+  EXPECT_EQ(tib.LoadFrom("/tmp/definitely_missing_pathdump.bin"), -1);
+
+  const std::string path = "/tmp/pathdump_tib_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "this is not a TIB";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_EQ(tib.LoadFrom(path), -1);
+  EXPECT_EQ(tib.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TibPersistence, EmptyTibRoundTrips) {
+  Tib tib;
+  const std::string path = "/tmp/pathdump_tib_empty.bin";
+  ASSERT_GT(tib.SaveTo(path), 0u);
+  Tib loaded;
+  EXPECT_EQ(loaded.LoadFrom(path), 0);
+  EXPECT_EQ(loaded.size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pathdump

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/topology/fat_tree.h"
+#include "src/topology/link_labels.h"
+#include "src/topology/vl2.h"
+
+namespace pathdump {
+namespace {
+
+class FatTreeLabels : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeLabels, AggCoreLabelsEqualCoreIndex) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  LinkLabelMap labels(&topo);
+  const FatTreeMeta& m = *topo.fat_tree();
+  int half = k / 2;
+  for (int p = 0; p < k; ++p) {
+    for (int a = 0; a < half; ++a) {
+      for (int j = 0; j < half; ++j) {
+        NodeId agg = m.agg[size_t(p)][size_t(a)];
+        NodeId core = m.core[size_t(a * half + j)];
+        EXPECT_EQ(labels.LabelOf(agg, core), LinkLabel(a * half + j));
+        // Symmetric (undirected labels).
+        EXPECT_EQ(labels.LabelOf(core, agg), labels.LabelOf(agg, core));
+      }
+    }
+  }
+}
+
+TEST_P(FatTreeLabels, LabelsReusedAcrossPodsButUniqueWithinPod) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  LinkLabelMap labels(&topo);
+  const FatTreeMeta& m = *topo.fat_tree();
+  int half = k / 2;
+
+  // Within a pod, all tor-agg and agg-core labels are distinct.
+  for (int p = 0; p < k; ++p) {
+    std::set<LinkLabel> seen;
+    for (int t = 0; t < half; ++t) {
+      for (int a = 0; a < half; ++a) {
+        LinkLabel l = labels.LabelOf(m.tor[size_t(p)][size_t(t)], m.agg[size_t(p)][size_t(a)]);
+        ASSERT_NE(l, kInvalidLabel);
+        EXPECT_TRUE(seen.insert(l).second) << "duplicate tor-agg label in pod";
+      }
+    }
+    for (int a = 0; a < half; ++a) {
+      for (int j = 0; j < half; ++j) {
+        LinkLabel l =
+            labels.LabelOf(m.agg[size_t(p)][size_t(a)], m.core[size_t(a * half + j)]);
+        EXPECT_TRUE(seen.insert(l).second) << "agg-core label collides with tor-agg";
+      }
+    }
+  }
+  // Across pods, corresponding links share labels (the CherryPick reuse).
+  if (k >= 4) {
+    LinkLabel pod0 = labels.LabelOf(m.tor[0][0], m.agg[0][1]);
+    LinkLabel pod1 = labels.LabelOf(m.tor[1][0], m.agg[1][1]);
+    EXPECT_EQ(pod0, pod1);
+  }
+}
+
+TEST_P(FatTreeLabels, TotalLabelSpaceFits12Bits) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  LinkLabelMap labels(&topo);
+  for (const LinkId& l : topo.AllUndirectedLinks()) {
+    LinkLabel label = labels.LabelOf(l.src, l.dst);
+    if (label != kInvalidLabel) {
+      EXPECT_LE(label, kMaxVlanLabel);
+    }
+  }
+}
+
+TEST_P(FatTreeLabels, ParseInvertsLabels) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  LinkLabelMap labels(&topo);
+  const FatTreeMeta& m = *topo.fat_tree();
+  int half = k / 2;
+
+  for (int a = 0; a < half; ++a) {
+    for (int j = 0; j < half; ++j) {
+      LinkLabel l = labels.LabelOf(m.agg[0][size_t(a)], m.core[size_t(a * half + j)]);
+      auto parsed = labels.ParseFatTree(l);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(parsed->type, FatTreeLabelType::kAggCore);
+      EXPECT_EQ(parsed->core_index, a * half + j);
+      EXPECT_EQ(parsed->agg_index, a);
+    }
+  }
+  for (int t = 0; t < half; ++t) {
+    for (int a = 0; a < half; ++a) {
+      LinkLabel l = labels.LabelOf(m.tor[2 % k][size_t(t)], m.agg[2 % k][size_t(a)]);
+      auto parsed = labels.ParseFatTree(l);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(parsed->type, FatTreeLabelType::kTorAgg);
+      EXPECT_EQ(parsed->tor_index, t);
+      EXPECT_EQ(parsed->agg_index, a);
+    }
+  }
+  EXPECT_FALSE(labels.ParseFatTree(kInvalidLabel).has_value());
+  EXPECT_FALSE(labels.ParseFatTree(LinkLabel(2 * half * half)).has_value());
+}
+
+TEST_P(FatTreeLabels, HostLinksCarryNoLabel) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  LinkLabelMap labels(&topo);
+  HostId h = topo.hosts()[0];
+  EXPECT_EQ(labels.LabelOf(h, topo.TorOfHost(h)), kInvalidLabel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeLabels, ::testing::Values(4, 6, 8));
+
+TEST(Vl2Labels, AggIntermediateUnique) {
+  Topology topo = BuildVl2(8, 4, 3, 2);
+  LinkLabelMap labels(&topo);
+  const Vl2Meta& m = *topo.vl2();
+  std::set<LinkLabel> seen;
+  for (NodeId a : m.agg) {
+    for (NodeId i : m.intermediate) {
+      LinkLabel l = labels.LabelOf(a, i);
+      ASSERT_NE(l, kInvalidLabel);
+      EXPECT_TRUE(seen.insert(l).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), size_t(4 * 3));
+}
+
+TEST(Vl2Labels, DscpEncoding) {
+  Topology topo = BuildVl2(4, 4, 2, 1);
+  LinkLabelMap labels(&topo);
+  EXPECT_EQ(labels.DscpLabelOfUplink(0), 1);
+  EXPECT_EQ(labels.DscpLabelOfUplink(1), 2);
+  EXPECT_EQ(labels.UplinkIndexOfDscp(0), -1);  // unused
+  EXPECT_EQ(labels.UplinkIndexOfDscp(1), 0);
+  EXPECT_EQ(labels.UplinkIndexOfDscp(2), 1);
+  // DSCP labels fit 6 bits.
+  EXPECT_LE(labels.DscpLabelOfUplink(1), kMaxDscpLabel);
+}
+
+TEST(Vl2Labels, TorAggRidesDscpNotVlan) {
+  Topology topo = BuildVl2(4, 4, 2, 1);
+  LinkLabelMap labels(&topo);
+  const Vl2Meta& m = *topo.vl2();
+  auto [a0, a1] = vl2::AggsOfTor(topo, m.tor[0]);
+  EXPECT_EQ(labels.LabelOf(m.tor[0], a0), kInvalidLabel);
+}
+
+TEST(GenericLabels, UniqueAndReversible) {
+  Topology t;
+  SwitchId s1 = t.AddSwitch(NodeRole::kTor);
+  SwitchId s2 = t.AddSwitch(NodeRole::kAgg);
+  SwitchId s3 = t.AddSwitch(NodeRole::kAgg);
+  HostId h = t.AddHost();
+  t.AddLink(s1, s2);
+  t.AddLink(s2, s3);
+  t.AddLink(s1, s3);
+  t.AddLink(h, s1);
+  LinkLabelMap labels(&t);
+
+  std::set<LinkLabel> seen;
+  for (const LinkId& l : t.AllUndirectedLinks()) {
+    if (t.IsHost(l.src) || t.IsHost(l.dst)) {
+      EXPECT_EQ(labels.LabelOf(l.src, l.dst), kInvalidLabel);
+      continue;
+    }
+    LinkLabel lab = labels.LabelOf(l.src, l.dst);
+    ASSERT_NE(lab, kInvalidLabel);
+    EXPECT_TRUE(seen.insert(lab).second);
+    auto endpoints = labels.GenericEndpoints(lab);
+    ASSERT_TRUE(endpoints.has_value());
+    EXPECT_TRUE((endpoints->first == l.src && endpoints->second == l.dst) ||
+                (endpoints->first == l.dst && endpoints->second == l.src));
+  }
+  EXPECT_FALSE(labels.GenericEndpoints(999).has_value());
+}
+
+}  // namespace
+}  // namespace pathdump

@@ -1,0 +1,93 @@
+// The suspicious-long-path trap on a real fat-tree (§3.1): two concurrent
+// failures force a double detour; the packet accumulates a third tag and
+// the next switch punts it to the controller — exactly the "shortest + 4
+// hops" threshold the paper configures by default.
+
+#include <gtest/gtest.h>
+
+#include "src/controller/loop_detector.h"
+#include "src/netsim/network.h"
+#include "src/topology/fat_tree.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+TEST(SuspiciousPathTrap, DoubleDetourPuntsToController) {
+  Topology topo = BuildFatTree(4);
+  NetworkConfig cfg;
+  cfg.max_hops = 64;
+  Network net(&topo, cfg);
+  const FatTreeMeta& m = *topo.fat_tree();
+  HostId src = topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo.HostsOfTor(m.tor[1][0])[0];
+
+  LoopDetector detector(&net);
+  detector.Attach();
+  detector.set_reinject(false);
+
+  int delivered_long = 0;
+  net.SetHostSink(dst, [&](const Packet& pkt, SimTime) {
+    if (pkt.trace.size() > 5) {
+      ++delivered_long;
+    }
+  });
+
+  // Failure 1: the source aggregate loses ALL core uplinks -> src-pod
+  // bounce (+2 hops, tag 2).  Failure 2: the destination-pod down link
+  // dies -> dst-pod ToR bounce (+2 hops, tag 3) -> punt en route.
+  // Sweep flows until one crosses both failures.
+  bool punted = false;
+  for (uint16_t port = 40000; port < 40400 && !punted; ++port) {
+    // Reset link state each attempt, then fail along this flow's own path.
+    Network fresh(&topo, cfg);
+    LoopDetector det(&fresh);
+    det.Attach();
+    det.set_reinject(false);
+
+    FiveTuple flow = testutil::MakeFlow(topo, src, dst, port);
+    Path base = fresh.router().WalkPath(src, dst, FiveTupleHash{}(flow));
+    ASSERT_EQ(base.size(), 5u);
+    // Kill all uplinks of the first aggregate.
+    for (NodeId nbr : topo.NeighborsOf(base[1])) {
+      if (topo.RoleOf(nbr) == NodeRole::kCore) {
+        fresh.router().link_state().SetDown(base[1], nbr);
+      }
+    }
+    // Kill every dst-pod agg->dstToR down link so the second bounce is
+    // unavoidable no matter which core the detour exits from.
+    SwitchId dst_tor = base[4];
+    for (NodeId nbr : topo.NeighborsOf(dst_tor)) {
+      if (topo.RoleOf(nbr) == NodeRole::kAgg) {
+        // Leave one up so the packet can eventually arrive... actually the
+        // trap should fire before delivery; fail all but the last.
+      }
+    }
+    // Fail the down-link of the aggregate the detour actually uses: walk
+    // the detoured path first.
+    Path detour = fresh.router().WalkPath(src, dst, FiveTupleHash{}(flow), 16);
+    if (detour.size() < 7) {
+      continue;  // this flow dodged the first failure
+    }
+    // detour = [torS, aggA, torY, aggB, core, aggC, torD]; fail aggC->torD.
+    fresh.router().link_state().SetDown(detour[5], detour[6]);
+
+    Packet p;
+    p.flow = flow;
+    p.src_host = src;
+    p.dst_host = dst;
+    fresh.InjectPacket(p, 0);
+    fresh.events().RunAll(10000);
+    if (!det.long_path_events().empty()) {
+      punted = true;
+      const auto& ev = det.long_path_events().front();
+      EXPECT_EQ(ev.labels.size(), 3u) << "third tag is what trips the ASIC";
+      EXPECT_TRUE(det.detections().empty()) << "a detour is not a loop";
+    }
+  }
+  EXPECT_TRUE(punted) << "no flow experienced the double detour";
+  (void)delivered_long;
+}
+
+}  // namespace
+}  // namespace pathdump

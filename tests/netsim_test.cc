@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/netsim/event_queue.h"
+#include "src/netsim/network.h"
+#include "src/tcp/segmenter.h"
+#include "src/topology/fat_tree.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(10, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NestedScheduling) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(5, [&] {
+    ++fired;
+    q.ScheduleAfter(5, [&] { ++fired; });
+  });
+  q.RunUntil(9);
+  EXPECT_EQ(fired, 1);
+  q.RunUntil(10);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClock) {
+  EventQueue q;
+  q.RunUntil(100);
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueueTest, RunAllBounded) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(i, [&] { ++fired; });
+  }
+  EXPECT_EQ(q.RunAll(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+class NetworkDelivery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = BuildFatTree(4);
+    net_ = std::make_unique<Network>(&topo_, NetworkConfig{});
+  }
+  Topology topo_;
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(NetworkDelivery, PacketReachesDestination) {
+  HostId src = topo_.hosts().front();
+  HostId dst = topo_.hosts().back();
+  Packet p;
+  p.flow = testutil::MakeFlow(topo_, src, dst);
+  p.src_host = src;
+  p.dst_host = dst;
+
+  int delivered = 0;
+  net_->SetHostSink(dst, [&](const Packet& pkt, SimTime) {
+    ++delivered;
+    // Ground truth trace has 5 switches for an inter-pod fat-tree path.
+    EXPECT_EQ(pkt.trace.size(), 5u);
+    EXPECT_EQ(pkt.trace.front(), topo_.TorOfHost(pkt.src_host));
+    EXPECT_EQ(pkt.trace.back(), topo_.TorOfHost(pkt.dst_host));
+    // Exactly one sampled label on a shortest inter-pod path.
+    EXPECT_EQ(pkt.tags.size(), 1u);
+  });
+  net_->InjectPacket(p, 0);
+  net_->events().RunAll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net_->stats().delivered, 1u);
+}
+
+TEST_F(NetworkDelivery, DecodedTagsMatchGroundTruthTrace) {
+  // Inject many flows; for every delivered packet the CherryPick decode of
+  // its tags must equal its true trace.  This is the system-level
+  // correctness property of the whole tracing design.
+  std::set<Path> distinct_paths;
+  int delivered = 0;
+  net_->SetDefaultSink([&](const Packet& pkt, SimTime) {
+    ++delivered;
+    auto decoded = net_->codec().Decode(pkt.src_host, pkt.dst_host, pkt.dscp, pkt.tags);
+    ASSERT_TRUE(decoded.has_value()) << PathToString(pkt.trace);
+    EXPECT_EQ(*decoded, pkt.trace);
+    distinct_paths.insert(pkt.trace);
+  });
+  int flows = 0;
+  for (HostId src : topo_.hosts()) {
+    for (HostId dst : topo_.hosts()) {
+      if (src == dst) {
+        continue;
+      }
+      Packet p;
+      p.flow = testutil::MakeFlow(topo_, src, dst, uint16_t(10000 + flows));
+      p.src_host = src;
+      p.dst_host = dst;
+      net_->InjectPacket(p, 0);
+      ++flows;
+    }
+  }
+  net_->events().RunAll();
+  EXPECT_EQ(delivered, flows);
+  EXPECT_GT(distinct_paths.size(), 10u);
+}
+
+TEST_F(NetworkDelivery, SprayModeCoversMultiplePaths) {
+  NetworkConfig cfg;
+  cfg.lb_mode = LoadBalanceMode::kPacketSpray;
+  Network net(&topo_, cfg);
+  HostId src = topo_.hosts().front();
+  HostId dst = topo_.hosts().back();
+  std::set<Path> paths;
+  net.SetHostSink(dst, [&](const Packet& pkt, SimTime) { paths.insert(pkt.trace); });
+  FiveTuple flow = testutil::MakeFlow(topo_, src, dst);
+  for (int i = 0; i < 200; ++i) {
+    Packet p;
+    p.flow = flow;
+    p.src_host = src;
+    p.dst_host = dst;
+    p.seq = uint32_t(i);
+    net.InjectPacket(p, SimTime(i) * kNsPerUs);
+  }
+  net.events().RunAll();
+  // k=4: 4 equal-cost inter-pod paths; spraying should hit all of them.
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST_F(NetworkDelivery, EcmpModeIsPathStable) {
+  HostId src = topo_.hosts().front();
+  HostId dst = topo_.hosts().back();
+  std::set<Path> paths;
+  net_->SetHostSink(dst, [&](const Packet& pkt, SimTime) { paths.insert(pkt.trace); });
+  FiveTuple flow = testutil::MakeFlow(topo_, src, dst);
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.flow = flow;
+    p.src_host = src;
+    p.dst_host = dst;
+    p.seq = uint32_t(i);
+    net_->InjectPacket(p, SimTime(i) * kNsPerUs);
+  }
+  net_->events().RunAll();
+  EXPECT_EQ(paths.size(), 1u) << "ECMP must keep one flow on one path";
+}
+
+TEST_F(NetworkDelivery, SilentDropIsInvisible) {
+  HostId src = topo_.hosts().front();
+  HostId dst = topo_.hosts().back();
+  // Find the path, then blackhole its agg->core egress silently.
+  Path taken;
+  net_->SetHostSink(dst, [&](const Packet& pkt, SimTime) { taken = pkt.trace; });
+  Packet probe;
+  probe.flow = testutil::MakeFlow(topo_, src, dst);
+  probe.src_host = src;
+  probe.dst_host = dst;
+  net_->InjectPacket(probe, 0);
+  net_->events().RunAll();
+  ASSERT_EQ(taken.size(), 5u);
+
+  SwitchNode& agg = net_->switch_at(taken[1]);
+  agg.SetBlackhole(taken[2]);
+  int drops_seen = 0;
+  bool silent_seen = false;
+  net_->SetDropHandler([&](const Packet&, SwitchId at, bool silent, SimTime) {
+    ++drops_seen;
+    silent_seen = silent;
+    EXPECT_EQ(at, taken[1]);
+  });
+  Packet p2 = probe;
+  p2.seq = 1;
+  net_->InjectPacket(p2, kNsPerSec);
+  net_->events().RunAll();
+  EXPECT_EQ(drops_seen, 1);
+  EXPECT_TRUE(silent_seen);
+  // The silent drop must NOT appear in the reported drop counter.
+  EXPECT_EQ(agg.counters().drops_reported, 0u);
+  EXPECT_EQ(agg.counters().drops_silent, 1u);
+}
+
+TEST_F(NetworkDelivery, SilentDropRateApproximatesConfigured) {
+  HostId src = topo_.hosts().front();
+  HostId dst = topo_.hosts().back();
+  Path taken;
+  net_->SetHostSink(dst, [&](const Packet& pkt, SimTime) { taken = pkt.trace; });
+  Packet probe;
+  probe.flow = testutil::MakeFlow(topo_, src, dst);
+  probe.src_host = src;
+  probe.dst_host = dst;
+  net_->InjectPacket(probe, 0);
+  net_->events().RunAll();
+  ASSERT_FALSE(taken.empty());
+
+  net_->switch_at(taken[0]).SetSilentDropRate(taken[1], 0.3);
+  int delivered = 0;
+  net_->SetHostSink(dst, [&](const Packet&, SimTime) { ++delivered; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    Packet p = probe;
+    p.seq = uint32_t(i + 1);
+    net_->InjectPacket(p, kNsPerSec + SimTime(i) * kNsPerUs);
+  }
+  net_->events().RunAll();
+  EXPECT_NEAR(double(delivered) / n, 0.7, 0.04);
+}
+
+TEST_F(NetworkDelivery, HopLimitKillsUntaggedLoops) {
+  // A loop among switches that never push 3 tags must still terminate.
+  testutil::LoopScenario sc = testutil::BuildLoopScenario();
+  NetworkConfig cfg;
+  cfg.max_hops = 40;
+  Network net(&sc.topo, cfg);
+  net.codec().SetGenericPushers({});  // nobody samples -> no punt possible
+  net.router().SetStaticNextHops(sc.s1, sc.host_b, {sc.s2});
+  net.router().SetStaticNextHops(sc.s2, sc.host_b, {sc.s3});
+  net.router().SetStaticNextHops(sc.s3, sc.host_b, {sc.s4});
+  net.router().SetStaticNextHops(sc.s4, sc.host_b, {sc.s5});
+  net.router().SetStaticNextHops(sc.s5, sc.host_b, {sc.s2});
+
+  Packet p;
+  p.flow = testutil::MakeFlow(sc.topo, sc.host_a, sc.host_b);
+  p.src_host = sc.host_a;
+  p.dst_host = sc.host_b;
+  net.InjectPacket(p, 0);
+  net.events().RunAll();
+  EXPECT_EQ(net.stats().hop_limit_drops, 1u);
+}
+
+TEST(SwitchNodeTest, PuntOnThreeTags) {
+  Topology topo = BuildFatTree(4);
+  Network net(&topo, NetworkConfig{});
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+  Packet p;
+  p.flow = testutil::MakeFlow(topo, src, dst);
+  p.src_host = src;
+  p.dst_host = dst;
+  p.tags = {1, 2, 3};  // already over the ASIC limit
+  SwitchId tor = topo.TorOfHost(src);
+
+  SwitchNode::Result res = net.switch_at(tor).Process(p, src, LoadBalanceMode::kEcmpHash);
+  EXPECT_EQ(res.outcome, SwitchNode::Outcome::kPunt);
+  EXPECT_EQ(net.switch_at(tor).counters().punted, 1u);
+}
+
+TEST(SwitchNodeTest, TwoTagsStillForwardAtLineRate) {
+  Topology topo = BuildFatTree(4);
+  Network net(&topo, NetworkConfig{});
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+  Packet p;
+  p.flow = testutil::MakeFlow(topo, src, dst);
+  p.src_host = src;
+  p.dst_host = dst;
+  p.tags = {1, 2};  // QinQ is fine
+  SwitchId tor = topo.TorOfHost(src);
+  SwitchNode::Result res = net.switch_at(tor).Process(p, src, LoadBalanceMode::kEcmpHash);
+  EXPECT_EQ(res.outcome, SwitchNode::Outcome::kForward);
+}
+
+TEST(SwitchNodeTest, EgressByteCounters) {
+  Topology topo = BuildFatTree(4);
+  Network net(&topo, NetworkConfig{});
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+  SwitchId tor = topo.TorOfHost(src);
+  Packet p;
+  p.flow = testutil::MakeFlow(topo, src, dst);
+  p.src_host = src;
+  p.dst_host = dst;
+  p.size_bytes = 1000;
+  SwitchNode::Result res = net.switch_at(tor).Process(p, src, LoadBalanceMode::kEcmpHash);
+  ASSERT_EQ(res.outcome, SwitchNode::Outcome::kForward);
+  EXPECT_EQ(net.switch_at(tor).EgressBytes(res.next), 1000u);
+}
+
+TEST(SwitchNodeTest, NoRouteIsReportedDrop) {
+  testutil::LoopScenario sc = testutil::BuildLoopScenario();
+  Network net(&sc.topo, NetworkConfig{});
+  // S1's only route to B runs via S2; kill it.
+  net.router().link_state().SetDown(sc.s1, sc.s2);
+  Packet p;
+  p.flow = testutil::MakeFlow(sc.topo, sc.host_a, sc.host_b);
+  p.src_host = sc.host_a;
+  p.dst_host = sc.host_b;
+  SwitchNode::Result res = net.switch_at(sc.s1).Process(p, sc.host_a, LoadBalanceMode::kEcmpHash);
+  EXPECT_EQ(res.outcome, SwitchNode::Outcome::kDrop);
+  EXPECT_FALSE(res.silent);
+  EXPECT_EQ(net.switch_at(sc.s1).counters().drops_reported, 1u);
+}
+
+TEST(SegmenterTest, SplitsAndFlags) {
+  FiveTuple flow{1, 2, 3, 4, kProtoTcp};
+  auto pkts = SegmentFlow(flow, 10, 20, 4000, 1460);
+  ASSERT_EQ(pkts.size(), 3u);
+  EXPECT_TRUE(pkts.front().syn);
+  EXPECT_FALSE(pkts.front().fin);
+  EXPECT_TRUE(pkts.back().fin);
+  EXPECT_EQ(pkts[0].size_bytes, 1460u);
+  EXPECT_EQ(pkts[2].size_bytes, uint32_t(4000 - 2 * 1460));
+  EXPECT_EQ(pkts[1].seq, 1u);
+}
+
+TEST(SegmenterTest, TinyFlowIsOnePacket) {
+  FiveTuple flow{1, 2, 3, 4, kProtoTcp};
+  auto pkts = SegmentFlow(flow, 10, 20, 1, 1460);
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_TRUE(pkts[0].syn);
+  EXPECT_TRUE(pkts[0].fin);
+  EXPECT_EQ(pkts[0].size_bytes, kMinPacketBytes);  // padded to minimum
+}
+
+}  // namespace
+}  // namespace pathdump

@@ -1,0 +1,144 @@
+// Tests for the per-packet trajectory log (the paper's future-work
+// extension) standalone and wired into the EdgeAgent data path.
+
+#include <gtest/gtest.h>
+
+#include "src/edge/edge_agent.h"
+#include "src/edge/fleet.h"
+#include "src/edge/packet_log.h"
+#include "src/netsim/network.h"
+#include "src/tcp/segmenter.h"
+#include "src/topology/fat_tree.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+PacketLogEntry Entry(uint16_t port, SimTime at, Path path = {1, 2, 3}, bool retx = false) {
+  PacketLogEntry e;
+  e.flow = FiveTuple{10, 20, port, 80, kProtoTcp};
+  e.path = CompactPath::FromPath(path);
+  e.at = at;
+  e.bytes = 100;
+  e.retx = retx;
+  return e;
+}
+
+TEST(PacketLogTest, AppendAndSize) {
+  PacketLog log(4);
+  EXPECT_EQ(log.size(), 0u);
+  log.Append(Entry(1, 10));
+  log.Append(Entry(2, 20));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.total_appended(), 2u);
+  EXPECT_EQ(log.capacity(), 4u);
+}
+
+TEST(PacketLogTest, RingOverwritesOldest) {
+  PacketLog log(3);
+  for (uint16_t i = 0; i < 5; ++i) {
+    log.Append(Entry(i, SimTime(i)));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_appended(), 5u);
+  std::vector<SimTime> order;
+  log.ForEach([&](const PacketLogEntry& e) { order.push_back(e.at); });
+  EXPECT_EQ(order, (std::vector<SimTime>{2, 3, 4})) << "oldest-to-newest, oldest evicted";
+}
+
+TEST(PacketLogTest, QueriesByFlowLinkTimeAndRetx) {
+  PacketLog log(16);
+  log.Append(Entry(1, 10, {1, 2, 3}));
+  log.Append(Entry(1, 20, {1, 4, 3}));
+  log.Append(Entry(2, 30, {1, 2, 3}, /*retx=*/true));
+
+  FiveTuple f1{10, 20, 1, 80, kProtoTcp};
+  EXPECT_EQ(log.PacketsOfFlow(f1, TimeRange::All()).size(), 2u);
+  EXPECT_EQ(log.PacketsOfFlow(f1, TimeRange{15, 100}).size(), 1u);
+  EXPECT_EQ(log.PacketsOnLink(LinkId{1, 2}, TimeRange::All()).size(), 2u);
+  EXPECT_EQ(log.PacketsOnLink(LinkId{1, 4}, TimeRange::All()).size(), 1u);
+  EXPECT_EQ(log.PacketsOnLink(LinkId{kInvalidNode, 3}, TimeRange::All()).size(), 3u);
+  auto retx = log.Retransmissions(TimeRange::All());
+  ASSERT_EQ(retx.size(), 1u);
+  EXPECT_EQ(retx[0].flow.src_port, 2);
+}
+
+TEST(PacketLogTest, BoundedMemoryAndClear) {
+  PacketLog log(1000);
+  size_t bound = log.ApproxBytes();
+  for (int i = 0; i < 100000; ++i) {
+    log.Append(Entry(uint16_t(i), SimTime(i)));
+  }
+  EXPECT_EQ(log.ApproxBytes(), bound) << "ring must not grow";
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(PacketLogTest, ZeroCapacityClampsToOne) {
+  PacketLog log(0);
+  log.Append(Entry(1, 1));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+class AgentPacketLog : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = BuildFatTree(4);
+    net_ = std::make_unique<Network>(&topo_, NetworkConfig{});
+    EdgeAgentConfig cfg;
+    cfg.packet_log_capacity = 1024;
+    fleet_ = std::make_unique<AgentFleet>(&topo_, &net_->codec(), cfg);
+    fleet_->AttachTo(*net_);
+  }
+  Topology topo_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<AgentFleet> fleet_;
+};
+
+TEST_F(AgentPacketLog, EveryDeliveredPacketIsLoggedWithItsPath) {
+  HostId src = topo_.hosts().front();
+  HostId dst = topo_.hosts().back();
+  FiveTuple flow = testutil::MakeFlow(topo_, src, dst);
+  auto pkts = SegmentFlow(flow, src, dst, 10000);
+  SimTime t = 0;
+  for (Packet& p : pkts) {
+    net_->InjectPacket(p, t);
+    t += 10 * kNsPerUs;
+  }
+  net_->events().RunAll();
+
+  EdgeAgent& agent = fleet_->agent(dst);
+  ASSERT_NE(agent.packet_log(), nullptr);
+  auto logged = agent.packet_log()->PacketsOfFlow(flow, TimeRange::All());
+  ASSERT_EQ(logged.size(), pkts.size());
+  for (const PacketLogEntry& e : logged) {
+    EXPECT_EQ(e.path.len, 5) << "per-packet decoded trajectory";
+    EXPECT_EQ(e.path.sw[0], topo_.TorOfHost(src));
+  }
+  // Per-packet detail the TIB cannot answer: which packet was the FIN.
+  EXPECT_TRUE(logged.back().fin);
+  EXPECT_FALSE(logged.front().fin);
+}
+
+TEST_F(AgentPacketLog, DisabledByDefault) {
+  EdgeAgentConfig cfg;  // default: no packet log
+  LinkLabelMap labels(&topo_);
+  CherryPickCodec codec(&topo_, &labels);
+  EdgeAgent agent(topo_.hosts()[1], &topo_, &codec, cfg);
+  EXPECT_EQ(agent.packet_log(), nullptr);
+}
+
+TEST_F(AgentPacketLog, UndecodablePacketLoggedWithRawTagCount) {
+  EdgeAgent& agent = fleet_->agent(topo_.hosts().back());
+  Packet p;
+  p.flow = testutil::MakeFlow(topo_, topo_.hosts().front(), topo_.hosts().back());
+  p.tags = {kMaxVlanLabel, kMaxVlanLabel};
+  agent.OnPacket(p, 0);
+  auto logged = agent.packet_log()->PacketsOfFlow(p.flow, TimeRange::All());
+  ASSERT_EQ(logged.size(), 1u);
+  EXPECT_EQ(logged[0].path.len, 0);
+  EXPECT_EQ(logged[0].raw_tag_count, 2);
+}
+
+}  // namespace
+}  // namespace pathdump

@@ -1,0 +1,260 @@
+// Wire-format accounting and merge-algebra tests for QueryResult, plus
+// assorted edge-case semantics (CompactPath truncation, RPC cost model,
+// degenerate aggregation trees, VL2 fluid paths).
+
+#include <gtest/gtest.h>
+
+#include "src/controller/aggregation_tree.h"
+#include "src/controller/rpc_model.h"
+#include "src/edge/fleet.h"
+#include "src/edge/query.h"
+#include "src/fluidsim/fluid.h"
+#include "src/topology/vl2.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+// --- Golden serialized sizes (the constants Figs. 11/12 traffic rests on) ---
+
+TEST(SerializationGolden, FixedFraming) {
+  // Header-only payloads.
+  EXPECT_EQ(SerializedBytes(QueryResult{std::monostate{}}), 16u);
+  EXPECT_EQ(SerializedBytes(QueryResult{CountSummary{1, 2}}), 32u);
+
+  // Histogram: 16 header + 8 binwidth + 12/bin.
+  FlowSizeHistogram h;
+  h.bins[0] = 5;
+  h.bins[7] = 1;
+  EXPECT_EQ(SerializedBytes(QueryResult{h}), 16u + 8u + 2u * 12u);
+
+  // Top-k: 16 + 21/item.
+  TopKFlows t;
+  t.items = {{100, FiveTuple{}}, {50, FiveTuple{}}, {10, FiveTuple{}}};
+  EXPECT_EQ(SerializedBytes(QueryResult{t}), 16u + 3u * 21u);
+
+  // FlowList: 16 + (13 + 1 + 4*len)/flow.
+  FlowList fl;
+  fl.flows.push_back(Flow{FiveTuple{}, {1, 2, 3}});
+  EXPECT_EQ(SerializedBytes(QueryResult{fl}), 16u + 13u + 1u + 12u);
+
+  // PathList: 16 + (1 + 4*len)/path.
+  PathList pl;
+  pl.paths.push_back({1, 2, 3, 4, 5});
+  pl.paths.push_back({9});
+  EXPECT_EQ(SerializedBytes(QueryResult{pl}), 16u + (1u + 20u) + (1u + 4u));
+}
+
+// --- Merge algebra: order independence where the semantics demand it ---
+
+TEST(MergeAlgebra, HistogramMergeIsCommutative) {
+  FlowSizeHistogram a;
+  a.bins[0] = 3;
+  a.bins[2] = 1;
+  FlowSizeHistogram b;
+  b.bins[2] = 4;
+  b.bins[5] = 2;
+
+  QueryResult ab = a;
+  MergeQueryResult(ab, QueryResult{b});
+  QueryResult ba = b;
+  MergeQueryResult(ba, QueryResult{a});
+  EXPECT_EQ(std::get<FlowSizeHistogram>(ab).bins, std::get<FlowSizeHistogram>(ba).bins);
+}
+
+TEST(MergeAlgebra, TopKMergeIsOrderIndependentOnKeys) {
+  auto item = [](uint64_t bytes, uint16_t port) {
+    return std::pair<uint64_t, FiveTuple>{bytes, FiveTuple{1, 2, port, 80, 6}};
+  };
+  TopKFlows a;
+  a.k = 3;
+  a.items = {item(50, 1), item(40, 2), item(30, 3)};
+  TopKFlows b;
+  b.k = 3;
+  b.items = {item(45, 4), item(35, 5)};
+
+  QueryResult ab = a;
+  MergeQueryResult(ab, QueryResult{b});
+  QueryResult ba = b;
+  MergeQueryResult(ba, QueryResult{a});
+  auto ka = std::get<TopKFlows>(ab);
+  auto kb = std::get<TopKFlows>(ba);
+  ka.Finalize();
+  kb.Finalize();
+  ASSERT_EQ(ka.items.size(), kb.items.size());
+  for (size_t i = 0; i < ka.items.size(); ++i) {
+    EXPECT_EQ(ka.items[i].first, kb.items[i].first);
+  }
+  // Trimmed to k with the right survivors: 50, 45, 40.
+  EXPECT_EQ(ka.items[0].first, 50u);
+  EXPECT_EQ(ka.items[2].first, 40u);
+}
+
+TEST(MergeAlgebra, TopKMergeIsAssociativeOnKeys) {
+  auto item = [](uint64_t bytes, uint16_t port) {
+    return std::pair<uint64_t, FiveTuple>{bytes, FiveTuple{1, 2, port, 80, 6}};
+  };
+  TopKFlows parts[3];
+  for (int i = 0; i < 3; ++i) {
+    parts[i].k = 2;
+    parts[i].items = {item(uint64_t(10 * (i + 1)), uint16_t(i * 2)),
+                      item(uint64_t(10 * (i + 1) + 5), uint16_t(i * 2 + 1))};
+  }
+  // (a+b)+c
+  QueryResult left = parts[0];
+  MergeQueryResult(left, QueryResult{parts[1]});
+  MergeQueryResult(left, QueryResult{parts[2]});
+  // a+(b+c)
+  QueryResult right_inner = parts[1];
+  MergeQueryResult(right_inner, QueryResult{parts[2]});
+  QueryResult right = parts[0];
+  MergeQueryResult(right, right_inner);
+
+  auto lk = std::get<TopKFlows>(left);
+  auto rk = std::get<TopKFlows>(right);
+  lk.Finalize();
+  rk.Finalize();
+  ASSERT_EQ(lk.items.size(), rk.items.size());
+  for (size_t i = 0; i < lk.items.size(); ++i) {
+    EXPECT_EQ(lk.items[i].first, rk.items[i].first);
+  }
+}
+
+TEST(MergeAlgebra, ListMergesConcatenate) {
+  FlowList a;
+  a.flows.push_back(Flow{FiveTuple{1, 2, 3, 4, 6}, {1}});
+  FlowList b;
+  b.flows.push_back(Flow{FiveTuple{1, 2, 5, 4, 6}, {2}});
+  QueryResult acc = a;
+  MergeQueryResult(acc, QueryResult{b});
+  EXPECT_EQ(std::get<FlowList>(acc).flows.size(), 2u);
+
+  PathList pa;
+  pa.paths.push_back({1});
+  QueryResult pacc = pa;
+  MergeQueryResult(pacc, QueryResult{PathList{{{2, 3}}}});
+  EXPECT_EQ(std::get<PathList>(pacc).paths.size(), 2u);
+}
+
+// --- CompactPath truncation semantics ---
+
+TEST(CompactPathLimits, OverlongPathsTruncateDeterministically) {
+  Path longer{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  CompactPath c = CompactPath::FromPath(longer);
+  EXPECT_EQ(c.len, CompactPath::kMaxSwitches);
+  Path back = c.ToPath();
+  EXPECT_EQ(back.size(), size_t(CompactPath::kMaxSwitches));
+  for (int i = 0; i < CompactPath::kMaxSwitches; ++i) {
+    EXPECT_EQ(back[size_t(i)], longer[size_t(i)]);
+  }
+}
+
+// --- RPC cost model arithmetic ---
+
+TEST(RpcModelTest, TransferMath) {
+  RpcModel rpc;
+  rpc.per_message_overhead_seconds = 0.001;
+  rpc.bandwidth_bytes_per_sec = 1000.0;
+  EXPECT_DOUBLE_EQ(rpc.TransferSeconds(0), 0.001);
+  EXPECT_DOUBLE_EQ(rpc.TransferSeconds(500), 0.001 + 0.5);
+  // Bigger payloads strictly cost more.
+  EXPECT_LT(rpc.TransferSeconds(10), rpc.TransferSeconds(1000));
+}
+
+// --- Degenerate aggregation trees ---
+
+TEST(AggregationDegenerate, ChainTree) {
+  std::vector<HostId> hosts{1, 2, 3, 4, 5};
+  AggregationTree chain = BuildAggregationTree(hosts, 1, 1);
+  EXPECT_EQ(chain.roots.size(), 1u);
+  EXPECT_EQ(chain.depth(), 5);
+  for (const AggregationNode& n : chain.nodes) {
+    EXPECT_LE(n.children.size(), 1u);
+  }
+}
+
+TEST(AggregationDegenerate, FlatTree) {
+  std::vector<HostId> hosts{1, 2, 3, 4, 5};
+  AggregationTree flat = BuildAggregationTree(hosts, 100, 4);
+  EXPECT_EQ(flat.roots.size(), 5u);
+  EXPECT_EQ(flat.depth(), 1);
+}
+
+// --- Fluid on VL2 ---
+
+TEST(Vl2Fluid, PathsAreLegalAndBytesConserved) {
+  Topology topo = BuildVl2(8, 4, 3, 2);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  AgentFleet fleet(&topo, &codec);
+  FluidConfig cfg;
+  FluidSimulation fluid(&topo, &router, cfg);
+
+  std::vector<FlowDesc> flows;
+  uint16_t port = 10000;
+  for (HostId src : topo.hosts()) {
+    for (HostId dst : topo.hosts()) {
+      if (src == dst) {
+        continue;
+      }
+      FlowDesc f;
+      f.src = src;
+      f.dst = dst;
+      f.bytes = 5000;
+      f.tuple = testutil::MakeFlow(topo, src, dst, port++);
+      flows.push_back(f);
+    }
+  }
+  auto stats = fluid.Run(flows, &fleet, nullptr);
+  EXPECT_EQ(stats.flows, flows.size());
+
+  uint64_t total_bytes = 0;
+  size_t records = 0;
+  for (EdgeAgent* agent : fleet.all()) {
+    for (const TibRecord& rec : agent->tib().records()) {
+      ++records;
+      total_bytes += rec.bytes;
+      // Legal VL2 path shapes: 1 (intra-rack), 3 (shared agg), 5 switches.
+      EXPECT_TRUE(rec.path.len == 1 || rec.path.len == 3 || rec.path.len == 5)
+          << int(rec.path.len);
+    }
+  }
+  EXPECT_EQ(records, flows.size());
+  EXPECT_EQ(total_bytes, uint64_t(flows.size()) * 5000u);
+}
+
+// --- GetFlows dedup + GetDuration multi-record semantics ---
+
+TEST(AgentSemantics, GetFlowsDedupsAndDurationSpans) {
+  Topology topo = BuildVl2(4, 4, 2, 2);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  EdgeAgent agent(topo.hosts().back(), &topo, &codec);
+
+  FiveTuple flow = testutil::MakeFlow(topo, topo.hosts().front(), topo.hosts().back());
+  Router router(&topo);
+  Path path = router.EcmpPaths(topo.hosts().front(), topo.hosts().back())[0];
+  // Two time-disjoint records of the same (flow, path).
+  for (int i = 0; i < 2; ++i) {
+    TibRecord rec;
+    rec.flow = flow;
+    rec.path = CompactPath::FromPath(path);
+    rec.stime = SimTime(i) * 10 * kNsPerSec;
+    rec.etime = rec.stime + kNsPerSec;
+    rec.bytes = 1000;
+    rec.pkts = 1;
+    agent.IngestRecord(rec, rec.etime);
+  }
+  LinkId any{kInvalidNode, kInvalidNode};
+  EXPECT_EQ(agent.GetFlows(any, TimeRange::All()).size(), 1u)
+      << "same (flow, path) must appear once";
+  EXPECT_EQ(agent.GetPaths(flow, any, TimeRange::All()).size(), 1u);
+  // Duration spans from first stime to last etime: 11 seconds.
+  EXPECT_EQ(agent.GetDuration(Flow{flow, path}, TimeRange::All()), 11 * kNsPerSec);
+  // Range restricted to the first record: 1 second.
+  EXPECT_EQ(agent.GetDuration(Flow{flow, path}, TimeRange{0, 5 * kNsPerSec}), kNsPerSec);
+}
+
+}  // namespace
+}  // namespace pathdump

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/topology/fat_tree.h"
+#include "src/topology/routing.h"
+#include "src/topology/vl2.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+// Follows NextHop from src to dst; returns the switch path (empty on drop).
+Path Walk(const Topology& topo, const Router& router, HostId src, HostId dst, uint64_t entropy,
+          int max_hops = 32) {
+  Path path;
+  NodeId prev = src;
+  NodeId cur = topo.TorOfHost(src);
+  for (int i = 0; i < max_hops; ++i) {
+    path.push_back(cur);
+    NodeId next = router.NextHop(cur, prev, dst, entropy);
+    if (next == kInvalidNode) {
+      return {};
+    }
+    if (next == dst) {
+      return path;
+    }
+    prev = cur;
+    cur = next;
+  }
+  return {};
+}
+
+class FatTreeRouting : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeRouting, EcmpPathCounts) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  Router router(&topo);
+  int half = k / 2;
+  const FatTreeMeta& m = *topo.fat_tree();
+
+  HostId h0 = topo.HostsOfTor(m.tor[0][0])[0];
+  HostId same_rack = topo.HostsOfTor(m.tor[0][0])[1];
+  HostId same_pod = topo.HostsOfTor(m.tor[0][1])[0];
+  HostId other_pod = topo.HostsOfTor(m.tor[1][0])[0];
+
+  EXPECT_EQ(router.EcmpPaths(h0, same_rack).size(), 1u);
+  EXPECT_EQ(router.EcmpPaths(h0, same_pod).size(), size_t(half));
+  EXPECT_EQ(router.EcmpPaths(h0, other_pod).size(), size_t(half * half));
+  EXPECT_EQ(router.ShortestPathSwitchCount(h0, other_pod), 5);
+  EXPECT_EQ(router.ShortestPathSwitchCount(h0, same_pod), 3);
+  EXPECT_EQ(router.ShortestPathSwitchCount(h0, same_rack), 1);
+}
+
+TEST_P(FatTreeRouting, EcmpPathsAreValidAndDistinct) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  Router router(&topo);
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+  std::set<Path> seen;
+  for (const Path& p : router.EcmpPaths(src, dst)) {
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate ECMP path";
+    // Endpoints correct.
+    EXPECT_EQ(p.front(), topo.TorOfHost(src));
+    EXPECT_EQ(p.back(), topo.TorOfHost(dst));
+    // Consecutive switches adjacent.
+    for (size_t i = 0; i + 1 < p.size(); ++i) {
+      EXPECT_TRUE(topo.Adjacent(p[i], p[i + 1]));
+    }
+  }
+}
+
+TEST_P(FatTreeRouting, WalkFollowsAnEcmpPath) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  Router router(&topo);
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+  std::vector<Path> expected = router.EcmpPaths(src, dst);
+  std::set<Path> expected_set(expected.begin(), expected.end());
+  for (uint64_t entropy = 0; entropy < 32; ++entropy) {
+    Path got = Walk(topo, router, src, dst, entropy);
+    ASSERT_FALSE(got.empty());
+    EXPECT_TRUE(expected_set.count(got) > 0) << PathToString(got);
+  }
+}
+
+TEST_P(FatTreeRouting, EntropyCoversAllPaths) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  Router router(&topo);
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+  size_t want = router.EcmpPaths(src, dst).size();
+  std::set<Path> seen;
+  for (uint64_t entropy = 0; entropy < 4096 && seen.size() < want; ++entropy) {
+    seen.insert(Walk(topo, router, src, dst, entropy));
+  }
+  EXPECT_EQ(seen.size(), want) << "some equal-cost path unreachable by entropy";
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeRouting, ::testing::Values(4, 6, 8));
+
+TEST(FatTreeFailover, DstPodTorBounceProducesSixHopPath) {
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  const FatTreeMeta& m = *topo.fat_tree();
+  HostId src = topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo.HostsOfTor(m.tor[1][0])[0];
+
+  // Find the path entropy 0 uses, then break its dst-pod agg->tor link.
+  Path base = Walk(topo, router, src, dst, 0);
+  ASSERT_EQ(base.size(), 5u);
+  NodeId down_agg = base[3];
+  NodeId dst_tor = base[4];
+  router.link_state().SetDown(down_agg, dst_tor);
+
+  Path detour = Walk(topo, router, src, dst, 0);
+  ASSERT_EQ(detour.size(), 7u) << PathToString(detour);
+  // Prefix unchanged.
+  EXPECT_EQ(detour[0], base[0]);
+  EXPECT_EQ(detour[1], base[1]);
+  EXPECT_EQ(detour[2], base[2]);
+  EXPECT_EQ(detour[3], down_agg);
+  // Valley ToR is in the dst pod and is not the dst ToR.
+  EXPECT_EQ(topo.RoleOf(detour[4]), NodeRole::kTor);
+  EXPECT_NE(detour[4], dst_tor);
+  // Re-ascends to a different aggregate, then reaches the dst ToR.
+  EXPECT_EQ(topo.RoleOf(detour[5]), NodeRole::kAgg);
+  EXPECT_NE(detour[5], down_agg);
+  EXPECT_EQ(detour[6], dst_tor);
+}
+
+TEST(FatTreeFailover, SrcPodBounceWhenAllUplinksDead) {
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  const FatTreeMeta& m = *topo.fat_tree();
+  HostId src = topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo.HostsOfTor(m.tor[1][0])[0];
+
+  Path base = Walk(topo, router, src, dst, 7);
+  ASSERT_EQ(base.size(), 5u);
+  NodeId first_agg = base[1];
+  // Kill ALL core uplinks of the chosen aggregate.
+  for (NodeId nbr : topo.NeighborsOf(first_agg)) {
+    if (topo.RoleOf(nbr) == NodeRole::kCore) {
+      router.link_state().SetDown(first_agg, nbr);
+    }
+  }
+  Path detour = Walk(topo, router, src, dst, 7);
+  ASSERT_EQ(detour.size(), 7u) << PathToString(detour);
+  EXPECT_EQ(detour[1], first_agg);
+  EXPECT_EQ(topo.RoleOf(detour[2]), NodeRole::kTor);  // bounce ToR
+  EXPECT_EQ(topo.RoleOf(detour[3]), NodeRole::kAgg);  // second aggregate
+  EXPECT_NE(detour[3], first_agg);
+  EXPECT_EQ(topo.RoleOf(detour[4]), NodeRole::kCore);
+}
+
+TEST(FatTreeFailover, TorUplinkFailureStaysShortest) {
+  Topology topo = BuildFatTree(4);
+  Router router(&topo);
+  const FatTreeMeta& m = *topo.fat_tree();
+  HostId src = topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo.HostsOfTor(m.tor[1][0])[0];
+  // Break ToR -> agg0; ECMP must use agg1, path stays 5 switches.
+  router.link_state().SetDown(m.tor[0][0], m.agg[0][0]);
+  for (uint64_t e = 0; e < 16; ++e) {
+    Path p = Walk(topo, router, src, dst, e);
+    ASSERT_EQ(p.size(), 5u);
+    EXPECT_EQ(p[1], m.agg[0][1]);
+  }
+}
+
+TEST(LinkStateTest, UndirectedSemantics) {
+  LinkStateSet ls;
+  EXPECT_TRUE(ls.empty());
+  ls.SetDown(3, 7);
+  EXPECT_TRUE(ls.IsDown(3, 7));
+  EXPECT_TRUE(ls.IsDown(7, 3));
+  ls.SetUp(7, 3);
+  EXPECT_FALSE(ls.IsDown(3, 7));
+}
+
+TEST(Vl2Routing, PathShapes) {
+  Topology topo = BuildVl2(8, 4, 3, 2);
+  Router router(&topo);
+  const Vl2Meta& m = *topo.vl2();
+  HostId h0 = topo.HostsOfTor(m.tor[0])[0];
+  HostId same_rack = topo.HostsOfTor(m.tor[0])[1];
+  // ToR 0 uplinks to aggs {0,1}; ToR 4 uplinks to aggs {(8)%4, (9)%4} = {0,1}:
+  // shared aggregates -> 3-switch paths.  ToR 1 uses {2,3}: disjoint.
+  HostId shared = topo.HostsOfTor(m.tor[4])[0];
+  HostId disjoint = topo.HostsOfTor(m.tor[1])[0];
+
+  EXPECT_EQ(router.EcmpPaths(h0, same_rack).size(), 1u);
+  auto shared_paths = router.EcmpPaths(h0, shared);
+  ASSERT_FALSE(shared_paths.empty());
+  EXPECT_EQ(shared_paths.front().size(), 3u);
+  auto disjoint_paths = router.EcmpPaths(h0, disjoint);
+  ASSERT_FALSE(disjoint_paths.empty());
+  EXPECT_EQ(disjoint_paths.front().size(), 5u);
+  // 2 up-aggs x 3 intermediates x 2 down-aggs.
+  EXPECT_EQ(disjoint_paths.size(), 12u);
+
+  for (uint64_t e = 0; e < 8; ++e) {
+    Path p = Walk(topo, router, h0, disjoint, e);
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.size(), 5u);
+  }
+}
+
+TEST(GenericRouting, StaticNextHopsAndBfs) {
+  using testutil::BuildLoopScenario;
+  testutil::LoopScenario sc = BuildLoopScenario();
+  Router router(&sc.topo);
+
+  // BFS shortest: A->B goes S1 S2 S3 S4 S6.
+  Path p = Walk(sc.topo, router, sc.host_a, sc.host_b, 0);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p[0], sc.s1);
+  EXPECT_EQ(p[4], sc.s6);
+
+  // Static override: pin S4 to forward via S5 (a misconfiguration), S5 to
+  // S2 — the Fig. 9 loop.
+  router.SetStaticNextHops(sc.s4, sc.host_b, {sc.s5});
+  router.SetStaticNextHops(sc.s5, sc.host_b, {sc.s2});
+  Path looped = Walk(sc.topo, router, sc.host_a, sc.host_b, 0, /*max_hops=*/12);
+  EXPECT_TRUE(looped.empty());  // never reaches B within the hop budget
+}
+
+}  // namespace
+}  // namespace pathdump

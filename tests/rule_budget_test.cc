@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "src/switchsim/rule_budget.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/vl2.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+class FatTreeRules : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeRules, PerSwitchBudgetIsLinearInPorts) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  // §3.1: rules grow linearly with port density — every switch's budget is
+  // bounded by a small constant times k.
+  for (SwitchId sw : topo.switches()) {
+    RuleBudget b = ComputeRuleBudget(topo, sw);
+    EXPECT_GT(b.total(), 0);
+    EXPECT_LE(b.total(), 3 * k) << topo.NameOf(sw);
+  }
+  RuleBudget mx = MaxPerSwitchRuleBudget(topo);
+  EXPECT_LE(mx.total(), 3 * k);
+}
+
+TEST_P(FatTreeRules, BudgetScalesLinearlyAcrossK) {
+  int k = GetParam();
+  if (k < 8) {
+    GTEST_SKIP();
+  }
+  Topology big = BuildFatTree(k);
+  Topology small = BuildFatTree(k / 2);
+  // Max per-switch budget roughly doubles when k doubles (linear, not
+  // quadratic like per-path rule schemes).
+  double ratio = double(MaxPerSwitchRuleBudget(big).total()) /
+                 double(MaxPerSwitchRuleBudget(small).total());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeRules, ::testing::Values(4, 8, 16, 32));
+
+TEST(Vl2Rules, TwoTaggingRulesPerAggIngressPort) {
+  Topology topo = BuildVl2(8, 4, 3, 2);
+  const Vl2Meta& m = *topo.vl2();
+  for (NodeId agg : m.agg) {
+    int ports = int(topo.NeighborsOf(agg).size());
+    RuleBudget b = ComputeRuleBudget(topo, agg);
+    EXPECT_EQ(b.tagging, 2 * ports) << "paper: two rules per ingress port";
+  }
+  for (NodeId mid : m.intermediate) {
+    RuleBudget b = ComputeRuleBudget(topo, mid);
+    EXPECT_EQ(b.tagging, int(topo.NeighborsOf(mid).size()));
+  }
+  // ToRs never sample on VL2 (the agg sets DSCP).
+  for (NodeId tor : m.tor) {
+    EXPECT_EQ(ComputeRuleBudget(topo, tor).tagging, 0);
+  }
+}
+
+TEST(GenericRules, EverySwitchGetsABudget) {
+  testutil::LoopScenario sc = testutil::BuildLoopScenario();
+  RuleBudget total = TotalRuleBudget(sc.topo);
+  EXPECT_GT(total.forwarding, 0);
+  EXPECT_GT(total.tagging, 0);
+}
+
+TEST(RuleBudgetTotals, OneTimeInstallationIsSmall) {
+  // A 27K-host fat-tree's entire static rule installation is well under
+  // typical TCAM capacities per switch (thousands of entries).
+  Topology topo = BuildFatTree(16);
+  RuleBudget mx = MaxPerSwitchRuleBudget(topo);
+  EXPECT_LT(mx.total(), 4096);
+}
+
+}  // namespace
+}  // namespace pathdump

@@ -1,0 +1,225 @@
+// Larger-topology scenario sweeps for the debugging applications, plus
+// stress/robustness checks on the simulation substrate.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/blackhole.h"
+#include "src/apps/silent_drop.h"
+#include "src/controller/controller.h"
+#include "src/edge/fleet.h"
+#include "src/fluidsim/fluid.h"
+#include "src/netsim/network.h"
+#include "src/topology/fat_tree.h"
+#include "src/workload/flow_size.h"
+#include "src/workload/traffic_gen.h"
+#include "tests/test_util.h"
+
+namespace pathdump {
+namespace {
+
+// --- Silent-drop localization across topology sizes ---
+
+class SilentDropScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(SilentDropScale, LocalizesOnBiggerFabrics) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  AgentFleet fleet(&topo, &codec);
+  Controller controller;
+  controller.RegisterFleet(fleet);
+  fleet.SetAlarmHandler(controller.MakeAlarmSink());
+  SilentDropDebugger debugger(&controller, &fleet);
+  debugger.Start();
+
+  const FatTreeMeta& m = *topo.fat_tree();
+  // Fault on an agg->core uplink in pod 1 (agg index 1's first core).
+  NodeId agg = m.agg[1][1];
+  NodeId core = m.core[size_t(1 * (k / 2))];
+  FluidConfig cfg;
+  cfg.seed = uint64_t(k);
+  FluidSimulation fluid(&topo, &router, cfg);
+  fluid.AddSilentDrop(agg, core, 0.03);
+
+  WebSearchFlowSizes sizes;
+  TrafficGenerator gen(&topo, &sizes);
+  TrafficParams params;
+  params.flows_per_sec_per_host = 10;
+  params.duration = 15 * kNsPerSec;
+  params.seed = uint64_t(k) * 3 + 1;
+  fluid.Run(gen.Generate(params), &fleet, controller.MakeAlarmSink());
+
+  ASSERT_GT(debugger.signature_count(), 0u) << "fault never exercised";
+  auto acc = debugger.Accuracy({{agg, core}});
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SilentDropScale, ::testing::Values(4, 6, 8));
+
+// --- Blackhole diagnosis scales: candidate sets stay small ---
+
+class BlackholeScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlackholeScale, CandidateSetStaysConstantWhilePathsGrow) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  Router router(&topo);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  const FatTreeMeta& m = *topo.fat_tree();
+  HostId src = topo.HostsOfTor(m.tor[0][0])[0];
+  HostId dst = topo.HostsOfTor(m.tor[1][0])[0];
+  EdgeAgent agent(dst, &topo, &codec);
+  FiveTuple flow = testutil::MakeFlow(topo, src, dst);
+
+  std::vector<Path> all = router.EcmpPaths(src, dst);
+  size_t expected_paths = size_t(k / 2) * size_t(k / 2);
+  ASSERT_EQ(all.size(), expected_paths);
+  // One agg-core blackhole kills exactly one subflow.
+  for (size_t i = 1; i < all.size(); ++i) {
+    TibRecord rec;
+    rec.flow = flow;
+    rec.path = CompactPath::FromPath(all[i]);
+    rec.stime = 0;
+    rec.etime = 100;
+    rec.bytes = 10000;
+    rec.pkts = 7;
+    agent.IngestRecord(rec, 100);
+  }
+  BlackholeDiagnosis d = DiagnoseBlackhole(router, agent, flow, src, dst, TimeRange::All());
+  ASSERT_EQ(d.missing.size(), 1u);
+  // The search-space reduction is the point: 3 candidates no matter how
+  // many equal-cost paths the fabric has (the paper's 3-of-10 at k=4).
+  EXPECT_EQ(d.candidates.size(), 3u) << "k=" << k << " paths=" << expected_paths;
+  EXPECT_EQ(d.refined_candidates.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, BlackholeScale, ::testing::Values(4, 6, 8));
+
+// --- Agent wildcard semantics through the full API ---
+
+TEST(WildcardSemantics, OutgoingLinkQuery) {
+  Topology topo = BuildFatTree(4);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  Router router(&topo);
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+  EdgeAgent agent(dst, &topo, &codec);
+
+  Path p = router.EcmpPaths(src, dst)[0];
+  TibRecord rec;
+  rec.flow = testutil::MakeFlow(topo, src, dst);
+  rec.path = CompactPath::FromPath(p);
+  rec.stime = 0;
+  rec.etime = 100;
+  rec.bytes = 1;
+  rec.pkts = 1;
+  agent.IngestRecord(rec, 100);
+
+  // (Si, ?) matches every switch with an outgoing hop; the last switch of
+  // the path has none.
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    EXPECT_EQ(agent.GetFlows(LinkId{p[i], kInvalidNode}, TimeRange::All()).size(), 1u);
+  }
+  EXPECT_TRUE(agent.GetFlows(LinkId{p.back(), kInvalidNode}, TimeRange::All()).empty());
+  // (?, Sj): everything but the first switch.
+  EXPECT_TRUE(agent.GetFlows(LinkId{kInvalidNode, p.front()}, TimeRange::All()).empty());
+  for (size_t i = 1; i < p.size(); ++i) {
+    EXPECT_EQ(agent.GetFlows(LinkId{kInvalidNode, p[i]}, TimeRange::All()).size(), 1u);
+  }
+}
+
+// --- Substrate stress ---
+
+TEST(EventQueueStress, HundredThousandInterleavedEvents) {
+  EventQueue q;
+  Rng rng(3);
+  int64_t fired = 0;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 100000; ++i) {
+    q.Schedule(SimTime(rng.UniformInt(1000000)), [&, i] {
+      ++fired;
+      if (q.now() < last) {
+        monotone = false;
+      }
+      last = q.now();
+      if (i % 1000 == 0) {
+        q.ScheduleAfter(1, [&] { ++fired; });
+      }
+    });
+  }
+  q.RunAll();
+  EXPECT_EQ(fired, 100000 + 100);
+  EXPECT_TRUE(monotone) << "event clock must never go backwards";
+}
+
+TEST(NetworkStress, ManyConcurrentFlowsAllDecode) {
+  Topology topo = BuildFatTree(6);
+  Network net(&topo, NetworkConfig{});
+  AgentFleet fleet(&topo, &net.codec());
+  fleet.AttachTo(net);
+
+  Rng rng(8);
+  const auto& hosts = topo.hosts();
+  int injected = 0;
+  for (int i = 0; i < 5000; ++i) {
+    HostId src = hosts[rng.UniformInt(uint32_t(hosts.size()))];
+    HostId dst = hosts[rng.UniformInt(uint32_t(hosts.size()))];
+    if (src == dst) {
+      continue;
+    }
+    Packet p;
+    p.flow = testutil::MakeFlow(topo, src, dst, uint16_t(1024 + i % 60000));
+    p.src_host = src;
+    p.dst_host = dst;
+    p.fin = true;
+    net.InjectPacket(p, SimTime(i) * kNsPerUs);
+    ++injected;
+  }
+  net.events().RunAll();
+  fleet.FlushAll(net.events().now());
+
+  uint64_t failures = 0;
+  size_t records = 0;
+  for (EdgeAgent* a : fleet.all()) {
+    failures += a->decode_failures();
+    records += a->tib().size();
+  }
+  EXPECT_EQ(failures, 0u);
+  EXPECT_EQ(records, size_t(injected));
+  EXPECT_EQ(net.stats().delivered, uint64_t(injected));
+}
+
+TEST(SwitchCounters, ConservationAcrossTheFabric) {
+  Topology topo = BuildFatTree(4);
+  Network net(&topo, NetworkConfig{});
+  HostId src = topo.hosts().front();
+  HostId dst = topo.hosts().back();
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    Packet p;
+    p.flow = testutil::MakeFlow(topo, src, dst, uint16_t(2000 + i));
+    p.src_host = src;
+    p.dst_host = dst;
+    net.InjectPacket(p, SimTime(i) * kNsPerUs);
+  }
+  net.events().RunAll();
+
+  uint64_t delivered = 0;
+  uint64_t forwarded = 0;
+  for (SwitchId sw : topo.switches()) {
+    const SwitchCounters& c = net.switch_at(sw).counters();
+    delivered += c.delivered;
+    forwarded += c.forwarded;
+  }
+  EXPECT_EQ(delivered, uint64_t(n)) << "exactly one switch delivers each packet";
+  // Inter-pod 5-switch path: 4 forward operations + 1 delivery per packet.
+  EXPECT_EQ(forwarded, uint64_t(n) * 4u);
+}
+
+}  // namespace
+}  // namespace pathdump

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/tcp/outcast.h"
+#include "src/tcp/retx_monitor.h"
+
+namespace pathdump {
+namespace {
+
+TEST(RetxMonitorTest, ConsecutiveCountingAndReset) {
+  RetxMonitor m;
+  FiveTuple f{1, 2, 3, 4, 6};
+  m.OnRetransmission(f, 10);
+  m.OnRetransmission(f, 20);
+  EXPECT_EQ(m.ConsecutiveRetx(f), 2);
+  EXPECT_EQ(m.TotalRetx(f), 2u);
+  EXPECT_EQ(m.LastRetxAt(f), 20);
+  m.OnProgress(f);
+  EXPECT_EQ(m.ConsecutiveRetx(f), 0);
+  EXPECT_EQ(m.TotalRetx(f), 2u) << "total survives progress";
+}
+
+TEST(RetxMonitorTest, PoorFlowThreshold) {
+  RetxMonitor m;
+  FiveTuple poor{1, 2, 3, 4, 6};
+  FiveTuple fine{1, 2, 5, 4, 6};
+  for (int i = 0; i < 3; ++i) {
+    m.OnRetransmission(poor, i);
+  }
+  m.OnRetransmission(fine, 0);
+  auto flows = m.PoorTcpFlows(3);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0], poor);
+  EXPECT_EQ(m.PoorTcpFlows(4).size(), 0u);
+}
+
+TEST(RetxMonitorTest, ForgetDropsState) {
+  RetxMonitor m;
+  FiveTuple f{1, 2, 3, 4, 6};
+  m.OnRetransmission(f, 1);
+  EXPECT_EQ(m.TrackedFlows(), 1u);
+  m.Forget(f);
+  EXPECT_EQ(m.TrackedFlows(), 0u);
+  EXPECT_EQ(m.ConsecutiveRetx(f), 0);
+}
+
+TEST(RetxMonitorTest, ProgressOnUnknownFlowIsSafe) {
+  RetxMonitor m;
+  m.OnProgress(FiveTuple{9, 9, 9, 9, 9});
+  EXPECT_EQ(m.TrackedFlows(), 0u);
+}
+
+TEST(OutcastTest, CloseSenderIsStarved) {
+  OutcastConfig cfg;
+  cfg.rounds = 2000;
+  cfg.seed = 7;
+  OutcastSimulator sim(cfg);
+  auto stats = sim.Run();
+  ASSERT_EQ(stats.size(), 15u);
+
+  // Flow 0 (alone on its input port) must be the worst performer, by a
+  // wide margin versus the mean of the others — the outcast profile.
+  double victim = stats[0].throughput_mbps;
+  double sum_others = 0;
+  double min_other = 1e18;
+  for (size_t i = 1; i < stats.size(); ++i) {
+    sum_others += stats[i].throughput_mbps;
+    min_other = std::min(min_other, stats[i].throughput_mbps);
+  }
+  double mean_others = sum_others / double(stats.size() - 1);
+  EXPECT_LT(victim, mean_others / 2.0)
+      << "victim " << victim << " vs mean others " << mean_others;
+  EXPECT_GT(stats[0].timeouts, 0) << "whole-window losses must cause RTOs";
+}
+
+TEST(OutcastTest, RetxEventsTimeOrdered) {
+  OutcastConfig cfg;
+  cfg.rounds = 500;
+  OutcastSimulator sim(cfg);
+  sim.Run();
+  const auto& events = sim.retx_events();
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].at, events[i - 1].at);
+  }
+  // Some whole-window losses occur, and they involve flow 0.
+  bool victim_window_loss = false;
+  for (const RetxEvent& e : events) {
+    if (e.flow_index == 0 && e.window_lost) {
+      victim_window_loss = true;
+    }
+  }
+  EXPECT_TRUE(victim_window_loss);
+}
+
+TEST(OutcastTest, BalancedPortsAreFair) {
+  // Control experiment: equal flow counts per port -> no outcast victim.
+  OutcastConfig cfg;
+  cfg.flows_per_port = {5, 5, 5};
+  cfg.rounds = 2000;
+  cfg.seed = 11;
+  OutcastSimulator sim(cfg);
+  auto stats = sim.Run();
+  double mn = 1e18;
+  double mx = 0;
+  for (const auto& s : stats) {
+    mn = std::min(mn, s.throughput_mbps);
+    mx = std::max(mx, s.throughput_mbps);
+  }
+  EXPECT_LT(mx / std::max(mn, 1e-9), 3.0) << "no flow should be starved";
+}
+
+TEST(OutcastTest, DeterministicUnderSeed) {
+  OutcastConfig cfg;
+  cfg.rounds = 300;
+  cfg.seed = 5;
+  auto a = OutcastSimulator(cfg).Run();
+  auto b = OutcastSimulator(cfg).Run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].delivered_pkts, b[i].delivered_pkts);
+  }
+}
+
+}  // namespace
+}  // namespace pathdump

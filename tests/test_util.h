@@ -1,0 +1,91 @@
+// Shared helpers for the PathDump test suite.
+
+#ifndef PATHDUMP_TESTS_TEST_UTIL_H_
+#define PATHDUMP_TESTS_TEST_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/cherrypick/codec.h"
+#include "src/common/types.h"
+#include "src/topology/topology.h"
+
+namespace pathdump {
+namespace testutil {
+
+// Walks `path` (switch sequence) from src to dst, applying the CherryPick
+// encoder at each hop exactly as a switch pipeline would, and returns the
+// resulting (dscp, tags-in-push-order) trajectory header.
+inline std::pair<LinkLabel, std::vector<LinkLabel>> EncodeAlongPath(
+    const CherryPickCodec& codec, HostId src, HostId dst, const Path& path) {
+  LinkLabel dscp = 0;
+  std::vector<LinkLabel> tags;
+  for (size_t i = 0; i < path.size(); ++i) {
+    NodeId in = (i == 0) ? NodeId(src) : path[i - 1];
+    NodeId out = (i + 1 < path.size()) ? path[i + 1] : NodeId(dst);
+    TagAction act = codec.OnForward(path[i], in, out, dst, int(tags.size()), dscp);
+    if (act.push_vlan) {
+      tags.push_back(act.vlan);
+    }
+    if (act.set_dscp) {
+      dscp = act.dscp;
+    }
+  }
+  return {dscp, tags};
+}
+
+// A FiveTuple between two hosts with distinguishable ports.
+inline FiveTuple MakeFlow(const Topology& topo, HostId src, HostId dst, uint16_t src_port = 10000,
+                          uint16_t dst_port = 80, uint8_t proto = kProtoTcp) {
+  FiveTuple t;
+  t.src_ip = topo.IpOfHost(src);
+  t.dst_ip = topo.IpOfHost(dst);
+  t.src_port = src_port;
+  t.dst_port = dst_port;
+  t.protocol = proto;
+  return t;
+}
+
+// The paper's Fig. 9 scenario topology: a chain of switches S1..S6 with
+// hosts A (at S1) and B (at S6); S2..S5 can be misconfigured into a loop.
+//
+//   A - S1 - S2 - S3 - S4 - S6 - B
+//                  \    |
+//                   \   |
+//                    \  |
+//                     S5
+//
+// Links: S1-S2, S2-S3, S3-S4, S4-S5, S5-S2, S4-S6 (S5 closes the loop).
+struct LoopScenario {
+  Topology topo;
+  HostId host_a = kInvalidNode;
+  HostId host_b = kInvalidNode;
+  SwitchId s1, s2, s3, s4, s5, s6;
+};
+
+inline LoopScenario BuildLoopScenario() {
+  LoopScenario sc;
+  Topology& t = sc.topo;
+  sc.s1 = t.AddSwitch(NodeRole::kTor, -1, 0, "S1");
+  sc.s2 = t.AddSwitch(NodeRole::kAgg, -1, 1, "S2");
+  sc.s3 = t.AddSwitch(NodeRole::kAgg, -1, 2, "S3");
+  sc.s4 = t.AddSwitch(NodeRole::kAgg, -1, 3, "S4");
+  sc.s5 = t.AddSwitch(NodeRole::kAgg, -1, 4, "S5");
+  sc.s6 = t.AddSwitch(NodeRole::kTor, -1, 5, "S6");
+  t.AddLink(sc.s1, sc.s2);
+  t.AddLink(sc.s2, sc.s3);
+  t.AddLink(sc.s3, sc.s4);
+  t.AddLink(sc.s4, sc.s5);
+  t.AddLink(sc.s5, sc.s2);
+  t.AddLink(sc.s4, sc.s6);
+  sc.host_a = t.AddHost(-1, 0, "A");
+  t.AddLink(sc.host_a, sc.s1);
+  sc.host_b = t.AddHost(-1, 1, "B");
+  t.AddLink(sc.host_b, sc.s6);
+  return sc;
+}
+
+}  // namespace testutil
+}  // namespace pathdump
+
+#endif  // PATHDUMP_TESTS_TEST_UTIL_H_

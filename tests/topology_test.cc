@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/topology/fat_tree.h"
+#include "src/topology/topology.h"
+#include "src/topology/vl2.h"
+
+namespace pathdump {
+namespace {
+
+class FatTreeStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeStructure, NodeCounts) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  int half = k / 2;
+  const FatTreeMeta& m = *topo.fat_tree();
+
+  EXPECT_EQ(m.k, k);
+  EXPECT_EQ(int(m.core.size()), half * half);
+  EXPECT_EQ(int(m.tor.size()), k);
+  EXPECT_EQ(int(m.agg.size()), k);
+  for (int p = 0; p < k; ++p) {
+    EXPECT_EQ(int(m.tor[size_t(p)].size()), half);
+    EXPECT_EQ(int(m.agg[size_t(p)].size()), half);
+  }
+  // k^3/4 hosts total.
+  EXPECT_EQ(int(topo.hosts().size()), k * k * k / 4);
+  // Switches: k^2/4 cores + k*k/2 tors + k*k/2 aggs... = 5k^2/4.
+  EXPECT_EQ(int(topo.switches().size()), 5 * k * k / 4);
+}
+
+TEST_P(FatTreeStructure, Degrees) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  for (SwitchId sw : topo.switches()) {
+    // Every switch in a fat-tree has exactly k ports used.
+    EXPECT_EQ(int(topo.NeighborsOf(sw).size()), k) << topo.NameOf(sw);
+  }
+  for (HostId h : topo.hosts()) {
+    EXPECT_EQ(topo.NeighborsOf(h).size(), 1u);
+  }
+}
+
+TEST_P(FatTreeStructure, CoreWiring) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  int half = k / 2;
+  const FatTreeMeta& m = *topo.fat_tree();
+  // Core c connects to agg index c/half in every pod.
+  for (int c = 0; c < half * half; ++c) {
+    NodeId core = m.core[size_t(c)];
+    int group = c / half;
+    for (int p = 0; p < k; ++p) {
+      EXPECT_TRUE(topo.Adjacent(core, m.agg[size_t(p)][size_t(group)]));
+    }
+    EXPECT_EQ(fat_tree::GroupOfCore(topo, core), group);
+  }
+}
+
+TEST_P(FatTreeStructure, PodWiring) {
+  int k = GetParam();
+  Topology topo = BuildFatTree(k);
+  int half = k / 2;
+  const FatTreeMeta& m = *topo.fat_tree();
+  for (int p = 0; p < k; ++p) {
+    for (int t = 0; t < half; ++t) {
+      for (int a = 0; a < half; ++a) {
+        EXPECT_TRUE(topo.Adjacent(m.tor[size_t(p)][size_t(t)], m.agg[size_t(p)][size_t(a)]));
+      }
+      EXPECT_EQ(int(topo.HostsOfTor(m.tor[size_t(p)][size_t(t)]).size()), half);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeStructure, ::testing::Values(4, 6, 8));
+
+TEST(TopologyTest, IpMapping) {
+  Topology topo = BuildFatTree(4);
+  for (HostId h : topo.hosts()) {
+    IpAddr ip = topo.IpOfHost(h);
+    EXPECT_EQ(topo.HostOfIp(ip), h);
+  }
+  EXPECT_EQ(topo.HostOfIp(0x0B000001), kInvalidNode);           // wrong prefix
+  EXPECT_EQ(topo.HostOfIp(kHostIpBase | 0xFFFFFF), kInvalidNode);  // out of range
+  // A switch NodeId is not a host.
+  EXPECT_EQ(topo.HostOfIp(kHostIpBase | topo.switches()[0]), kInvalidNode);
+}
+
+TEST(TopologyTest, Layers) {
+  Topology topo = BuildFatTree(4);
+  const FatTreeMeta& m = *topo.fat_tree();
+  NodeId core = m.core[0];
+  NodeId agg = m.agg[0][0];
+  NodeId tor = m.tor[0][0];
+  HostId host = topo.hosts()[0];
+  EXPECT_TRUE(topo.IsAbove(core, agg));
+  EXPECT_TRUE(topo.IsAbove(agg, tor));
+  EXPECT_TRUE(topo.IsAbove(tor, host));
+  EXPECT_FALSE(topo.IsAbove(tor, core));
+  EXPECT_EQ(topo.LayerOf(host), 0);
+  EXPECT_EQ(topo.LayerOf(core), 3);
+}
+
+TEST(TopologyTest, PortsAreStable) {
+  Topology topo = BuildFatTree(4);
+  // PortTo is the index into the neighbor list and is symmetric-consistent.
+  const FatTreeMeta& m = *topo.fat_tree();
+  NodeId tor = m.tor[0][0];
+  NodeId agg = m.agg[0][0];
+  int p = topo.PortTo(tor, agg);
+  ASSERT_GE(p, 0);
+  EXPECT_EQ(topo.NeighborsOf(tor)[size_t(p)], agg);
+  EXPECT_EQ(topo.PortTo(tor, m.core[0]), -1);  // not adjacent
+}
+
+TEST(TopologyTest, TorOfHostConsistent) {
+  Topology topo = BuildFatTree(6);
+  for (HostId h : topo.hosts()) {
+    SwitchId tor = topo.TorOfHost(h);
+    EXPECT_EQ(topo.RoleOf(tor), NodeRole::kTor);
+    auto hosts = topo.HostsOfTor(tor);
+    EXPECT_NE(std::find(hosts.begin(), hosts.end(), h), hosts.end());
+  }
+}
+
+TEST(TopologyTest, LinkEnumeration) {
+  Topology topo = BuildFatTree(4);
+  // FatTree(4): 48 switch-switch links (16 tor-agg per... ) + 16 host links.
+  // tor-agg: k pods * half*half = 4*4 = 16; agg-core: 4*4 = 16; hosts: 16.
+  EXPECT_EQ(topo.AllUndirectedLinks().size(), 48u);
+  EXPECT_EQ(topo.AllDirectedLinks().size(), 96u);
+  EXPECT_EQ(topo.link_count(), 48u);
+}
+
+TEST(Vl2Test, Structure) {
+  Topology topo = BuildVl2(/*num_tors=*/8, /*num_aggs=*/4, /*num_intermediates=*/3,
+                           /*hosts_per_tor=*/2);
+  const Vl2Meta& m = *topo.vl2();
+  EXPECT_EQ(int(m.tor.size()), 8);
+  EXPECT_EQ(int(m.agg.size()), 4);
+  EXPECT_EQ(int(m.intermediate.size()), 3);
+  EXPECT_EQ(topo.hosts().size(), 16u);
+  // Every agg connects to every intermediate.
+  for (NodeId a : m.agg) {
+    for (NodeId i : m.intermediate) {
+      EXPECT_TRUE(topo.Adjacent(a, i));
+    }
+  }
+  // Every ToR has exactly two uplinks.
+  for (NodeId t : m.tor) {
+    auto [a0, a1] = vl2::AggsOfTor(topo, t);
+    EXPECT_TRUE(topo.Adjacent(t, a0));
+    EXPECT_TRUE(topo.Adjacent(t, a1));
+    EXPECT_NE(a0, a1);
+  }
+}
+
+TEST(GenericTopologyTest, HandBuilt) {
+  Topology t;
+  SwitchId s1 = t.AddSwitch(NodeRole::kTor);
+  SwitchId s2 = t.AddSwitch(NodeRole::kAgg);
+  HostId h = t.AddHost();
+  t.AddLink(s1, s2);
+  t.AddLink(h, s1);
+  EXPECT_EQ(t.kind(), TopologyKind::kGeneric);
+  EXPECT_EQ(t.TorOfHost(h), s1);
+  EXPECT_TRUE(t.Adjacent(s1, s2));
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.NameOf(s1), "tor0");
+}
+
+}  // namespace
+}  // namespace pathdump
