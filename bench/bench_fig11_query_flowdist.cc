@@ -53,6 +53,8 @@ int Main() {
                 double(dbytes) / 1e3, double(mbytes) / 1e3);
   }
 
+  bench::SweepWorkerThreads(*tb, query, "flow-size distribution");
+
   bench::Section("§5.3 storage footprint");
   EdgeAgent& sample = *tb->agents[tb->hosts[0]];
   std::printf("TIB: %zu entries, %.1f MB in memory (paper: ~110MB on disk for 240K "

@@ -69,6 +69,8 @@ int Main() {
     }
   }
 
+  bench::SweepWorkerThreads(*tb, query, "top-k flows");
+
   bench::Section("shape check");
   std::printf("direct growth 28->112 hosts: %.2fx (paper: ~linear, ~3-4x)\n",
               direct_at_112 / std::max(direct_at_28, 1e-9));

@@ -6,6 +6,7 @@
 #ifndef PATHDUMP_BENCH_QUERY_BENCH_COMMON_H_
 #define PATHDUMP_BENCH_QUERY_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -83,6 +84,49 @@ inline std::unique_ptr<QueryTestbed> BuildQueryTestbed(int num_agents = 112,
     tb->agents[host] = std::move(agent);
   }
   return tb;
+}
+
+// Wall-clock sweep of the controller's fan-out worker pool: runs both
+// query mechanisms over all hosts at 1/2/4/8 workers, verifies the merged
+// payload is byte-identical to the sequential baseline, and prints
+// measured wall time + speedup.  (Speedup requires hardware parallelism;
+// on a single-core box the interesting column is "identical".)
+inline void SweepWorkerThreads(QueryTestbed& tb, const Controller::QueryFn& query,
+                               const char* what) {
+  std::printf("\n--- %s: fan-out wall-clock vs worker threads (%zu hosts) ---\n", what,
+              tb.hosts.size());
+  std::printf("%-10s %14s %14s %14s %14s %10s\n", "threads", "direct-wall(s)", "multi-wall(s)",
+              "direct-spdup", "multi-spdup", "identical");
+  double direct_base = 0, multi_base = 0;
+  size_t base_direct_bytes = 0, base_multi_bytes = 0;
+  QueryResult base_direct_res, base_multi_res;
+  for (size_t workers : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
+    tb.controller.SetWorkerThreads(workers);
+    auto t0 = std::chrono::steady_clock::now();
+    auto [dres, dstats] = tb.controller.Execute(tb.hosts, query);
+    auto t1 = std::chrono::steady_clock::now();
+    auto [mres, mstats] = tb.controller.ExecuteMultiLevel(tb.hosts, query);
+    auto t2 = std::chrono::steady_clock::now();
+    double dwall = std::chrono::duration<double>(t1 - t0).count();
+    double mwall = std::chrono::duration<double>(t2 - t1).count();
+    bool identical = true;
+    if (workers == 1) {
+      direct_base = dwall;
+      multi_base = mwall;
+      base_direct_bytes = dstats.network_bytes;
+      base_multi_bytes = mstats.network_bytes;
+      base_direct_res = dres;
+      base_multi_res = mres;
+    } else {
+      identical = dstats.network_bytes == base_direct_bytes &&
+                  mstats.network_bytes == base_multi_bytes && dres == base_direct_res &&
+                  mres == base_multi_res;
+    }
+    std::printf("%-10zu %14.3f %14.3f %13.2fx %13.2fx %10s\n", workers, dwall, mwall,
+                direct_base / std::max(dwall, 1e-9), multi_base / std::max(mwall, 1e-9),
+                identical ? "yes" : "NO");
+  }
+  tb.controller.SetWorkerThreads(1);
 }
 
 inline int EntriesFromEnv(int fallback) {

@@ -12,7 +12,9 @@
 //   pathdump_cli hunt               inject a silent dropper and localize it
 //   pathdump_cli rules              static rule budget per switch role
 //
-// Options (before the command): --fat-tree <k>, --seed <n>, --seconds <s>.
+// Options (before the command): --fat-tree <k>, --seed <n>,
+// --seconds <s>, --workers <n> (controller query fan-out threads;
+// results are byte-identical at any worker count).
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,13 +39,14 @@ struct Cli {
   int k = 4;
   uint64_t seed = 1;
   double seconds = 10;
+  int workers = 1;
   std::string command = "topk";
   std::string arg;
 };
 
 void Usage() {
   std::printf(
-      "usage: pathdump_cli [--fat-tree k] [--seed n] [--seconds s] "
+      "usage: pathdump_cli [--fat-tree k] [--seed n] [--seconds s] [--workers n] "
       "<topk [k] | flows <switch> | paths <host> | matrix | hunt | rules>\n");
 }
 
@@ -59,6 +62,8 @@ int main(int argc, char** argv) {
       cli.seed = uint64_t(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       cli.seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      cli.workers = std::atoi(argv[++i]);
     } else {
       break;
     }
@@ -69,7 +74,7 @@ int main(int argc, char** argv) {
   if (i < argc) {
     cli.arg = argv[i];
   }
-  if (cli.k < 2 || cli.k % 2 != 0 || cli.seconds <= 0) {
+  if (cli.k < 2 || cli.k % 2 != 0 || cli.seconds <= 0 || cli.workers < 1) {
     Usage();
     return 2;
   }
@@ -81,6 +86,7 @@ int main(int argc, char** argv) {
   AgentFleet fleet(&topo, &codec);
   Controller controller;
   controller.RegisterFleet(fleet);
+  controller.SetWorkerThreads(size_t(cli.workers));
   fleet.SetAlarmHandler(controller.MakeAlarmSink());
 
   if (cli.command == "rules") {

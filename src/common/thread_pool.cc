@@ -1,0 +1,120 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace pathdump {
+
+// A batch lives on the ParallelFor caller's stack.  Items are claimed
+// one-by-one via an atomic cursor; `helpers` (guarded by ThreadPool::mu_)
+// counts background threads currently inside Help(), so the caller can
+// prove no worker still references the batch before returning.
+struct ThreadPool::Batch {
+  size_t n = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  size_t helpers = 0;  // guarded by ThreadPool::mu_
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  // Claims and runs items until the cursor passes n.  A thread only
+  // returns once every item it claimed has finished, so when the cursor
+  // is drained and no helpers remain attached, the whole batch is done.
+  void Help() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers - 1);
+  for (size_t i = 0; i + 1 < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || current_ != nullptr; });
+    if (shutdown_) {
+      return;
+    }
+    Batch* batch = current_;
+    ++batch->helpers;
+    lock.unlock();
+    batch->Help();
+    lock.lock();
+    --batch->helpers;
+    // Help() only returns on a drained cursor, so the batch needs no
+    // further workers; retract it so nobody re-attaches.
+    if (current_ == batch) {
+      current_ = nullptr;
+    }
+    // Wake the ParallelFor caller possibly waiting on helpers == 0.
+    work_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+
+  const bool shared = !threads_.empty() && n > 1;
+  if (shared) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = &batch;
+    }
+    work_cv_.notify_all();
+  }
+
+  batch.Help();
+
+  if (shared) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (current_ == &batch) {
+      current_ = nullptr;
+    }
+    // The cursor is drained (our Help() returned), so once no helper is
+    // attached every item has completed and the batch may leave scope.
+    work_cv_.wait(lock, [&batch] { return batch.helpers == 0; });
+  }
+
+  if (batch.first_error) {
+    std::rethrow_exception(batch.first_error);
+  }
+}
+
+}  // namespace pathdump

@@ -1,0 +1,76 @@
+// Fixed-size worker pool shared by the controller's distributed query
+// engine (src/controller/controller.cc) and available to any other
+// fan-out/fan-in stage (future: sharded TIB scans, batched alarm intake).
+//
+// Design notes:
+//  * Determinism is the caller's job, and the API is shaped to make it
+//    easy: ParallelFor(n, fn) promises only that fn(0..n-1) each run
+//    exactly once before it returns — callers write results into
+//    pre-sized, index-addressed slots and do any order-sensitive
+//    reduction sequentially afterwards.  This is exactly how the
+//    controller keeps QueryResult bytes and QueryExecStats.network_bytes
+//    identical across 1, 4, and 16 workers.
+//  * The calling thread participates in ParallelFor.  A pool constructed
+//    with `workers == 1` therefore runs everything inline on the caller
+//    (zero-thread semantics), which doubles as the sequential baseline in
+//    the Fig. 11/12 benches, and a busy pool can never deadlock a nested
+//    ParallelFor: the caller always makes progress on its own items.
+//  * Exceptions thrown by a task are captured and the first one is
+//    rethrown on the calling thread once all items finish; the pool stays
+//    usable afterwards.
+
+#ifndef PATHDUMP_SRC_COMMON_THREAD_POOL_H_
+#define PATHDUMP_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pathdump {
+
+class ThreadPool {
+ public:
+  // Spawns `workers - 1` background threads (the calling thread is the
+  // extra worker inside ParallelFor).  `workers == 0` means "one per
+  // hardware thread" (std::thread::hardware_concurrency, min 1).
+  explicit ThreadPool(size_t workers = 0);
+
+  // Drains nothing: outstanding ParallelFor calls must have returned.
+  // Joins all background threads.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs fn(i) exactly once for every i in [0, n) and returns when all n
+  // invocations have finished.  Invocations may run concurrently and in
+  // any order; the calling thread executes items too.  If any invocation
+  // throws, the first captured exception is rethrown here after the
+  // remaining items complete (items are never skipped).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Total workers that can execute ParallelFor items concurrently
+  // (background threads + the calling thread).  Always >= 1.
+  size_t worker_count() const { return threads_.size() + 1; }
+
+ private:
+  // One batch of ParallelFor work; lives on the caller's stack.
+  struct Batch;
+
+  // Background-thread main loop: wait for a batch, help, repeat.
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: batch available / shutdown
+  Batch* current_ = nullptr;          // batch workers should help with
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_COMMON_THREAD_POOL_H_

@@ -27,6 +27,14 @@ EdgeAgent* Controller::agent(HostId host) const {
 
 std::vector<HostId> Controller::registered_hosts() const { return host_order_; }
 
+void Controller::SetWorkerThreads(size_t n) {
+  if (n <= 1) {
+    pool_.reset();
+  } else {
+    pool_ = std::make_unique<ThreadPool>(n);
+  }
+}
+
 Controller::TimedResult Controller::RunOn(EdgeAgent& agent, const QueryFn& query) const {
   auto t0 = std::chrono::steady_clock::now();
   TimedResult out;
@@ -37,22 +45,51 @@ Controller::TimedResult Controller::RunOn(EdgeAgent& agent, const QueryFn& query
   return out;
 }
 
+void Controller::RunAll(const std::vector<EdgeAgent*>& agents, const QueryFn& query,
+                        std::vector<TimedResult>& results) const {
+  results.resize(agents.size());
+  auto run_one = [&](size_t i) {
+    if (agents[i] != nullptr) {
+      results[i] = RunOn(*agents[i], query);
+    }
+  };
+  if (pool_ != nullptr && agents.size() > 1) {
+    pool_->ParallelFor(agents.size(), run_one);
+  } else {
+    for (size_t i = 0; i < agents.size(); ++i) {
+      run_one(i);
+    }
+  }
+}
+
 std::pair<QueryResult, QueryExecStats> Controller::Execute(const std::vector<HostId>& hosts,
                                                            const QueryFn& query) const {
   QueryExecStats stats;
   stats.hosts = hosts.size();
 
-  // Hosts execute in parallel; each response arrives after
-  //   request transfer + execution + response transfer.
+  // Phase 1 — fan-out: every host executes the query independently (on the
+  // worker pool when configured).  Results land in per-host slots, so the
+  // execution schedule cannot influence anything downstream.
+  std::vector<EdgeAgent*> targets;
+  targets.reserve(hosts.size());
+  for (HostId h : hosts) {
+    targets.push_back(agent(h));
+  }
+  std::vector<TimedResult> results;
+  RunAll(targets, query, results);
+
+  // Phase 2 — deterministic reduce, sequential in host order; each modeled
+  // response arrives after request transfer + execution + response
+  // transfer.  Controller-side aggregation is sequential: measure the real
+  // merge.
   QueryResult merged;
   double latest_arrival = 0;
   double merge_seconds = 0;
-  for (HostId h : hosts) {
-    EdgeAgent* a = agent(h);
-    if (a == nullptr) {
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] == nullptr) {
       continue;
     }
-    TimedResult r = RunOn(*a, query);
+    TimedResult& r = results[i];
     size_t resp_bytes = SerializedBytes(r.result);
     stats.network_bytes += rpc_.request_bytes + resp_bytes;
     stats.response_bytes += resp_bytes;
@@ -60,7 +97,6 @@ std::pair<QueryResult, QueryExecStats> Controller::Execute(const std::vector<Hos
     latest_arrival = std::max(latest_arrival, arrival);
     stats.max_host_compute_seconds = std::max(stats.max_host_compute_seconds, r.compute_seconds);
 
-    // Controller-side aggregation is sequential: measure the real merge.
     auto t0 = std::chrono::steady_clock::now();
     MergeQueryResult(merged, r.result);
     merge_seconds += SecondsSince(t0);
@@ -76,22 +112,33 @@ std::pair<QueryResult, QueryExecStats> Controller::ExecuteMultiLevel(
   stats.hosts = hosts.size();
   AggregationTree tree = BuildAggregationTree(hosts, top_fanout, fanout);
 
+  // Phase 1 — fan-out: every tree node's own query execution is
+  // independent of every other's, so all of them run across the worker
+  // pool at once.  The tree is redistributed downward (§3.2); in the real
+  // system all hosts execute concurrently too.
+  std::vector<EdgeAgent*> node_agents;
+  node_agents.reserve(tree.nodes.size());
+  for (const AggregationNode& node : tree.nodes) {
+    node_agents.push_back(agent(node.host));
+  }
+  std::vector<TimedResult> node_results;
+  RunAll(node_agents, query, node_results);
+
   struct NodeOutcome {
     QueryResult result;
     double ready_at = 0;  // seconds after query dispatch
   };
 
-  // Post-order evaluation.  Every host's execution and every interior
-  // merge is real, measured work; transfers are modeled per edge.
+  // Phase 2 — deterministic post-order reduce.  Every interior merge is
+  // real, measured work in fixed child order; transfers are modeled per
+  // edge.
   std::function<NodeOutcome(int)> eval = [&](int idx) -> NodeOutcome {
     const AggregationNode& node = tree.nodes[size_t(idx)];
     NodeOutcome out;
-    EdgeAgent* a = agent(node.host);
+    EdgeAgent* a = node_agents[size_t(idx)];
     double own_exec = 0;
     if (a != nullptr) {
-      // Query reaches this node after `level` request hops (the tree is
-      // redistributed downward, §3.2).
-      TimedResult r = RunOn(*a, query);
+      TimedResult& r = node_results[size_t(idx)];
       own_exec = r.compute_seconds;
       stats.max_host_compute_seconds = std::max(stats.max_host_compute_seconds, own_exec);
       stats.network_bytes += rpc_.request_bytes;

@@ -13,9 +13,11 @@
 #define PATHDUMP_SRC_CONTROLLER_CONTROLLER_H_
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/common/types.h"
 #include "src/controller/aggregation_tree.h"
 #include "src/controller/rpc_model.h"
@@ -38,6 +40,18 @@ class Controller {
   using QueryFn = std::function<QueryResult(EdgeAgent&)>;
 
   explicit Controller(RpcModel rpc = {}) : rpc_(rpc) {}
+
+  // --- Query fan-out parallelism ---
+  //
+  // The controller contacts many independent agents per query; their
+  // QueryFn executions fan out across a shared worker pool while all
+  // byte accounting and result merging stays sequential in a fixed
+  // order, so QueryResult payloads and QueryExecStats.network_bytes are
+  // byte-identical across any worker count (see tests/
+  // controller_parallel_test.cc).  `n <= 1` selects fully inline
+  // sequential execution (the default).
+  void SetWorkerThreads(size_t n);
+  size_t worker_threads() const { return pool_ ? pool_->worker_count() : 1; }
 
   // --- Agent registry ---
   void RegisterAgent(EdgeAgent* agent);
@@ -87,8 +101,15 @@ class Controller {
   };
   // Runs the query on one agent, measuring wall-clock compute.
   TimedResult RunOn(EdgeAgent& agent, const QueryFn& query) const;
+  // Runs the query on agents[i] into results[i] for every i — across the
+  // worker pool when one is configured, inline otherwise.  Slots for null
+  // agents are left default-initialized.
+  void RunAll(const std::vector<EdgeAgent*>& agents, const QueryFn& query,
+              std::vector<TimedResult>& results) const;
 
   RpcModel rpc_;
+  // Execution resource only — never observable in results.
+  std::unique_ptr<ThreadPool> pool_;
   std::unordered_map<HostId, EdgeAgent*> agents_;
   std::vector<HostId> host_order_;
   std::vector<AlarmHandler> subscribers_;

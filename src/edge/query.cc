@@ -41,8 +41,14 @@ struct SizeVisitor {
 }  // namespace
 
 void TopKFlows::Finalize() {
-  std::sort(items.begin(), items.end(),
-            [](const auto& a, const auto& b) { return b.first < a.first; });
+  // Total order (bytes desc, then flow id) so ties at the k-boundary
+  // truncate identically regardless of merge topology or sort stability.
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) {
+      return b.first < a.first;
+    }
+    return a.second < b.second;
+  });
   if (k > 0 && items.size() > k) {
     items.resize(k);
   }
@@ -51,6 +57,12 @@ void TopKFlows::Finalize() {
 size_t SerializedBytes(const QueryResult& r) { return std::visit(SizeVisitor{}, r); }
 
 void MergeQueryResult(QueryResult& acc, const QueryResult& in) {
+  // An empty contribution (e.g. an aggregation-tree node whose host is
+  // not registered) merges as the identity instead of throwing
+  // bad_variant_access below.
+  if (std::holds_alternative<std::monostate>(in)) {
+    return;
+  }
   if (std::holds_alternative<std::monostate>(acc)) {
     acc = in;
     if (auto* t = std::get_if<TopKFlows>(&acc)) {

@@ -24,6 +24,8 @@ namespace pathdump {
 struct FlowSizeHistogram {
   int64_t bin_width = 10000;
   std::map<int64_t, int64_t> bins;
+
+  friend bool operator==(const FlowSizeHistogram&, const FlowSizeHistogram&) = default;
 };
 
 // Top-k flows by byte count (§2.3 "Traffic measurement").
@@ -33,22 +35,30 @@ struct TopKFlows {
   std::vector<std::pair<uint64_t, FiveTuple>> items;
 
   void Finalize();
+
+  friend bool operator==(const TopKFlows&, const TopKFlows&) = default;
 };
 
 // getFlows result: flows (with their paths) traversing a link.
 struct FlowList {
   std::vector<Flow> flows;
+
+  friend bool operator==(const FlowList&, const FlowList&) = default;
 };
 
 // getPaths result.
 struct PathList {
   std::vector<Path> paths;
+
+  friend bool operator==(const PathList&, const PathList&) = default;
 };
 
 // getCount result.
 struct CountSummary {
   uint64_t bytes = 0;
   uint64_t pkts = 0;
+
+  friend bool operator==(const CountSummary&, const CountSummary&) = default;
 };
 
 using QueryResult =

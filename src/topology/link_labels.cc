@@ -19,11 +19,11 @@ LinkLabelMap::LinkLabelMap(const Topology* topo) : topo_(topo) {
       ++next;
     }
   } else if (topo_->kind() == TopologyKind::kVl2) {
-    const Vl2Meta& m = *topo_->vl2();
+    [[maybe_unused]] const Vl2Meta& m = *topo_->vl2();
     assert(uint64_t(m.num_aggs) * uint64_t(m.num_intermediates) <= kMaxVlanLabel);
   } else {
-    const FatTreeMeta& m = *topo_->fat_tree();
-    int half = m.k / 2;
+    [[maybe_unused]] const FatTreeMeta& m = *topo_->fat_tree();
+    [[maybe_unused]] int half = m.k / 2;
     assert(2 * half * half <= int(kMaxVlanLabel) + 1);
   }
 }

@@ -1,0 +1,85 @@
+// Tests for the shared ThreadPool (src/common/thread_pool.h): every
+// index runs exactly once, single-worker pools run inline on the
+// caller, batches drain fully even when tasks throw, and the pool is
+// reusable across batches.  Determinism of the controller's parallel
+// query fan-out built on top of it is covered separately in
+// tests/controller_parallel_test.cc.
+
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pathdump {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.ParallelFor(64, [&](size_t) {
+    if (std::this_thread::get_id() != caller) {
+      all_inline = false;
+    }
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanItems) {
+  ThreadPool pool(16);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(3, [&](size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    pool.ParallelFor(17, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+TEST(ThreadPoolTest, RethrowsFirstTaskException) {
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 7) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // Items are never skipped: the batch still drains fully.
+  EXPECT_EQ(ran.load(), 100u);
+  // The pool stays usable afterwards.
+  std::atomic<size_t> after{0};
+  pool.ParallelFor(10, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10u);
+}
+
+}  // namespace
+}  // namespace pathdump
