@@ -248,6 +248,7 @@ RowResult Isolation() {
   });
   InstallIsolationCheck(w.fleet.agent(b), {w.topo.IpOfHost(a)}, {w.topo.IpOfHost(b)});
   w.Ingest(a, b, 1000, 1000);
+  w.controller.FlushAlarms();  // intake is asynchronous
   return {"Isolation", violations == 1, "record hook flags cross-group flows on arrival"};
 }
 
@@ -280,6 +281,7 @@ RowResult Waypoint() {
   policy.required_waypoints = {m.core[3]};  // demand core 3
   InstallPathConformance(w.fleet.agent(dst), policy);
   w.Ingest(src, dst, 1000, 1000, 0);  // path via core 0 -> violation
+  w.controller.FlushAlarms();  // intake is asynchronous
   return {"Waypoint routing", violations == 1, "packets bypassing the waypoint alarm PC_FAIL"};
 }
 
@@ -325,6 +327,7 @@ RowResult MaxPathLength() {
   r.path = CompactPath::FromPath({1, 2, 3, 4, 5, 6, 7});
   r.etime = 1;
   w.fleet.agent(dst).IngestRecord(r, 1);
+  w.controller.FlushAlarms();  // intake is asynchronous
   return {"Max path length", violations == 1, "n-switch paths alarm in real time"};
 }
 

@@ -11,6 +11,7 @@
 
 #include "src/apps/max_coverage.h"
 #include "src/common/rng.h"
+#include "src/controller/controller.h"
 #include "src/edge/fleet.h"
 #include "src/fluidsim/fluid.h"
 #include "src/topology/fat_tree.h"
@@ -64,6 +65,10 @@ inline SilentDropRun RunSilentDropExperiment(const SilentDropParams& p) {
   CherryPickCodec codec(&topo, &labels);
   EdgeAgentConfig acfg;
   AgentFleet fleet(&topo, &codec, acfg);
+  // Alarms flow through the controller's intake pipeline; the default
+  // block policy guarantees none are lost, and alarm_log() flushes.
+  Controller controller;
+  controller.RegisterFleet(fleet);
 
   Rng rng(p.seed);
   std::vector<LinkId> truth = PickFaultyLinks(topo, p.faulty_interfaces, rng);
@@ -85,8 +90,8 @@ inline SilentDropRun RunSilentDropExperiment(const SilentDropParams& p) {
   params.seed = p.seed * 104729 + 7;
   auto flows = gen.Generate(params);
 
-  std::vector<Alarm> alarms;
-  fluid.Run(flows, &fleet, [&](const Alarm& a) { alarms.push_back(a); });
+  fluid.Run(flows, &fleet, controller.MakeAlarmSink());
+  std::vector<Alarm> alarms = controller.alarm_log();  // flushes the pipeline
   std::sort(alarms.begin(), alarms.end(),
             [](const Alarm& a, const Alarm& b) { return a.at < b.at; });
 

@@ -29,14 +29,17 @@ int main() {
   controller.RegisterFleet(fleet);
   fleet.SetAlarmHandler(controller.MakeAlarmSink());
 
-  int pc_alarms = 0;
+  // Two alarm-pipeline subscribers: the auditor tallies PC_FAIL per host
+  // (its accessors flush the pipeline), a narrator prints each alarm.
+  ConformanceAuditor auditor(&controller);
+  auditor.Start();
   controller.SubscribeAlarms([&](const Alarm& a) {
     if (a.reason != AlarmReason::kPathConformance) {
       return;
     }
-    ++pc_alarms;
-    std::printf("  PC_FAIL alarm from host %s: flow %s took %s\n",
-                topo.NameOf(a.host).c_str(), FlowToString(a.flow).c_str(),
+    std::printf("  PC_FAIL alarm #%llu from host %s: flow %s took %s\n",
+                (unsigned long long)a.seq, topo.NameOf(a.host).c_str(),
+                FlowToString(a.flow).c_str(),
                 a.paths.empty() ? "?" : PathToString(a.paths[0]).c_str());
   });
 
@@ -68,16 +71,20 @@ int main() {
   FiveTuple probe = send(20000);
   auto paths = fleet.agent(dst).GetPaths(probe, LinkId{kInvalidNode, kInvalidNode},
                                          TimeRange::All());
-  std::printf("  took %s (%d switches) — conformant, no alarms (%d)\n",
-              PathToString(paths[0]).c_str(), int(paths[0].size()), pc_alarms);
+  std::printf("  took %s (%d switches) — conformant, no alarms (%zu)\n",
+              PathToString(paths[0]).c_str(), int(paths[0].size()), auditor.total());
 
   // Break the down-link the flow used; failover produces a 7-switch path.
   std::printf("\nfailing link %s - %s; resending until a flow takes the detour...\n",
               topo.NameOf(paths[0][3]).c_str(), topo.NameOf(paths[0][4]).c_str());
   net.router().link_state().SetDown(paths[0][3], paths[0][4]);
-  for (uint16_t port = 20001; port < 20040 && pc_alarms == 0; ++port) {
+  for (uint16_t port = 20001; port < 20040 && auditor.total() == 0; ++port) {
     send(port);
   }
-  std::printf("\nconformance alarms raised: %d (detour detected in real time)\n", pc_alarms);
+  size_t pc_alarms = auditor.total();
+  std::printf("\nconformance alarms raised: %zu from host %s (detour detected in real time)\n",
+              pc_alarms, topo.NameOf(dst).c_str());
+  std::printf("  auditor count for %s: %zu\n", topo.NameOf(dst).c_str(),
+              auditor.count_for(dst));
   return pc_alarms > 0 ? 0 : 1;
 }

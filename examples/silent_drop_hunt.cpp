@@ -58,6 +58,12 @@ int main() {
   auto stats = fluid.Run(flows, &fleet, controller.MakeAlarmSink());
   std::printf("alarms raised: %llu, signatures collected: %zu\n",
               (unsigned long long)stats.alarms, debugger.signature_count());
+  AlarmPipelineStats ps = controller.alarm_stats();
+  std::printf("alarm pipeline: %llu submitted, %llu delivered in %llu batches "
+              "(max batch %llu), %llu dropped\n",
+              (unsigned long long)ps.submitted, (unsigned long long)ps.delivered,
+              (unsigned long long)ps.batches, (unsigned long long)ps.max_batch,
+              (unsigned long long)ps.dropped);
 
   std::printf("\nMAX-COVERAGE hypothesis:\n");
   for (const LinkId& l : debugger.Hypothesis()) {

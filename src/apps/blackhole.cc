@@ -62,4 +62,41 @@ BlackholeDiagnosis DiagnoseBlackhole(const Router& router, EdgeAgent& dst_agent,
   return d;
 }
 
+void BlackholeMonitor::Start() {
+  controller_->SubscribeAlarms([this](const Alarm& alarm) { OnAlarm(alarm); });
+}
+
+void BlackholeMonitor::OnAlarm(const Alarm& alarm) {
+  if (alarm.reason != AlarmReason::kNoProgress && alarm.reason != AlarmReason::kPoorPerf) {
+    return;
+  }
+  ++alarms_seen_;
+  EdgeAgent* src_agent = fleet_->agent_by_ip(alarm.flow.src_ip);
+  EdgeAgent* dst_agent = fleet_->agent_by_ip(alarm.flow.dst_ip);
+  if (src_agent == nullptr || dst_agent == nullptr) {
+    return;
+  }
+  // GetPaths inside takes the destination agent's reader lock, so the
+  // diagnosis is safe while the data path keeps ingesting.
+  BlackholeDiagnosis d = DiagnoseBlackhole(*router_, *dst_agent, alarm.flow,
+                                           src_agent->host(), dst_agent->host(),
+                                           TimeRange::All());
+  if (d.missing.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  diagnoses_.push_back(std::move(d));
+}
+
+std::vector<BlackholeDiagnosis> BlackholeMonitor::Diagnoses() const {
+  controller_->FlushAlarms();
+  std::lock_guard<std::mutex> lock(mu_);
+  return diagnoses_;
+}
+
+size_t BlackholeMonitor::alarms_seen() const {
+  controller_->FlushAlarms();
+  return alarms_seen_.load();
+}
+
 }  // namespace pathdump

@@ -14,9 +14,13 @@
 #ifndef PATHDUMP_SRC_APPS_BLACKHOLE_H_
 #define PATHDUMP_SRC_APPS_BLACKHOLE_H_
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
+#include "src/controller/controller.h"
 #include "src/edge/edge_agent.h"
+#include "src/edge/fleet.h"
 #include "src/topology/routing.h"
 
 namespace pathdump {
@@ -35,6 +39,35 @@ struct BlackholeDiagnosis {
 BlackholeDiagnosis DiagnoseBlackhole(const Router& router, EdgeAgent& dst_agent,
                                      const FiveTuple& flow, HostId src, HostId dst,
                                      TimeRange range);
+
+// Event-driven wrapper (Fig. 3): subscribes to the controller's alarm
+// pipeline (src/controller/alarm_pipeline.h) and runs DiagnoseBlackhole on
+// every NO_PROGRESS / POOR_PERF alarm, keeping the diagnoses that actually
+// found missing ECMP paths.  OnAlarm runs on a dispatch worker; the read
+// accessors flush pending alarms first.
+class BlackholeMonitor {
+ public:
+  BlackholeMonitor(Controller* controller, AgentFleet* fleet, const Router* router)
+      : controller_(controller), fleet_(fleet), router_(router) {}
+
+  // Subscribes to the controller's alarm pipeline.
+  void Start();
+
+  // Thread-safe alarm entry point (also callable directly in replays).
+  void OnAlarm(const Alarm& alarm);
+
+  // Diagnoses with at least one missing path (flushes pending alarms).
+  std::vector<BlackholeDiagnosis> Diagnoses() const;
+  size_t alarms_seen() const;
+
+ private:
+  Controller* controller_;
+  AgentFleet* fleet_;
+  const Router* router_;
+  mutable std::mutex mu_;
+  std::vector<BlackholeDiagnosis> diagnoses_;
+  std::atomic<size_t> alarms_seen_{0};
+};
 
 }  // namespace pathdump
 

@@ -31,6 +31,32 @@ int InstallPathConformance(EdgeAgent& agent, ConformancePolicy policy) {
       });
 }
 
+void ConformanceAuditor::Start() {
+  controller_->SubscribeAlarms([this](const Alarm& alarm) { OnAlarm(alarm); });
+}
+
+void ConformanceAuditor::OnAlarm(const Alarm& alarm) {
+  if (alarm.reason != AlarmReason::kPathConformance) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  ++per_host_[alarm.host];
+}
+
+size_t ConformanceAuditor::total() const {
+  controller_->FlushAlarms();
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+size_t ConformanceAuditor::count_for(HostId host) const {
+  controller_->FlushAlarms();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_host_.find(host);
+  return it == per_host_.end() ? 0 : it->second;
+}
+
 int InstallIsolationCheck(EdgeAgent& agent, std::unordered_set<IpAddr> group_a,
                           std::unordered_set<IpAddr> group_b) {
   return agent.AddRecordHook([ga = std::move(group_a), gb = std::move(group_b)](

@@ -8,9 +8,13 @@
 #ifndef PATHDUMP_SRC_APPS_PATH_CONFORMANCE_H_
 #define PATHDUMP_SRC_APPS_PATH_CONFORMANCE_H_
 
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/controller/controller.h"
 #include "src/edge/edge_agent.h"
 
 namespace pathdump {
@@ -38,6 +42,32 @@ int InstallPathConformance(EdgeAgent& agent, ConformancePolicy policy);
 // agent that alarms on flows crossing the boundary.
 int InstallIsolationCheck(EdgeAgent& agent, std::unordered_set<IpAddr> group_a,
                           std::unordered_set<IpAddr> group_b);
+
+// Controller-side conformance view: subscribes to the alarm pipeline
+// (src/controller/alarm_pipeline.h) and tallies PC_FAIL alarms per
+// reporting host.  OnAlarm runs on a dispatch worker; the read accessors
+// flush the pipeline first, so they see every alarm already submitted.
+class ConformanceAuditor {
+ public:
+  explicit ConformanceAuditor(Controller* controller) : controller_(controller) {}
+
+  // Subscribes to the controller's alarm pipeline.
+  void Start();
+
+  // Thread-safe alarm entry point (PC_FAIL only; others ignored).
+  void OnAlarm(const Alarm& alarm);
+
+  // Total PC_FAIL alarms seen (flushes pending alarms first).
+  size_t total() const;
+  // PC_FAIL alarms reported by one host (flushes first).
+  size_t count_for(HostId host) const;
+
+ private:
+  Controller* controller_;
+  mutable std::mutex mu_;
+  std::unordered_map<HostId, size_t> per_host_;
+  size_t total_ = 0;
+};
 
 }  // namespace pathdump
 

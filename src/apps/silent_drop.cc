@@ -13,6 +13,8 @@ void SilentDropDebugger::OnAlarm(const Alarm& alarm) {
   ++alarms_seen_;
   // Failure signature: the path(s) this flow took, served by the TIB of the
   // flow's destination host (host API results are for local flows, §2.1).
+  // GetPaths takes the agent's reader lock, so this is safe mid-run while
+  // the data path keeps ingesting into the same agent.
   EdgeAgent* dst_agent = fleet_->agent_by_ip(alarm.flow.dst_ip);
   if (dst_agent == nullptr) {
     return;
@@ -20,9 +22,27 @@ void SilentDropDebugger::OnAlarm(const Alarm& alarm) {
   LinkId any{kInvalidNode, kInvalidNode};
   std::vector<Path> paths =
       dst_agent->GetPaths(alarm.flow, any, TimeRange::All());
+  std::lock_guard<std::mutex> lock(mu_);
   for (const Path& p : paths) {
     localizer_.AddSignature(p);
   }
+}
+
+std::vector<LinkId> SilentDropDebugger::Hypothesis() const {
+  controller_->FlushAlarms();
+  std::lock_guard<std::mutex> lock(mu_);
+  return localizer_.Localize();
+}
+
+size_t SilentDropDebugger::signature_count() const {
+  controller_->FlushAlarms();
+  std::lock_guard<std::mutex> lock(mu_);
+  return localizer_.signature_count();
+}
+
+size_t SilentDropDebugger::alarms_seen() const {
+  controller_->FlushAlarms();
+  return alarms_seen_.load();
 }
 
 }  // namespace pathdump

@@ -5,10 +5,18 @@
 // fetch the suffering flow's path(s) from the destination host's TIB (a
 // failure signature) and re-run MAX-COVERAGE.  Accuracy improves as
 // signatures accumulate.
+//
+// Runs as a subscriber on the controller's alarm pipeline
+// (src/controller/alarm_pipeline.h): OnAlarm is invoked on a dispatch
+// worker, so the localizer state is mutex-guarded, and the read accessors
+// flush the pipeline first — callers always observe every alarm submitted
+// before the call.
 
 #ifndef PATHDUMP_SRC_APPS_SILENT_DROP_H_
 #define PATHDUMP_SRC_APPS_SILENT_DROP_H_
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "src/apps/max_coverage.h"
@@ -22,28 +30,30 @@ class SilentDropDebugger {
   SilentDropDebugger(Controller* controller, AgentFleet* fleet)
       : controller_(controller), fleet_(fleet) {}
 
-  // Subscribes to the controller's alarm stream.
+  // Subscribes to the controller's alarm pipeline.
   void Start();
 
   // Alarm entry point (also callable directly when replaying a timeline).
+  // Thread-safe; runs on a pipeline dispatch worker after Start().
   void OnAlarm(const Alarm& alarm);
 
-  // Current greedy-localization hypothesis.
-  std::vector<LinkId> Hypothesis() const { return localizer_.Localize(); }
+  // Current greedy-localization hypothesis (flushes pending alarms).
+  std::vector<LinkId> Hypothesis() const;
 
   // Accuracy of the current hypothesis vs the ground-truth faulty set.
   LocalizationAccuracy Accuracy(const std::vector<LinkId>& truth) const {
     return MaxCoverageLocalizer::Evaluate(Hypothesis(), truth);
   }
 
-  size_t signature_count() const { return localizer_.signature_count(); }
-  size_t alarms_seen() const { return alarms_seen_; }
+  size_t signature_count() const;
+  size_t alarms_seen() const;
 
  private:
   Controller* controller_;
   AgentFleet* fleet_;
+  mutable std::mutex mu_;  // guards localizer_
   MaxCoverageLocalizer localizer_;
-  size_t alarms_seen_ = 0;
+  std::atomic<size_t> alarms_seen_{0};
 };
 
 }  // namespace pathdump

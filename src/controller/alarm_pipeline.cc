@@ -1,0 +1,202 @@
+#include "src/controller/alarm_pipeline.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace pathdump {
+
+namespace {
+
+// True on the drain worker and on dispatch-pool threads while they are
+// running subscriber callbacks — lets Flush() detect reentrancy.
+thread_local bool tl_inside_pipeline = false;
+
+}  // namespace
+
+AlarmPipeline::AlarmPipeline(AlarmPipelineOptions options) : options_(options) {
+  if (options_.dispatch_workers > 1) {
+    dispatch_pool_ = std::make_unique<ThreadPool>(options_.dispatch_workers);
+  }
+  drain_ = std::thread([this] { DrainLoop(); });
+}
+
+AlarmPipeline::~AlarmPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  drain_.join();  // DrainLoop empties the queue before exiting
+}
+
+bool AlarmPipeline::Submit(const Alarm& alarm) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Once shutdown has begun the drain worker may already be gone; an
+  // enqueue now could sit in the queue forever.  Reject instead — the
+  // drain-everything guarantee covers alarms accepted before ~AlarmPipeline.
+  if (stop_) {
+    ++stats_.dropped;
+    return false;
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    if (options_.overflow == AlarmOverflowPolicy::kDropNewest) {
+      ++stats_.dropped;
+      return false;
+    }
+    ++stats_.blocked_enqueues;
+    space_cv_.wait(lock, [this] {
+      return queue_.size() < options_.queue_capacity || stop_;
+    });
+    if (stop_) {
+      ++stats_.dropped;
+      return false;
+    }
+  }
+  Alarm stamped = alarm;
+  stamped.seq = next_seq_++;
+  queue_.push_back(std::move(stamped));
+  ++stats_.submitted;
+  work_cv_.notify_one();
+  return true;
+}
+
+void AlarmPipeline::Subscribe(AlarmHandler handler) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  subscribers_.push_back(std::move(handler));
+}
+
+size_t AlarmPipeline::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  return subscribers_.size();
+}
+
+void AlarmPipeline::Flush() {
+  if (tl_inside_pipeline) {
+    return;  // called from a subscriber: waiting would deadlock the drain
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = stats_.submitted;
+  flush_cv_.wait(lock, [this, target] { return processed_ >= target; });
+}
+
+AlarmPipelineStats AlarmPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AlarmPipeline::DrainLoop() {
+  tl_inside_pipeline = true;
+  std::vector<Alarm> batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) {
+        return;
+      }
+      continue;
+    }
+    const size_t take = std::min(queue_.size(), options_.max_batch);
+    batch.clear();
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++stats_.batches;
+    stats_.max_batch = std::max<uint64_t>(stats_.max_batch, take);
+    lock.unlock();
+    space_cv_.notify_all();
+
+    ProcessBatch(batch);
+
+    lock.lock();
+    processed_ += take;
+    flush_cv_.notify_all();
+  }
+}
+
+void AlarmPipeline::ProcessBatch(std::vector<Alarm>& batch) {
+  // Suppression runs on the drain worker in sequence order, so the set of
+  // survivors depends only on submission order, never on dispatch timing.
+  std::vector<Alarm> survivors;
+  survivors.reserve(batch.size());
+  uint64_t suppressed = 0;
+  for (Alarm& a : batch) {
+    if (options_.suppression_window > 0) {
+      SuppressKey key{a.host, a.flow, a.reason};
+      auto it = last_admitted_.find(key);
+      if (it != last_admitted_.end() && a.at >= it->second &&
+          a.at - it->second < options_.suppression_window) {
+        ++suppressed;
+        continue;
+      }
+      last_admitted_[key] = a.at;
+      newest_at_ = std::max(newest_at_, a.at);
+    }
+    survivors.push_back(std::move(a));
+  }
+  // Keep the dedup table bounded: ephemeral flows (one alarm each) would
+  // otherwise pin an entry forever.  Entries whose window has long since
+  // expired can never suppress again, so dropping them is lossless.
+  if (last_admitted_.size() > kSuppressPruneThreshold) {
+    for (auto it = last_admitted_.begin(); it != last_admitted_.end();) {
+      if (newest_at_ - it->second >= options_.suppression_window) {
+        it = last_admitted_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.suppressed += suppressed;
+    stats_.delivered += survivors.size();
+  }
+  if (survivors.empty()) {
+    return;
+  }
+  for (const Alarm& a : survivors) {
+    log_.push_back(a);
+  }
+
+  std::vector<AlarmHandler> subs;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs = subscribers_;
+  }
+  if (subs.empty()) {
+    return;
+  }
+  // Fan out across subscribers: each subscriber consumes the whole batch
+  // on one worker, preserving per-subscriber sequence order.  Exceptions
+  // are swallowed per (subscriber, alarm) so a throwing subscriber costs
+  // only its own alarm — never other subscribers' deliveries or the drain
+  // worker — and the behavior is identical at every worker count.
+  auto dispatch_one = [&](size_t si) {
+    const bool prev = tl_inside_pipeline;
+    tl_inside_pipeline = true;
+    for (const Alarm& a : survivors) {
+      try {
+        subs[si](a);
+      } catch (const std::exception& e) {
+        Logf(LogLevel::kWarn, "alarm subscriber %zu threw on seq %llu: %s", si,
+             (unsigned long long)a.seq, e.what());
+      } catch (...) {
+        Logf(LogLevel::kWarn, "alarm subscriber %zu threw on seq %llu", si,
+             (unsigned long long)a.seq);
+      }
+    }
+    tl_inside_pipeline = prev;
+  };
+  if (dispatch_pool_ != nullptr && subs.size() > 1) {
+    dispatch_pool_->ParallelFor(subs.size(), dispatch_one);
+  } else {
+    for (size_t i = 0; i < subs.size(); ++i) {
+      dispatch_one(i);
+    }
+  }
+}
+
+}  // namespace pathdump

@@ -203,16 +203,28 @@ void Controller::Uninstall(const std::vector<HostId>& hosts, const std::vector<i
 }
 
 AlarmHandler Controller::MakeAlarmSink() {
-  return [this](const Alarm& alarm) {
-    alarm_log_.push_back(alarm);
-    for (const AlarmHandler& sub : subscribers_) {
-      sub(alarm);
-    }
-  };
+  // Capture the controller, not the pipeline, so sinks handed to agents
+  // before ConfigureAlarmPipeline keep feeding the replacement.
+  return [this](const Alarm& alarm) { alarm_pipeline_->Submit(alarm); };
 }
 
 void Controller::SubscribeAlarms(AlarmHandler handler) {
-  subscribers_.push_back(std::move(handler));
+  subscribers_.push_back(handler);
+  alarm_pipeline_->Subscribe(std::move(handler));
+}
+
+void Controller::ConfigureAlarmPipeline(AlarmPipelineOptions options) {
+  // The old pipeline's destructor drains it first, so nothing already
+  // submitted is lost to subscribers — only the log is reset.
+  alarm_pipeline_ = std::make_unique<AlarmPipeline>(options);
+  for (const AlarmHandler& sub : subscribers_) {
+    alarm_pipeline_->Subscribe(sub);
+  }
+}
+
+const std::vector<Alarm>& Controller::alarm_log() const {
+  alarm_pipeline_->Flush();
+  return alarm_pipeline_->log();
 }
 
 }  // namespace pathdump

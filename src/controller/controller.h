@@ -20,6 +20,7 @@
 #include "src/common/thread_pool.h"
 #include "src/common/types.h"
 #include "src/controller/aggregation_tree.h"
+#include "src/controller/alarm_pipeline.h"
 #include "src/controller/rpc_model.h"
 #include "src/edge/edge_agent.h"
 
@@ -39,7 +40,8 @@ class Controller {
  public:
   using QueryFn = std::function<QueryResult(EdgeAgent&)>;
 
-  explicit Controller(RpcModel rpc = {}) : rpc_(rpc) {}
+  explicit Controller(RpcModel rpc = {})
+      : rpc_(rpc), alarm_pipeline_(std::make_unique<AlarmPipeline>()) {}
 
   // --- Query fan-out parallelism ---
   //
@@ -84,13 +86,30 @@ class Controller {
   // uninstall(List<HostID>, Query).
   void Uninstall(const std::vector<HostId>& hosts, const std::vector<int>& ids) const;
 
-  // --- Alarm intake ---
+  // --- Alarm intake (src/controller/alarm_pipeline.h) ---
+  //
+  // Alarms are batched through a bounded MPSC pipeline: Submit() on the
+  // emitting agent's thread, a dedicated drain worker for suppression +
+  // logging, subscriber dispatch fanned out across a worker pool.
+  // Delivery is therefore asynchronous — call FlushAlarms() (or
+  // alarm_log(), which flushes) before reading subscriber-side state.
 
-  // Handler every registered agent reports into; fan-out to subscribers.
+  // Handler every registered agent reports into; feeds the pipeline.
+  // Sinks stay valid across ConfigureAlarmPipeline().
   AlarmHandler MakeAlarmSink();
-  // Subscribes a debugging application to alarms.
+  // Subscribes a debugging application to alarms.  Subscribers see
+  // alarms in sequence order, possibly on a dispatch worker thread.
   void SubscribeAlarms(AlarmHandler handler);
-  const std::vector<Alarm>& alarm_log() const { return alarm_log_; }
+  // Replaces the pipeline (flushes and discards the previous log — call
+  // before traffic starts).  Existing subscribers carry over.
+  void ConfigureAlarmPipeline(AlarmPipelineOptions options);
+  // Blocks until every alarm submitted so far has been logged and
+  // dispatched to all subscribers.  Safe (no-op) from a subscriber.
+  void FlushAlarms() const { alarm_pipeline_->Flush(); }
+  // Flushes, then returns the sequence-ordered intake log.
+  const std::vector<Alarm>& alarm_log() const;
+  AlarmPipelineStats alarm_stats() const { return alarm_pipeline_->stats(); }
+  const AlarmPipeline& alarm_pipeline() const { return *alarm_pipeline_; }
 
   const RpcModel& rpc() const { return rpc_; }
 
@@ -112,8 +131,9 @@ class Controller {
   std::unique_ptr<ThreadPool> pool_;
   std::unordered_map<HostId, EdgeAgent*> agents_;
   std::vector<HostId> host_order_;
+  // Kept so ConfigureAlarmPipeline can re-subscribe into a new pipeline.
   std::vector<AlarmHandler> subscribers_;
-  std::vector<Alarm> alarm_log_;
+  std::unique_ptr<AlarmPipeline> alarm_pipeline_;
 };
 
 }  // namespace pathdump

@@ -25,6 +25,11 @@ struct Alarm {
   AlarmReason reason = AlarmReason::kPoorPerf;
   std::vector<Path> paths;  // offending path(s), possibly empty
   SimTime at = 0;
+  // Intake sequence number, stamped by the controller's alarm pipeline at
+  // enqueue (src/controller/alarm_pipeline.h); 0 until then.
+  uint64_t seq = 0;
+
+  friend bool operator==(const Alarm&, const Alarm&) = default;
 };
 
 using AlarmHandler = std::function<void(const Alarm&)>;

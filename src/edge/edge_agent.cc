@@ -1,6 +1,8 @@
 #include "src/edge/edge_agent.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_set>
 
 #include "src/common/logging.h"
@@ -52,29 +54,32 @@ std::optional<Path> EdgeAgent::DecodeHeader(IpAddr src_ip, LinkLabel dscp,
 }
 
 void EdgeAgent::OnPacket(const Packet& pkt, SimTime now) {
-  // tcpretrans-equivalent instrumentation.
-  if (pkt.is_retx) {
-    retx_.OnRetransmission(pkt.flow, now);
-  } else {
-    retx_.OnProgress(pkt.flow);
-  }
-  // The trajectory header is recorded, then conceptually stripped before
-  // the packet continues to the upper stack (§3.2).
-  memory_.OnPacket(pkt, now);
-  // Optional per-packet log (the paper's future-work extension).
-  if (packet_log_ != nullptr) {
-    PacketLogEntry e;
-    e.flow = pkt.flow;
-    e.at = now;
-    e.bytes = pkt.size_bytes;
-    e.seq = pkt.seq;
-    e.raw_tag_count = uint8_t(pkt.tags.size());
-    e.retx = pkt.is_retx;
-    e.fin = pkt.fin;
-    if (auto path = DecodeHeader(pkt.flow.src_ip, pkt.dscp, pkt.tags)) {
-      e.path = CompactPath::FromPath(*path);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // tcpretrans-equivalent instrumentation.
+    if (pkt.is_retx) {
+      retx_.OnRetransmission(pkt.flow, now);
+    } else {
+      retx_.OnProgress(pkt.flow);
     }
-    packet_log_->Append(e);
+    // The trajectory header is recorded, then conceptually stripped before
+    // the packet continues to the upper stack (§3.2).
+    memory_.OnPacket(pkt, now);
+    // Optional per-packet log (the paper's future-work extension).
+    if (packet_log_ != nullptr) {
+      PacketLogEntry e;
+      e.flow = pkt.flow;
+      e.at = now;
+      e.bytes = pkt.size_bytes;
+      e.seq = pkt.seq;
+      e.raw_tag_count = uint8_t(pkt.tags.size());
+      e.retx = pkt.is_retx;
+      e.fin = pkt.fin;
+      if (auto path = DecodeHeader(pkt.flow.src_ip, pkt.dscp, pkt.tags)) {
+        e.path = CompactPath::FromPath(*path);
+      }
+      packet_log_->Append(e);
+    }
   }
   if (now >= next_sweep_) {
     Tick(now);
@@ -82,11 +87,20 @@ void EdgeAgent::OnPacket(const Packet& pkt, SimTime now) {
 }
 
 void EdgeAgent::Tick(SimTime now) {
-  if (now >= next_sweep_) {
-    memory_.Sweep(now, [this, now](const TrajectoryMemory::Record& rec) {
-      ConstructAndStore(rec, now);
-    });
-    next_sweep_ = now + config_.sweep_period;
+  // Evictions are collected under the write lock but constructed (and any
+  // alarms raised) outside it, so a blocking alarm sink can never wedge
+  // queries against this agent.
+  std::vector<TrajectoryMemory::Record> evicted;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (now >= next_sweep_) {
+      memory_.Sweep(now,
+                    [&evicted](const TrajectoryMemory::Record& rec) { evicted.push_back(rec); });
+      next_sweep_ = now + config_.sweep_period;
+    }
+  }
+  for (const TrajectoryMemory::Record& rec : evicted) {
+    ConstructAndStore(rec, now);
   }
   for (auto& [id, q] : periodic_) {
     if (q.period <= 0 || now >= q.next_due) {
@@ -97,14 +111,24 @@ void EdgeAgent::Tick(SimTime now) {
 }
 
 void EdgeAgent::FlushAll(SimTime now) {
-  memory_.Flush(
-      [this, now](const TrajectoryMemory::Record& rec) { ConstructAndStore(rec, now); });
+  std::vector<TrajectoryMemory::Record> evicted;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    memory_.Flush(
+        [&evicted](const TrajectoryMemory::Record& rec) { evicted.push_back(rec); });
+  }
+  for (const TrajectoryMemory::Record& rec : evicted) {
+    ConstructAndStore(rec, now);
+  }
 }
 
 void EdgeAgent::ConstructAndStore(const TrajectoryMemory::Record& rec, SimTime now) {
   // Trajectory cache first; decode against the static topology on a miss.
-  std::optional<Path> path =
-      DecodeHeader(rec.key.flow.src_ip, rec.key.dscp, rec.key.TagVector());
+  std::optional<Path> path;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    path = DecodeHeader(rec.key.flow.src_ip, rec.key.dscp, rec.key.TagVector());
+  }
   if (!path) {
     // The trajectory contradicts the ground-truth topology — e.g. a switch
     // inserted a bogus ID (§2.4).  Raise an alarm; do not pollute the TIB.
@@ -123,13 +147,18 @@ void EdgeAgent::ConstructAndStore(const TrajectoryMemory::Record& rec, SimTime n
 }
 
 void EdgeAgent::IngestRecord(const TibRecord& rec, SimTime now) {
-  tib_.Insert(rec);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    tib_.Insert(rec);
+  }
+  // Hooks run unlocked: they may query this agent and raise alarms.
   for (auto& [id, hook] : hooks_) {
     hook(*this, rec, now);
   }
 }
 
 std::vector<Flow> EdgeAgent::GetFlows(const LinkId& link, const TimeRange& range) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<Flow> out;
   std::unordered_set<uint64_t> seen;
   for (size_t idx : tib_.RecordsOnLink(link, range)) {
@@ -147,6 +176,12 @@ std::vector<Flow> EdgeAgent::GetFlows(const LinkId& link, const TimeRange& range
 
 std::vector<Path> EdgeAgent::GetPaths(const FiveTuple& flow, const LinkId& link,
                                       const TimeRange& range) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetPathsLocked(flow, link, range);
+}
+
+std::vector<Path> EdgeAgent::GetPathsLocked(const FiveTuple& flow, const LinkId& link,
+                                            const TimeRange& range) const {
   std::vector<Path> out;
   std::unordered_set<uint64_t> seen;
   for (size_t idx : tib_.RecordsOfFlow(flow, range)) {
@@ -167,7 +202,9 @@ std::vector<Path> EdgeAgent::GetPaths(const FiveTuple& flow, const LinkId& link,
 
 std::vector<Path> EdgeAgent::GetPathsLive(const FiveTuple& flow, const LinkId& link,
                                           const TimeRange& range) {
-  std::vector<Path> out = GetPaths(flow, link, range);
+  // Exclusive: live decoding inserts into the trajectory cache.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<Path> out = GetPathsLocked(flow, link, range);
   std::unordered_set<uint64_t> seen;
   for (const Path& p : out) {
     uint64_t key = 0;
@@ -197,6 +234,7 @@ std::vector<Path> EdgeAgent::GetPathsLive(const FiveTuple& flow, const LinkId& l
 }
 
 CountSummary EdgeAgent::GetCount(const Flow& flow, const TimeRange& range) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   CountSummary out;
   CompactPath want = CompactPath::FromPath(flow.path);
   for (size_t idx : tib_.RecordsOfFlow(flow.id, range)) {
@@ -211,6 +249,7 @@ CountSummary EdgeAgent::GetCount(const Flow& flow, const TimeRange& range) const
 }
 
 SimTime EdgeAgent::GetDuration(const Flow& flow, const TimeRange& range) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   SimTime lo = kSimTimeMax;
   SimTime hi = -1;
   CompactPath want = CompactPath::FromPath(flow.path);
@@ -229,7 +268,13 @@ std::vector<FiveTuple> EdgeAgent::GetPoorTcpFlows(int threshold) const {
   if (threshold <= 0) {
     threshold = config_.poor_retx_threshold;
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return retx_.PoorTcpFlows(threshold);
+}
+
+void EdgeAgent::ResetRetxStreak(const FiveTuple& flow) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  retx_.OnProgress(flow);
 }
 
 void EdgeAgent::RaiseAlarm(const FiveTuple& flow, AlarmReason reason, std::vector<Path> paths,
@@ -249,6 +294,7 @@ void EdgeAgent::RaiseAlarm(const FiveTuple& flow, AlarmReason reason, std::vecto
 
 FlowSizeHistogram EdgeAgent::FlowSizeDistribution(const LinkId& link, const TimeRange& range,
                                                   int64_t bin_width) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   // Accumulate per-flow bytes over matching records, then histogram.
   std::unordered_map<FiveTuple, uint64_t, FiveTupleHash> per_flow;
   for (size_t idx : tib_.RecordsOnLink(link, range)) {
@@ -264,6 +310,7 @@ FlowSizeHistogram EdgeAgent::FlowSizeDistribution(const LinkId& link, const Time
 }
 
 TopKFlows EdgeAgent::TopK(size_t k, const TimeRange& range) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::unordered_map<FiveTuple, uint64_t, FiveTupleHash> per_flow;
   for (const TibRecord& rec : tib_.records()) {
     if (rec.Overlaps(range)) {
@@ -299,7 +346,7 @@ int EdgeAgent::InstallPoorTcpMonitor(SimTime period, int threshold) {
     for (const FiveTuple& flow : agent.GetPoorTcpFlows(threshold)) {
       agent.RaiseAlarm(flow, AlarmReason::kPoorPerf, {}, now);
       // One alarm per episode: progress must restart the streak.
-      agent.retx_monitor().OnProgress(flow);
+      agent.ResetRetxStreak(flow);
     }
   });
 }

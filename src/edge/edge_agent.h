@@ -9,14 +9,27 @@
 //  3. Query serving — the Table 1 host API over local TIB + live memory.
 //  4. Active monitoring — tcpretrans-style retransmission tracking plus
 //     installable periodic queries; violations raise Alarm() upstream.
+//
+// Concurrency: a per-agent reader/writer lock guards TrajectoryMemory,
+// the TIB, the trajectory cache, and the retransmission monitor.  Any
+// number of threads may run Table 1 queries against the *same* agent
+// (shared lock) concurrently with the single data-path thread ingesting
+// packets/records (exclusive lock) — e.g. alarm-pipeline subscribers
+// fetching failure signatures mid-run.  Record hooks, periodic query
+// bodies, and RaiseAlarm all run *outside* the lock, so they may freely
+// call back into the query API.  The raw accessors (memory(), tib(),
+// retx_monitor(), trajectory_cache()) bypass the lock and are only safe
+// while the agent is quiescent.
 
 #ifndef PATHDUMP_SRC_EDGE_EDGE_AGENT_H_
 #define PATHDUMP_SRC_EDGE_EDGE_AGENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/cherrypick/codec.h"
@@ -105,6 +118,11 @@ class EdgeAgent {
   // the configured default).
   std::vector<FiveTuple> GetPoorTcpFlows(int threshold = 0) const;
 
+  // Resets a flow's consecutive-retransmission streak (one alarm per
+  // episode, §2.3) under the agent's write lock — unlike the raw
+  // retx_monitor() accessor, safe against concurrent queries.
+  void ResetRetxStreak(const FiveTuple& flow);
+
   // Raises an alarm to the controller.
   void RaiseAlarm(const FiveTuple& flow, AlarmReason reason, std::vector<Path> paths,
                   SimTime now);
@@ -156,14 +174,21 @@ class EdgeAgent {
   void ConstructAndStore(const TrajectoryMemory::Record& rec, SimTime now);
 
   // Cache-first decode of a raw trajectory header; nullopt when infeasible.
+  // Callers must hold mu_ exclusively (the cache insert mutates).
   std::optional<Path> DecodeHeader(IpAddr src_ip, LinkLabel dscp,
                                    const std::vector<LinkLabel>& tags);
+
+  // GetPaths body; callers must hold mu_ (shared suffices).
+  std::vector<Path> GetPathsLocked(const FiveTuple& flow, const LinkId& link,
+                                   const TimeRange& range) const;
 
   HostId host_;
   const Topology* topo_;
   const CherryPickCodec* codec_;
   EdgeAgentConfig config_;
 
+  // Reader/writer lock over memory_/cache_/tib_/retx_ (see file comment).
+  mutable std::shared_mutex mu_;
   TrajectoryMemory memory_;
   TrajectoryCache cache_;
   Tib tib_;
@@ -172,7 +197,7 @@ class EdgeAgent {
   AlarmHandler alarm_handler_;
 
   SimTime next_sweep_ = 0;
-  uint64_t decode_failures_ = 0;
+  std::atomic<uint64_t> decode_failures_{0};
 
   int next_hook_id_ = 1;
   std::map<int, RecordHook> hooks_;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "src/controller/aggregation_tree.h"
 #include "src/controller/controller.h"
 #include "src/controller/loop_detector.h"
@@ -129,13 +131,16 @@ TEST_F(ControllerQueries, InstallUninstall) {
 
 TEST_F(ControllerQueries, AlarmFanOut) {
   fleet_->SetAlarmHandler(controller_->MakeAlarmSink());
-  int seen = 0;
+  std::atomic<int> seen{0};
   controller_->SubscribeAlarms([&](const Alarm&) { ++seen; });
   EdgeAgent& a = fleet_->agent(topo_.hosts()[3]);
   a.RaiseAlarm(FiveTuple{1, 2, 3, 4, 6}, AlarmReason::kPoorPerf, {}, 0);
-  EXPECT_EQ(seen, 1);
+  // Intake is asynchronous (alarm_pipeline.h): flush before observing.
+  controller_->FlushAlarms();
+  EXPECT_EQ(seen.load(), 1);
   EXPECT_EQ(controller_->alarm_log().size(), 1u);
   EXPECT_EQ(controller_->alarm_log()[0].host, topo_.hosts()[3]);
+  EXPECT_EQ(controller_->alarm_log()[0].seq, 0u);
 }
 
 TEST_F(ControllerQueries, UnknownHostIsSkipped) {
