@@ -15,11 +15,12 @@
 namespace pathdump {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::Banner("Figure 11: flow-size-distribution query, direct vs multi-level",
                 "~0.1-0.2s response; direct/multi-level gap shrinks with #hosts; ~1KB traffic");
 
   int entries = bench::EntriesFromEnv(240000);
+  bench::ShardSweepOptions sweep = bench::ParseSweepArgs(argc, argv);
   auto tb = bench::BuildQueryTestbed(112, entries);
 
   Controller::QueryFn query = [&tb](EdgeAgent& agent) -> QueryResult {
@@ -54,6 +55,7 @@ int Main() {
   }
 
   bench::SweepWorkerThreads(*tb, query, "flow-size distribution");
+  bench::SweepTibShards(*tb, entries, sweep, /*topk=*/false);
 
   bench::Section("§5.3 storage footprint");
   EdgeAgent& sample = *tb->agents[tb->hosts[0]];
@@ -62,11 +64,11 @@ int Main() {
               sample.tib().size(), double(sample.tib().ApproxBytes()) / 1e6);
   std::printf("trajectory cache capacity: %zu entries (paper: ~10MB RAM envelope for "
               "decode state)\n",
-              sample.trajectory_cache().capacity());
+              sample.cache_stats().capacity);
   return 0;
 }
 
 }  // namespace
 }  // namespace pathdump
 
-int main() { return pathdump::Main(); }
+int main(int argc, char** argv) { return pathdump::Main(argc, argv); }

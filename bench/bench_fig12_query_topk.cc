@@ -16,11 +16,12 @@ namespace {
 
 constexpr size_t kTopK = 10000;
 
-int Main() {
+int Main(int argc, char** argv) {
   bench::Banner("Figure 12: top-10,000 flows query, direct vs multi-level",
                 "direct grows linearly with #hosts; multi-level stays flat; tens of MB");
 
   int entries = bench::EntriesFromEnv(240000);
+  bench::ShardSweepOptions sweep = bench::ParseSweepArgs(argc, argv);
   auto tb = bench::BuildQueryTestbed(112, entries);
 
   Controller::QueryFn query = [](EdgeAgent& agent) -> QueryResult {
@@ -70,6 +71,7 @@ int Main() {
   }
 
   bench::SweepWorkerThreads(*tb, query, "top-k flows");
+  bench::SweepTibShards(*tb, entries, sweep, /*topk=*/true, kTopK);
 
   bench::Section("shape check");
   std::printf("direct growth 28->112 hosts: %.2fx (paper: ~linear, ~3-4x)\n",
@@ -84,4 +86,4 @@ int Main() {
 }  // namespace
 }  // namespace pathdump
 
-int main() { return pathdump::Main(); }
+int main(int argc, char** argv) { return pathdump::Main(argc, argv); }

@@ -226,7 +226,7 @@ RowResult ProtocolBugs() {
   w.Ingest(src, dst, 1000, 1'000'000);
   FiveTuple f = w.Flow(src, dst, 1000);
   for (int i = 0; i < 5; ++i) {
-    w.fleet.agent(dst).retx_monitor().OnRetransmission(f, SimTime(i));
+    w.fleet.agent(dst).RecordRetransmission(f, SimTime(i));
   }
   auto poor = w.fleet.agent(dst).GetPoorTcpFlows(3);
   auto paths = w.fleet.agent(dst).GetPaths(f, LinkId{kInvalidNode, kInvalidNode},

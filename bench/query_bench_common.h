@@ -8,10 +8,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/controller/controller.h"
 #include "src/edge/edge_agent.h"
 #include "src/topology/fat_tree.h"
@@ -32,6 +35,33 @@ struct QueryTestbed {
   // A link that a known fraction of the records traverses (query target).
   LinkId probe_link;
 };
+
+// One synthetic TIB entry terminating at `host` (agent index `a` of the
+// tree order): random remote source, one of its ECMP paths, heavy-tailed
+// size.  Consumes a fixed number of rng draws so record streams are
+// reproducible wherever the same seed is used.
+inline TibRecord MakeQueryRecord(const QueryTestbed& tb, size_t a, HostId host, int e, Rng& rng) {
+  const std::vector<HostId>& all_hosts = tb.topo.hosts();
+  HostId src = all_hosts[rng.UniformInt(uint32_t(all_hosts.size()))];
+  if (src == host) {
+    src = all_hosts[(a + 1) % all_hosts.size()];
+  }
+  std::vector<Path> paths = tb.router->EcmpPaths(src, host);
+  const Path& path = paths[rng.UniformInt(uint32_t(paths.size()))];
+
+  TibRecord rec;
+  rec.flow.src_ip = tb.topo.IpOfHost(src);
+  rec.flow.dst_ip = tb.topo.IpOfHost(host);
+  rec.flow.src_port = uint16_t(1024 + (e & 0xFFFF) % 60000);
+  rec.flow.dst_port = uint16_t(80 + (e >> 16));
+  rec.flow.protocol = kProtoTcp;
+  rec.path = CompactPath::FromPath(path);
+  rec.stime = SimTime(rng.UniformInt(3600)) * kNsPerSec;
+  rec.etime = rec.stime + SimTime(rng.UniformInt(5000)) * kNsPerMs;
+  rec.bytes = uint64_t(rng.Pareto(1000.0, 1.3));
+  rec.pkts = uint32_t(rec.bytes / 1460 + 1);
+  return rec;
+}
 
 // Builds the testbed.  entries_per_agent defaults to the paper's 240 K;
 // override via the PATHDUMP_TIB_ENTRIES env var for quick runs.
@@ -58,26 +88,7 @@ inline std::unique_ptr<QueryTestbed> BuildQueryTestbed(int num_agents = 112,
     auto agent = std::make_unique<EdgeAgent>(host, &tb->topo, tb->codec.get(), cfg);
 
     for (int e = 0; e < entries_per_agent; ++e) {
-      // Random remote source, one of its ECMP paths, heavy-tailed size.
-      HostId src = all_hosts[rng.UniformInt(uint32_t(all_hosts.size()))];
-      if (src == host) {
-        src = all_hosts[(size_t(a) + 1) % all_hosts.size()];
-      }
-      std::vector<Path> paths = tb->router->EcmpPaths(src, host);
-      const Path& path = paths[rng.UniformInt(uint32_t(paths.size()))];
-
-      TibRecord rec;
-      rec.flow.src_ip = tb->topo.IpOfHost(src);
-      rec.flow.dst_ip = tb->topo.IpOfHost(host);
-      rec.flow.src_port = uint16_t(1024 + (e & 0xFFFF) % 60000);
-      rec.flow.dst_port = uint16_t(80 + (e >> 16));
-      rec.flow.protocol = kProtoTcp;
-      rec.path = CompactPath::FromPath(path);
-      rec.stime = SimTime(rng.UniformInt(3600)) * kNsPerSec;
-      rec.etime = rec.stime + SimTime(rng.UniformInt(5000)) * kNsPerMs;
-      rec.bytes = uint64_t(rng.Pareto(1000.0, 1.3));
-      rec.pkts = uint32_t(rec.bytes / 1460 + 1);
-      agent->tib().Insert(rec);
+      agent->tib().Insert(MakeQueryRecord(*tb, size_t(a), host, e, rng));
     }
     tb->controller.RegisterAgent(agent.get());
     tb->hosts.push_back(host);
@@ -127,6 +138,155 @@ inline void SweepWorkerThreads(QueryTestbed& tb, const Controller::QueryFn& quer
                 identical ? "yes" : "NO");
   }
   tb.controller.SetWorkerThreads(1);
+}
+
+// --- Intra-host shard sweep (the sharded-TIB experiment) ---
+
+struct ShardSweepOptions {
+  std::vector<size_t> shards{1, 2, 4, 8};
+  std::vector<size_t> workers{1, 2, 4, 8};
+};
+
+inline std::vector<size_t> ParseSizeList(const std::string& s) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = s.size();
+    }
+    int v = atoi(s.substr(pos, comma - pos).c_str());
+    if (v > 0) {
+      out.push_back(size_t(v));
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// Recognizes `--shards 1,2,4` / `--shards=1,2,4` (and `--workers` alike).
+inline ShardSweepOptions ParseSweepArgs(int argc, char** argv) {
+  ShardSweepOptions opt;
+  auto value_of = [&](int& i, const char* flag) -> const char* {
+    std::string arg = argv[i];
+    std::string prefix = std::string(flag) + "=";
+    // A leading '-' means the "value" is actually the next flag (e.g.
+    // `--shards --workers 2`): reject rather than swallow it.
+    if (arg == flag && i + 1 < argc && argv[i + 1][0] != '-') {
+      return argv[++i];
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      return argv[i] + prefix.size();
+    }
+    return nullptr;
+  };
+  auto apply = [](const char* flag, const char* v, std::vector<size_t>& target) {
+    auto parsed = ParseSizeList(v);
+    if (parsed.empty()) {
+      // Silently falling back to the full default sweep would hide a typo
+      // (and at 240K entries, cost real minutes) — say what happened.
+      std::fprintf(stderr, "warning: %s '%s' has no positive values; keeping the default sweep\n",
+                   flag, v);
+      return;
+    }
+    target = parsed;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = value_of(i, "--shards")) {
+      apply("--shards", v, opt.shards);
+    } else if (const char* v = value_of(i, "--workers")) {
+      apply("--workers", v, opt.workers);
+    }
+  }
+  return opt;
+}
+
+// Single-host scan wall-clock vs (shard count x scan workers): one agent
+// with `entries` TIB records, rebuilt per shard count, running either the
+// top-k or the flow-size-distribution canned query.  Every cell's result
+// must equal the 1-shard/1-worker baseline byte for byte — the sharding
+// determinism contract.  (Speedup requires hardware parallelism; on a
+// single-core box the interesting column is "identical".)
+inline void SweepTibShards(QueryTestbed& tb, int entries, const ShardSweepOptions& opt,
+                           bool topk, size_t k = 10000) {
+  std::printf("\n--- %s: single-host scan wall-clock vs TIB shards (%d records) ---\n",
+              topk ? "top-k flows" : "flow-size distribution", entries);
+  std::printf("%-8s %-8s %12s %10s %10s\n", "shards", "workers", "wall(ms)", "speedup",
+              "identical");
+  HostId host = tb.hosts[0];
+  // tb.probe_link is an uplink *out of* the sweep host's pod and never
+  // appears on paths terminating there; probe the reversed (down) link so
+  // the scan aggregates real matches.
+  const LinkId sweep_link{tb.probe_link.dst, tb.probe_link.src};
+  Rng rng(0x51AD);
+  std::vector<TibRecord> records;
+  records.reserve(size_t(entries));
+  for (int e = 0; e < entries; ++e) {
+    records.push_back(MakeQueryRecord(tb, 0, host, e, rng));
+  }
+
+  const int reps = 3;
+  // Times the query on `agent` (untimed warm-up first: the initial scan
+  // of a freshly built column pays its page faults, which would
+  // otherwise inflate the measurement) and returns the mean wall time.
+  auto measure = [&](EdgeAgent& agent, QueryResult& res) {
+    auto run_query = [&] {
+      if (topk) {
+        res = agent.TopK(k, TimeRange::All());
+      } else {
+        res = agent.FlowSizeDistribution(sweep_link, TimeRange::All(), 10000);
+      }
+    };
+    run_query();
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      run_query();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / reps;
+  };
+  auto build_agent = [&](size_t shards) {
+    EdgeAgentConfig cfg;
+    cfg.tib_options.index_by_flow = false;
+    cfg.tib_options.num_shards = shards;
+    auto agent = std::make_unique<EdgeAgent>(host, &tb.topo, tb.codec.get(), cfg);
+    for (const TibRecord& rec : records) {
+      agent->tib().Insert(rec);
+    }
+    return agent;
+  };
+
+  // The reference is always 1 shard, sequential — whatever lists the
+  // caller swept, every cell must match it byte for byte.
+  QueryResult base;
+  double base_wall;
+  {
+    auto agent = build_agent(1);
+    base_wall = measure(*agent, base);
+  }
+  if (const auto* h = std::get_if<FlowSizeHistogram>(&base)) {
+    int64_t flows = 0;
+    for (const auto& [bin, count] : h->bins) {
+      flows += count;
+    }
+    std::printf("(1-shard sequential baseline: %.2f ms, %lld flows on the probe link)\n",
+                base_wall * 1e3, static_cast<long long>(flows));
+  } else {
+    std::printf("(1-shard sequential baseline: %.2f ms)\n", base_wall * 1e3);
+  }
+
+  for (size_t shards : opt.shards) {
+    auto agent = build_agent(shards);
+    for (size_t workers : opt.workers) {
+      ThreadPool pool(workers);
+      agent->SetQueryThreadPool(&pool);
+      QueryResult res;
+      double wall = measure(*agent, res);
+      agent->SetQueryThreadPool(nullptr);
+      std::printf("%-8zu %-8zu %12.2f %9.2fx %10s\n", shards, workers, wall * 1e3,
+                  base_wall / std::max(wall, 1e-9), res == base ? "yes" : "NO");
+    }
+  }
 }
 
 inline int EntriesFromEnv(int fallback) {

@@ -14,11 +14,11 @@ IncastVerdict IncastDiagnoser::Diagnose(EdgeAgent& receiver_agent, TimeRange ran
 
   // Per-sender throughput from the receiver's TIB.
   std::unordered_map<IpAddr, uint64_t> per_sender_bytes;
-  for (const TibRecord& rec : receiver_agent.tib().records()) {
+  receiver_agent.tib().ForEachRecordUnordered([&](const TibRecord& rec) {
     if (rec.Overlaps(range)) {
       per_sender_bytes[rec.flow.src_ip] += rec.bytes;
     }
-  }
+  });
   v.senders = int(per_sender_bytes.size());
   if (v.senders < 2 || duration_seconds <= 0) {
     return v;

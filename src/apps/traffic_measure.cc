@@ -23,14 +23,14 @@ std::map<std::pair<SwitchId, SwitchId>, uint64_t> TrafficMatrix(AgentFleet& flee
                                                                 TimeRange range) {
   std::map<std::pair<SwitchId, SwitchId>, uint64_t> matrix;
   for (EdgeAgent* agent : fleet.all()) {
-    for (const TibRecord& rec : agent->tib().records()) {
+    agent->tib().ForEachRecordUnordered([&](const TibRecord& rec) {
       if (!rec.Overlaps(range) || rec.path.len == 0) {
-        continue;
+        return;
       }
       SwitchId src_tor = rec.path.sw[0];
       SwitchId dst_tor = rec.path.sw[size_t(rec.path.len) - 1];
       matrix[{src_tor, dst_tor}] += rec.bytes;
-    }
+    });
   }
   return matrix;
 }
@@ -71,11 +71,11 @@ std::vector<std::pair<uint64_t, Flow>> CongestedLinkFlows(Controller& controller
 
 std::vector<std::pair<uint64_t, IpAddr>> DdosSources(EdgeAgent& victim_agent, TimeRange range) {
   std::unordered_map<IpAddr, uint64_t> per_source;
-  for (const TibRecord& rec : victim_agent.tib().records()) {
+  victim_agent.tib().ForEachRecordUnordered([&](const TibRecord& rec) {
     if (rec.Overlaps(range)) {
       per_source[rec.flow.src_ip] += rec.bytes;
     }
-  }
+  });
   std::vector<std::pair<uint64_t, IpAddr>> out;
   out.reserve(per_source.size());
   for (const auto& [ip, bytes] : per_source) {

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_set>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -81,7 +82,7 @@ void EdgeAgent::OnPacket(const Packet& pkt, SimTime now) {
       packet_log_->Append(e);
     }
   }
-  if (now >= next_sweep_) {
+  if (now >= next_sweep_.load(std::memory_order_relaxed)) {
     Tick(now);
   }
 }
@@ -93,19 +94,32 @@ void EdgeAgent::Tick(SimTime now) {
   std::vector<TrajectoryMemory::Record> evicted;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    if (now >= next_sweep_) {
+    if (now >= next_sweep_.load(std::memory_order_relaxed)) {
       memory_.Sweep(now,
                     [&evicted](const TrajectoryMemory::Record& rec) { evicted.push_back(rec); });
-      next_sweep_ = now + config_.sweep_period;
+      next_sweep_.store(now + config_.sweep_period, std::memory_order_relaxed);
     }
   }
   for (const TrajectoryMemory::Record& rec : evicted) {
     ConstructAndStore(rec, now);
   }
-  for (auto& [id, q] : periodic_) {
-    if (q.period <= 0 || now >= q.next_due) {
-      q.body(*this, now);
-      q.next_due = now + std::max<SimTime>(q.period, 1);
+  // Due periodic bodies are copied out under the registration lock and run
+  // with no lock held — they may query this agent or (un)install queries.
+  std::vector<std::pair<int, PeriodicQuery>> due;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    for (auto& [id, q] : periodic_) {
+      if (q.period <= 0 || now >= q.next_due) {
+        due.emplace_back(id, q.body);
+      }
+    }
+  }
+  for (auto& [id, body] : due) {
+    body(*this, now);
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    auto it = periodic_.find(id);
+    if (it != periodic_.end()) {
+      it->second.next_due = now + std::max<SimTime>(it->second.period, 1);
     }
   }
 }
@@ -147,71 +161,55 @@ void EdgeAgent::ConstructAndStore(const TrajectoryMemory::Record& rec, SimTime n
 }
 
 void EdgeAgent::IngestRecord(const TibRecord& rec, SimTime now) {
+  // The TIB locks its owning shard internally; no agent lock is involved.
+  tib_.Insert(rec);
+  // Hooks run with no lock held: they may query this agent, raise alarms,
+  // or (un)register hooks (the snapshot keeps this pass stable).
+  std::shared_ptr<const std::vector<RecordHook>> hooks;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    tib_.Insert(rec);
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    hooks = hook_list_;
   }
-  // Hooks run unlocked: they may query this agent and raise alarms.
-  for (auto& [id, hook] : hooks_) {
-    hook(*this, rec, now);
+  if (hooks != nullptr) {
+    for (const RecordHook& hook : *hooks) {
+      hook(*this, rec, now);
+    }
   }
 }
 
 std::vector<Flow> EdgeAgent::GetFlows(const LinkId& link, const TimeRange& range) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::vector<Flow> out;
-  std::unordered_set<uint64_t> seen;
-  for (size_t idx : tib_.RecordsOnLink(link, range)) {
-    const TibRecord& rec = tib_.record(idx);
-    uint64_t key = FiveTupleHash{}(rec.flow);
-    for (int i = 0; i < rec.path.len; ++i) {
-      key = HashCombine(key, rec.path.sw[size_t(i)]);
-    }
-    if (seen.insert(key).second) {
-      out.push_back(Flow{rec.flow, rec.path.ToPath()});
-    }
-  }
-  return out;
+  return tib_.FlowsOnLink(link, range);
 }
 
 std::vector<Path> EdgeAgent::GetPaths(const FiveTuple& flow, const LinkId& link,
                                       const TimeRange& range) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return GetPathsLocked(flow, link, range);
+  return CollectTibPaths(flow, link, range);
 }
 
-std::vector<Path> EdgeAgent::GetPathsLocked(const FiveTuple& flow, const LinkId& link,
-                                            const TimeRange& range) const {
+std::vector<Path> EdgeAgent::CollectTibPaths(const FiveTuple& flow, const LinkId& link,
+                                             const TimeRange& range) const {
   std::vector<Path> out;
   std::unordered_set<uint64_t> seen;
-  for (size_t idx : tib_.RecordsOfFlow(flow, range)) {
-    const TibRecord& rec = tib_.record(idx);
+  tib_.ForEachRecordOfFlow(flow, range, [&](size_t, const TibRecord& rec) {
     if (!rec.path.MatchesLinkQuery(link)) {
-      continue;
+      return;
     }
-    uint64_t key = 0;
-    for (int i = 0; i < rec.path.len; ++i) {
-      key = HashCombine(key, rec.path.sw[size_t(i)]);
-    }
-    if (seen.insert(key).second) {
+    if (seen.insert(rec.path.HashKey()).second) {
       out.push_back(rec.path.ToPath());
     }
-  }
+  });
   return out;
 }
 
 std::vector<Path> EdgeAgent::GetPathsLive(const FiveTuple& flow, const LinkId& link,
                                           const TimeRange& range) {
-  // Exclusive: live decoding inserts into the trajectory cache.
+  // Exclusive: live decoding inserts into the trajectory cache.  Lock
+  // order: agent lock, then TIB shard locks inside CollectTibPaths.
   std::unique_lock<std::shared_mutex> lock(mu_);
-  std::vector<Path> out = GetPathsLocked(flow, link, range);
+  std::vector<Path> out = CollectTibPaths(flow, link, range);
   std::unordered_set<uint64_t> seen;
   for (const Path& p : out) {
-    uint64_t key = 0;
-    for (SwitchId s : p) {
-      key = HashCombine(key, s);
-    }
-    seen.insert(key);
+    seen.insert(CompactPath::FromPath(p).HashKey());
   }
   for (const TrajectoryMemory::Record& rec : memory_.Snapshot()) {
     if (!(rec.key.flow == flow) || !range.Overlaps(rec.stime, rec.etime)) {
@@ -219,14 +217,11 @@ std::vector<Path> EdgeAgent::GetPathsLive(const FiveTuple& flow, const LinkId& l
     }
     std::optional<Path> path =
         DecodeHeader(rec.key.flow.src_ip, rec.key.dscp, rec.key.TagVector());
-    if (!path || !CompactPath::FromPath(*path).MatchesLinkQuery(link)) {
+    if (!path) {
       continue;
     }
-    uint64_t key = 0;
-    for (SwitchId s : *path) {
-      key = HashCombine(key, s);
-    }
-    if (seen.insert(key).second) {
+    CompactPath cp = CompactPath::FromPath(*path);
+    if (cp.MatchesLinkQuery(link) && seen.insert(cp.HashKey()).second) {
       out.push_back(std::move(*path));
     }
   }
@@ -234,33 +229,29 @@ std::vector<Path> EdgeAgent::GetPathsLive(const FiveTuple& flow, const LinkId& l
 }
 
 CountSummary EdgeAgent::GetCount(const Flow& flow, const TimeRange& range) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   CountSummary out;
   CompactPath want = CompactPath::FromPath(flow.path);
-  for (size_t idx : tib_.RecordsOfFlow(flow.id, range)) {
-    const TibRecord& rec = tib_.record(idx);
+  tib_.ForEachRecordOfFlow(flow.id, range, [&](size_t, const TibRecord& rec) {
     if (!flow.path.empty() && !(rec.path == want)) {
-      continue;
+      return;
     }
     out.bytes += rec.bytes;
     out.pkts += rec.pkts;
-  }
+  });
   return out;
 }
 
 SimTime EdgeAgent::GetDuration(const Flow& flow, const TimeRange& range) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   SimTime lo = kSimTimeMax;
   SimTime hi = -1;
   CompactPath want = CompactPath::FromPath(flow.path);
-  for (size_t idx : tib_.RecordsOfFlow(flow.id, range)) {
-    const TibRecord& rec = tib_.record(idx);
+  tib_.ForEachRecordOfFlow(flow.id, range, [&](size_t, const TibRecord& rec) {
     if (!flow.path.empty() && !(rec.path == want)) {
-      continue;
+      return;
     }
     lo = std::min(lo, rec.stime);
     hi = std::max(hi, rec.etime);
-  }
+  });
   return hi < lo ? 0 : hi - lo;
 }
 
@@ -270,6 +261,16 @@ std::vector<FiveTuple> EdgeAgent::GetPoorTcpFlows(int threshold) const {
   }
   std::shared_lock<std::shared_mutex> lock(mu_);
   return retx_.PoorTcpFlows(threshold);
+}
+
+void EdgeAgent::RecordRetransmission(const FiveTuple& flow, SimTime now) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  retx_.OnRetransmission(flow, now);
+}
+
+uint64_t EdgeAgent::TotalRetx(const FiveTuple& flow) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return retx_.TotalRetx(flow);
 }
 
 void EdgeAgent::ResetRetxStreak(const FiveTuple& flow) {
@@ -294,13 +295,9 @@ void EdgeAgent::RaiseAlarm(const FiveTuple& flow, AlarmReason reason, std::vecto
 
 FlowSizeHistogram EdgeAgent::FlowSizeDistribution(const LinkId& link, const TimeRange& range,
                                                   int64_t bin_width) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  // Accumulate per-flow bytes over matching records, then histogram.
-  std::unordered_map<FiveTuple, uint64_t, FiveTupleHash> per_flow;
-  for (size_t idx : tib_.RecordsOnLink(link, range)) {
-    const TibRecord& rec = tib_.record(idx);
-    per_flow[rec.flow] += rec.bytes;
-  }
+  // Shard-parallel per-flow byte totals over matching records, then
+  // histogram (bin counts are order-independent integer sums).
+  FlowBytesMap per_flow = tib_.AggregateFlowBytes(link, range);
   FlowSizeHistogram h;
   h.bin_width = bin_width;
   for (const auto& [flow, bytes] : per_flow) {
@@ -310,13 +307,11 @@ FlowSizeHistogram EdgeAgent::FlowSizeDistribution(const LinkId& link, const Time
 }
 
 TopKFlows EdgeAgent::TopK(size_t k, const TimeRange& range) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::unordered_map<FiveTuple, uint64_t, FiveTupleHash> per_flow;
-  for (const TibRecord& rec : tib_.records()) {
-    if (rec.Overlaps(range)) {
-      per_flow[rec.flow] += rec.bytes;
-    }
-  }
+  // Same shared aggregation as FlowSizeDistribution, over every record
+  // ((<*, *>) matches all paths).  Finalize() imposes a total order, so
+  // the result is byte-identical at any shard/worker count.
+  FlowBytesMap per_flow =
+      tib_.AggregateFlowBytes(LinkId{kInvalidNode, kInvalidNode}, range);
   TopKFlows out;
   out.k = k;
   out.items.reserve(per_flow.size());
@@ -327,15 +322,41 @@ TopKFlows EdgeAgent::TopK(size_t k, const TimeRange& range) const {
   return out;
 }
 
+std::vector<TrajectoryMemory::Record> EdgeAgent::MemorySnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return memory_.Snapshot();
+}
+
+TrajectoryCacheStats EdgeAgent::cache_stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return TrajectoryCacheStats{cache_.size(), cache_.capacity(), cache_.hits(), cache_.misses()};
+}
+
 int EdgeAgent::AddRecordHook(RecordHook hook) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   int id = next_hook_id_++;
   hooks_[id] = std::move(hook);
+  RebuildHookList();
   return id;
 }
 
-void EdgeAgent::RemoveRecordHook(int id) { hooks_.erase(id); }
+void EdgeAgent::RemoveRecordHook(int id) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  hooks_.erase(id);
+  RebuildHookList();
+}
+
+void EdgeAgent::RebuildHookList() {
+  auto list = std::make_shared<std::vector<RecordHook>>();
+  list->reserve(hooks_.size());
+  for (const auto& [id, hook] : hooks_) {
+    list->push_back(hook);
+  }
+  hook_list_ = std::move(list);
+}
 
 int EdgeAgent::InstallQuery(SimTime period, PeriodicQuery body) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   int id = next_query_id_++;
   periodic_[id] = Installed{period, 0, std::move(body)};
   return id;
@@ -351,6 +372,14 @@ int EdgeAgent::InstallPoorTcpMonitor(SimTime period, int threshold) {
   });
 }
 
-void EdgeAgent::UninstallQuery(int id) { periodic_.erase(id); }
+void EdgeAgent::UninstallQuery(int id) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  periodic_.erase(id);
+}
+
+size_t EdgeAgent::InstalledQueryCount() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  return periodic_.size();
+}
 
 }  // namespace pathdump

@@ -10,16 +10,25 @@
 //  4. Active monitoring — tcpretrans-style retransmission tracking plus
 //     installable periodic queries; violations raise Alarm() upstream.
 //
-// Concurrency: a per-agent reader/writer lock guards TrajectoryMemory,
-// the TIB, the trajectory cache, and the retransmission monitor.  Any
-// number of threads may run Table 1 queries against the *same* agent
-// (shared lock) concurrently with the single data-path thread ingesting
-// packets/records (exclusive lock) — e.g. alarm-pipeline subscribers
-// fetching failure signatures mid-run.  Record hooks, periodic query
-// bodies, and RaiseAlarm all run *outside* the lock, so they may freely
-// call back into the query API.  The raw accessors (memory(), tib(),
-// retx_monitor(), trajectory_cache()) bypass the lock and are only safe
-// while the agent is quiescent.
+// Concurrency: the TIB synchronizes itself (flow-hash shards, each with a
+// reader/writer lock — see tib.h), so pure-TIB queries (getFlows,
+// getPaths, getCount, getDuration, TopK, FlowSizeDistribution) never take
+// an agent-wide lock and scale with the TIB's scan pool.  The agent's own
+// reader/writer lock now guards only the non-TIB mutable state:
+// TrajectoryMemory, the trajectory cache, and the retransmission monitor.
+// A separate registration mutex guards the hook/periodic-query tables.
+// Any number of threads may run Table 1 queries against the *same* agent
+// concurrently with the single data-path thread ingesting packets/records
+// — e.g. alarm-pipeline subscribers fetching failure signatures mid-run.
+// Record hooks, periodic query bodies, and RaiseAlarm all run *outside*
+// every lock, so they may freely call back into the query API.
+//
+// Lock hierarchy: agent lock -> TIB shard locks (GetPathsLive); the TIB
+// never calls back into the agent.  tib() is safe to use at any time
+// (every Tib method locks internally); the remaining per-subsystem state
+// is exposed only through locked wrappers (RecordRetransmission,
+// TotalRetx, MemorySnapshot, cache_stats) — the raw accessors that used to
+// bypass the lock are gone.
 
 #ifndef PATHDUMP_SRC_EDGE_EDGE_AGENT_H_
 #define PATHDUMP_SRC_EDGE_EDGE_AGENT_H_
@@ -29,6 +38,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <vector>
 
@@ -45,6 +55,8 @@
 
 namespace pathdump {
 
+class ThreadPool;
+
 struct EdgeAgentConfig {
   // Idle eviction timeout for trajectory-memory records (paper: 5 s).
   SimTime idle_timeout = 5 * kNsPerSec;
@@ -58,6 +70,14 @@ struct EdgeAgentConfig {
   // ring queryable by flow/link/time (see packet_log.h).
   size_t packet_log_capacity = 0;
   TibOptions tib_options;
+};
+
+// Locked snapshot of the trajectory-cache counters.
+struct TrajectoryCacheStats {
+  size_t size = 0;
+  size_t capacity = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
 };
 
 class EdgeAgent {
@@ -118,9 +138,16 @@ class EdgeAgent {
   // the configured default).
   std::vector<FiveTuple> GetPoorTcpFlows(int threshold = 0) const;
 
+  // Records a retransmission observed for `flow` at `now` — the simulated
+  // tcpretrans feed, safe against concurrent queries (write lock).
+  void RecordRetransmission(const FiveTuple& flow, SimTime now);
+
+  // Lifetime retransmission count for `flow` (shared lock).
+  uint64_t TotalRetx(const FiveTuple& flow) const;
+
   // Resets a flow's consecutive-retransmission streak (one alarm per
-  // episode, §2.3) under the agent's write lock — unlike the raw
-  // retx_monitor() accessor, safe against concurrent queries.
+  // episode, §2.3) under the agent's write lock, safe against concurrent
+  // queries.
   void ResetRetxStreak(const FiveTuple& flow);
 
   // Raises an alarm to the controller.
@@ -129,7 +156,9 @@ class EdgeAgent {
 
   // --- Canned queries used by applications and benches ---
 
-  // Histogram of per-flow byte counts over flows traversing `link`.
+  // Histogram of per-flow byte counts over flows traversing `link`.  Both
+  // canned queries share Tib::AggregateFlowBytes, the shard-parallel
+  // per-flow byte aggregation.
   FlowSizeHistogram FlowSizeDistribution(const LinkId& link, const TimeRange& range,
                                          int64_t bin_width = 10000) const;
   // Top-k flows by bytes within `range`.
@@ -139,6 +168,11 @@ class EdgeAgent {
 
   void SetAlarmHandler(AlarmHandler handler) { alarm_handler_ = std::move(handler); }
 
+  // Non-owning pool for shard-parallel TIB scans (TopK,
+  // FlowSizeDistribution, getFlows, RecordsOnLink); nullptr reverts to
+  // sequential scans.  Results are byte-identical either way.
+  void SetQueryThreadPool(ThreadPool* pool) { tib_.SetScanPool(pool); }
+
   int AddRecordHook(RecordHook hook);
   void RemoveRecordHook(int id);
 
@@ -146,7 +180,7 @@ class EdgeAgent {
   // event-driven (runs on every Tick).
   int InstallQuery(SimTime period, PeriodicQuery body);
   void UninstallQuery(int id);
-  size_t InstalledQueryCount() const { return periodic_.size(); }
+  size_t InstalledQueryCount() const;
 
   // Installs the §2.3 TCP performance monitoring query: every `period`
   // (the paper uses 200 ms) the agent raises Alarm(flow, POOR_PERF) for
@@ -156,14 +190,17 @@ class EdgeAgent {
 
   // --- Introspection ---
 
+  // The TIB synchronizes itself (per-shard locks); both overloads are safe
+  // to use concurrently with ingestion and queries.
   Tib& tib() { return tib_; }
   const Tib& tib() const { return tib_; }
-  TrajectoryMemory& memory() { return memory_; }
-  const TrajectoryMemory& memory() const { return memory_; }
-  RetxMonitor& retx_monitor() { return retx_; }
-  const RetxMonitor& retx_monitor() const { return retx_; }
-  TrajectoryCache& trajectory_cache() { return cache_; }
-  // Non-null only when packet_log_capacity > 0 in the config.
+  // Locked snapshot of the live (not yet evicted) trajectory-memory rows
+  // — the safe replacement for the removed raw memory() accessor.
+  std::vector<TrajectoryMemory::Record> MemorySnapshot() const;
+  // Locked snapshot of the trajectory-cache counters.
+  TrajectoryCacheStats cache_stats() const;
+  // Non-null only when packet_log_capacity > 0 in the config.  The log is
+  // written under the agent lock by the data path; treat as quiescent-only.
   PacketLog* packet_log() { return packet_log_.get(); }
   const PacketLog* packet_log() const { return packet_log_.get(); }
   uint64_t decode_failures() const { return decode_failures_; }
@@ -178,16 +215,20 @@ class EdgeAgent {
   std::optional<Path> DecodeHeader(IpAddr src_ip, LinkLabel dscp,
                                    const std::vector<LinkLabel>& tags);
 
-  // GetPaths body; callers must hold mu_ (shared suffices).
-  std::vector<Path> GetPathsLocked(const FiveTuple& flow, const LinkId& link,
-                                   const TimeRange& range) const;
+  // GetPaths body over the (self-synchronized) TIB; takes no agent lock.
+  std::vector<Path> CollectTibPaths(const FiveTuple& flow, const LinkId& link,
+                                    const TimeRange& range) const;
+
+  // Rebuilds hook_list_ from hooks_; callers must hold reg_mu_.
+  void RebuildHookList();
 
   HostId host_;
   const Topology* topo_;
   const CherryPickCodec* codec_;
   EdgeAgentConfig config_;
 
-  // Reader/writer lock over memory_/cache_/tib_/retx_ (see file comment).
+  // Reader/writer lock over memory_/cache_/retx_/packet_log_ (see file
+  // comment).  The TIB is *not* under this lock — it self-synchronizes.
   mutable std::shared_mutex mu_;
   TrajectoryMemory memory_;
   TrajectoryCache cache_;
@@ -196,11 +237,18 @@ class EdgeAgent {
   std::unique_ptr<PacketLog> packet_log_;
   AlarmHandler alarm_handler_;
 
-  SimTime next_sweep_ = 0;
+  std::atomic<SimTime> next_sweep_{0};
   std::atomic<uint64_t> decode_failures_{0};
 
+  // Guards the hook/periodic registration tables below.  Hook and query
+  // bodies are copied out and run with no lock held, so they may call any
+  // agent API (including installing/uninstalling) without deadlock.
+  mutable std::mutex reg_mu_;
   int next_hook_id_ = 1;
   std::map<int, RecordHook> hooks_;
+  // Immutable snapshot of hooks_ values, rebuilt on Add/Remove; the
+  // per-record ingest cost is one shared_ptr copy, not a table copy.
+  std::shared_ptr<const std::vector<RecordHook>> hook_list_;
 
   struct Installed {
     SimTime period;

@@ -1,6 +1,13 @@
 #include "src/edge/tib.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+
+#include "src/common/thread_pool.h"
 
 namespace pathdump {
 
@@ -31,6 +38,14 @@ struct DiskRow {
   uint32_t pkts;
   uint32_t pad2;
 };
+
+size_t ResolveShardCount(size_t requested) {
+  size_t n = requested;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+  }
+  return std::clamp<size_t>(n, 1, Tib::kMaxShards);
+}
 
 }  // namespace
 
@@ -96,65 +111,284 @@ bool CompactPath::MatchesLinkQuery(const LinkId& q) const {
   return ContainsDirectedLink(q.src, q.dst);
 }
 
-void Tib::Insert(const TibRecord& rec) {
-  uint32_t idx = uint32_t(records_.size());
-  records_.push_back(rec);
-  if (options_.index_by_flow) {
-    by_flow_[rec.flow].push_back(idx);
+Tib::Tib(TibOptions options) : options_(options) {
+  shards_.resize(ResolveShardCount(options_.num_shards));
+  for (auto& s : shards_) {
+    s = std::make_unique<Shard>();
   }
+}
+
+template <typename PerShard>
+void Tib::ForEachShardParallel(PerShard&& fn) const {
+  ThreadPool* pool = scan_pool_.load(std::memory_order_acquire);
+  size_t n = shards_.size();
+  if (pool == nullptr || pool->worker_count() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  pool->ParallelFor(n, [&fn](size_t i) { fn(i); });
+}
+
+template <typename Acc, typename Fill>
+std::vector<Acc> Tib::CollectShardPartials(Fill&& fill) const {
+  std::vector<Acc> partial(shards_.size());
+  ForEachShardParallel([&](size_t si) {
+    const Shard& s = *shards_[si];
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    fill(partial[si], s);
+  });
+  return partial;
+}
+
+namespace {
+
+// Flattens per-shard partial vectors, reserving the exact total.
+template <typename T>
+std::vector<T> ConcatPartials(const std::vector<std::vector<T>>& partial) {
+  size_t total = 0;
+  for (const auto& p : partial) {
+    total += p.size();
+  }
+  std::vector<T> out;
+  out.reserve(total);
+  for (const auto& p : partial) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tib::Insert(const TibRecord& rec) {
+  Shard& s = *shards_[ShardOf(rec.flow)];
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  // The id is claimed under the shard lock so each shard's id column stays
+  // strictly ascending — the invariant the ordered reduces rely on.
+  uint64_t id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  // Row first, index last, with rollback: an allocation failure in any
+  // step must not leave a half-inserted row or a by-flow entry pointing
+  // past the column (an id gap is harmless — ids only need to ascend).
+  s.records.push_back(rec);
+  try {
+    s.ids.push_back(id);
+    if (options_.index_by_flow) {
+      s.by_flow[rec.flow].push_back(uint32_t(s.records.size() - 1));
+    }
+  } catch (...) {
+    if (s.ids.size() == s.records.size()) {
+      s.ids.pop_back();
+    }
+    s.records.pop_back();
+    throw;
+  }
+  count_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+TibRecord Tib::record(size_t id) const {
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    auto it = std::lower_bound(s.ids.begin(), s.ids.end(), uint64_t(id));
+    if (it != s.ids.end() && *it == uint64_t(id)) {
+      return s.records[size_t(it - s.ids.begin())];
+    }
+  }
+  return TibRecord{};
+}
+
+void Tib::ForEachRecord(const std::function<void(size_t, const TibRecord&)>& fn) const {
+  // Lock every shard (ascending — the documented hierarchy), then k-way
+  // merge the per-shard ascending id columns.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    locks.emplace_back(sp->mu);
+  }
+  // Min-heap over one (id, shard) head per shard: O(n log s) for the
+  // whole walk, and the all-shards lock window stays as short as the
+  // visitor allows.
+  using Head = std::pair<uint64_t, size_t>;
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heads;
+  std::vector<size_t> cursor(shards_.size(), 0);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->ids.empty()) {
+      heads.emplace(shards_[i]->ids[0], i);
+    }
+  }
+  while (!heads.empty()) {
+    auto [id, si] = heads.top();
+    heads.pop();
+    const Shard& s = *shards_[si];
+    fn(size_t(id), s.records[cursor[si]]);
+    if (++cursor[si] < s.ids.size()) {
+      heads.emplace(s.ids[cursor[si]], si);
+    }
+  }
+}
+
+void Tib::ForEachRecordUnordered(const std::function<void(const TibRecord&)>& fn) const {
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    for (const TibRecord& rec : s.records) {
+      fn(rec);
+    }
+  }
+}
+
+std::vector<TibRecord> Tib::records() const {
+  std::vector<TibRecord> out;
+  out.reserve(size());
+  ForEachRecord([&out](size_t, const TibRecord& rec) { out.push_back(rec); });
+  return out;
 }
 
 std::vector<size_t> Tib::RecordsOfFlow(const FiveTuple& flow, const TimeRange& range) const {
   std::vector<size_t> out;
+  ForEachRecordOfFlow(flow, range, [&out](size_t id, const TibRecord&) { out.push_back(id); });
+  return out;
+}
+
+void Tib::ForEachRecordOfFlow(const FiveTuple& flow, const TimeRange& range,
+                              const std::function<void(size_t, const TibRecord&)>& fn) const {
+  const Shard& s = *shards_[ShardOf(flow)];
+  std::shared_lock<std::shared_mutex> lock(s.mu);
   if (options_.index_by_flow) {
-    auto it = by_flow_.find(flow);
-    if (it == by_flow_.end()) {
-      return out;
+    auto it = s.by_flow.find(flow);
+    if (it == s.by_flow.end()) {
+      return;
     }
     for (uint32_t idx : it->second) {
-      if (records_[idx].Overlaps(range)) {
-        out.push_back(idx);
+      if (s.records[idx].Overlaps(range)) {
+        fn(size_t(s.ids[idx]), s.records[idx]);
       }
     }
-    return out;
+    return;
   }
-  for (size_t i = 0; i < records_.size(); ++i) {
-    if (records_[i].flow == flow && records_[i].Overlaps(range)) {
-      out.push_back(i);
+  for (size_t i = 0; i < s.records.size(); ++i) {
+    if (s.records[i].flow == flow && s.records[i].Overlaps(range)) {
+      fn(size_t(s.ids[i]), s.records[i]);
+    }
+  }
+}
+
+std::vector<size_t> Tib::RecordsOnLink(const LinkId& link, const TimeRange& range) const {
+  auto partial = CollectShardPartials<std::vector<size_t>>([&](std::vector<size_t>& out,
+                                                               const Shard& s) {
+    for (size_t i = 0; i < s.records.size(); ++i) {
+      if (s.records[i].Overlaps(range) && s.records[i].path.MatchesLinkQuery(link)) {
+        out.push_back(size_t(s.ids[i]));
+      }
+    }
+  });
+  std::vector<size_t> out = ConcatPartials(partial);
+  // Ascending id == insertion order: the same answer at any shard count.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+FlowBytesMap Tib::AggregateFlowBytes(const LinkId& link, const TimeRange& range) const {
+  const bool match_all = link.src == kInvalidNode && link.dst == kInvalidNode;
+  auto partial = CollectShardPartials<FlowBytesMap>([&](FlowBytesMap& m, const Shard& s) {
+    for (const TibRecord& rec : s.records) {
+      if (rec.Overlaps(range) && (match_all || rec.path.MatchesLinkQuery(link))) {
+        m[rec.flow] += rec.bytes;
+      }
+    }
+  });
+  // Each flow hashes to exactly one shard, so the partial maps are
+  // key-disjoint and the merge is pure concatenation: per-flow totals are
+  // deterministic integer sums regardless of shard or worker count.
+  size_t total = 0;
+  for (const auto& m : partial) {
+    total += m.size();
+  }
+  FlowBytesMap out;
+  out.reserve(total);
+  for (auto& m : partial) {
+    for (const auto& [flow, bytes] : m) {
+      out.emplace(flow, bytes);
     }
   }
   return out;
 }
 
-std::vector<size_t> Tib::RecordsOnLink(const LinkId& link, const TimeRange& range) const {
-  std::vector<size_t> out;
-  for (size_t i = 0; i < records_.size(); ++i) {
-    if (records_[i].Overlaps(range) && records_[i].path.MatchesLinkQuery(link)) {
-      out.push_back(i);
+std::vector<Flow> Tib::FlowsOnLink(const LinkId& link, const TimeRange& range) const {
+  struct Candidate {
+    uint64_t id;
+    FiveTuple flow;
+    CompactPath path;
+  };
+  auto partial = CollectShardPartials<std::vector<Candidate>>([&](std::vector<Candidate>& out,
+                                                                  const Shard& s) {
+    // Duplicates of a (flow, path) pair always share a shard (the flow
+    // picks it), so per-shard first-occurrence dedup is complete.  The
+    // hash key only buckets; equality is exact, so the answer cannot
+    // depend on shard count even under a 64-bit collision.
+    std::unordered_map<uint64_t, std::vector<size_t>> seen;  // key -> out indices
+    for (size_t i = 0; i < s.records.size(); ++i) {
+      const TibRecord& rec = s.records[i];
+      if (!rec.Overlaps(range) || !rec.path.MatchesLinkQuery(link)) {
+        continue;
+      }
+      uint64_t key = rec.path.HashKey(FiveTupleHash{}(rec.flow));
+      std::vector<size_t>& bucket = seen[key];
+      bool dup = false;
+      for (size_t idx : bucket) {
+        if (out[idx].flow == rec.flow && out[idx].path == rec.path) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        bucket.push_back(out.size());
+        out.push_back(Candidate{s.ids[i], rec.flow, rec.path});
+      }
     }
+  });
+  std::vector<Candidate> merged = ConcatPartials(partial);
+  // First-appearance order across the whole TIB = ascending first id.
+  std::sort(merged.begin(), merged.end(),
+            [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
+  std::vector<Flow> out;
+  out.reserve(merged.size());
+  for (const Candidate& c : merged) {
+    out.push_back(Flow{c.flow, c.path.ToPath()});
   }
   return out;
 }
 
 size_t Tib::ApproxBytes() const {
-  size_t bytes = records_.capacity() * sizeof(TibRecord);
-  bytes += by_flow_.size() * (sizeof(FiveTuple) + sizeof(std::vector<uint32_t>) + 24);
-  for (const auto& [flow, v] : by_flow_) {
-    bytes += v.capacity() * sizeof(uint32_t);
+  size_t bytes = 0;
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    bytes += s.records.capacity() * sizeof(TibRecord);
+    bytes += s.ids.capacity() * sizeof(uint64_t);
+    bytes += s.by_flow.size() * (sizeof(FiveTuple) + sizeof(std::vector<uint32_t>) + 24);
+    for (const auto& [flow, v] : s.by_flow) {
+      bytes += v.capacity() * sizeof(uint32_t);
+    }
   }
   return bytes;
 }
 
 size_t Tib::SaveTo(const std::string& path) const {
+  // Snapshot first (one consistent pass under all shard locks) so the
+  // header count always matches the rows written, even if inserts race.
+  std::vector<TibRecord> snap = records();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return 0;
   }
-  DiskHeader hdr{kTibMagic, kTibVersion, records_.size()};
+  DiskHeader hdr{kTibMagic, kTibVersion, snap.size()};
   size_t written = 0;
+  bool failed = false;
   if (std::fwrite(&hdr, sizeof(hdr), 1, f) == 1) {
     written += sizeof(hdr);
-    for (const TibRecord& rec : records_) {
+    for (const TibRecord& rec : snap) {
       DiskRow row{};
       row.src_ip = rec.flow.src_ip;
       row.dst_ip = rec.flow.dst_ip;
@@ -170,16 +404,16 @@ size_t Tib::SaveTo(const std::string& path) const {
       row.bytes = rec.bytes;
       row.pkts = rec.pkts;
       if (std::fwrite(&row, sizeof(row), 1, f) != 1) {
-        std::fclose(f);
-        return 0;
+        failed = true;
+        break;
       }
       written += sizeof(row);
     }
   } else {
-    written = 0;
+    failed = true;
   }
   std::fclose(f);
-  return written;
+  return failed ? 0 : written;
 }
 
 int64_t Tib::LoadFrom(const std::string& path) {
@@ -193,7 +427,12 @@ int64_t Tib::LoadFrom(const std::string& path) {
     std::fclose(f);
     return -1;
   }
-  Clear();
+  // Parse the whole file into staging first, then replace the contents in
+  // one all-locks critical section, so concurrent readers never observe a
+  // half-loaded TIB.  (The reserve is capped: a corrupt count with a valid
+  // magic must not force a huge allocation before row reads catch it.)
+  std::vector<TibRecord> rows;
+  rows.reserve(size_t(std::min<uint64_t>(hdr.count, 1u << 20)));
   for (uint64_t i = 0; i < hdr.count; ++i) {
     DiskRow row{};
     if (std::fread(&row, sizeof(row), 1, f) != 1 || row.path_len > CompactPath::kMaxSwitches) {
@@ -215,15 +454,47 @@ int64_t Tib::LoadFrom(const std::string& path) {
     rec.etime = row.etime;
     rec.bytes = row.bytes;
     rec.pkts = row.pkts;
-    Insert(rec);
+    rows.push_back(rec);
   }
   std::fclose(f);
-  return int64_t(hdr.count);
+
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    locks.emplace_back(sp->mu);
+  }
+  for (const auto& sp : shards_) {
+    sp->records.clear();
+    sp->ids.clear();
+    sp->by_flow.clear();
+  }
+  uint64_t id = 0;
+  for (const TibRecord& rec : rows) {
+    Shard& s = *shards_[ShardOf(rec.flow)];
+    s.records.push_back(rec);
+    s.ids.push_back(id++);
+    if (options_.index_by_flow) {
+      s.by_flow[rec.flow].push_back(uint32_t(s.records.size() - 1));
+    }
+  }
+  next_id_.store(id, std::memory_order_release);
+  count_.store(id, std::memory_order_release);
+  return int64_t(rows.size());
 }
 
 void Tib::Clear() {
-  records_.clear();
-  by_flow_.clear();
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    locks.emplace_back(sp->mu);
+  }
+  for (const auto& sp : shards_) {
+    sp->records.clear();
+    sp->ids.clear();
+    sp->by_flow.clear();
+  }
+  next_id_.store(0, std::memory_order_release);
+  count_.store(0, std::memory_order_release);
 }
 
 }  // namespace pathdump

@@ -2,17 +2,40 @@
 //
 // Each end host stores per-path flow records: one record per (flow ID,
 // end-to-end path) pair with byte/packet counts and first/last timestamps.
-// The paper backs this with MongoDB; here it is an in-memory column of
-// compact records (a deliberate substitution documented in DESIGN.md) with
-// an optional by-flow index.  All other lookups are scans — mirroring the
-// document-store access pattern, and keeping a 240 K-record TIB around the
-// ~110 MB the paper reports (ours is far smaller per record).
+// The paper backs this with MongoDB; here it is an in-memory store (a
+// deliberate substitution documented in DESIGN.md) sharded by flow hash:
+// `FiveTupleHash(flow) % num_shards` picks the shard, and each shard owns
+// its own record column, by-flow index, and reader/writer lock.  Inserts
+// and per-flow lookups therefore touch exactly one shard, while full scans
+// (RecordsOnLink, the per-flow byte aggregation behind TopK and the
+// flow-size distribution) fan out shard-parallel over an optional
+// ThreadPool and merge per-shard partials with a deterministic ordered
+// reduce.  All other lookups are scans — mirroring the document-store
+// access pattern, and keeping a 240 K-record TIB around the ~110 MB the
+// paper reports (ours is far smaller per record).
+//
+// Thread safety: every public method synchronizes internally; no external
+// lock is needed.  Lock hierarchy: shard locks are only ever acquired in
+// ascending shard-index order (whole-TIB walks) or one at a time (inserts,
+// per-flow lookups, parallel scan tasks), and the TIB never calls out to
+// user code while holding a shard lock except through the explicitly
+// documented visitor APIs.
+//
+// Determinism: every record carries a global insertion id (dense
+// 0..size()-1 when inserts are single-threaded, a linearization otherwise).
+// Index-returning queries yield ids in ascending order and whole-TIB walks
+// visit records in id order, so query results, snapshots, and the on-disk
+// file are byte-identical at any shard count and any scan-pool width.
 
 #ifndef PATHDUMP_SRC_EDGE_TIB_H_
 #define PATHDUMP_SRC_EDGE_TIB_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +43,8 @@
 #include "src/common/types.h"
 
 namespace pathdump {
+
+class ThreadPool;
 
 // Fixed-capacity inline path: decoded datacenter trajectories have at most
 // 7 switches (6-hop detour); 8 leaves headroom for custom topologies.
@@ -38,6 +63,15 @@ struct CompactPath {
   // True if the record's path matches a (possibly wildcarded) LinkId:
   // kInvalidNode on either side matches any switch in that position.
   bool MatchesLinkQuery(const LinkId& q) const;
+
+  // Folds the path's switches into `seed` — the shared dedup key for
+  // getFlows/getPaths (one definition so every dedup site agrees).
+  uint64_t HashKey(uint64_t seed = 0) const {
+    for (int i = 0; i < len; ++i) {
+      seed = HashCombine(seed, sw[size_t(i)]);
+    }
+    return seed;
+  }
 
   friend bool operator==(const CompactPath& a, const CompactPath& b) {
     if (a.len != b.len) {
@@ -62,47 +96,138 @@ struct TibRecord {
   uint32_t pkts = 0;
 
   bool Overlaps(const TimeRange& r) const { return r.Overlaps(stime, etime); }
+
+  friend bool operator==(const TibRecord&, const TibRecord&) = default;
 };
 
 struct TibOptions {
   // Maintain the by-flow index (needed for fast getPaths/getCount; the
   // large-scale query benches disable it to bound memory).
   bool index_by_flow = true;
+  // Flow-hash shards; 0 means one per hardware thread (min 1).  Query
+  // results are byte-identical at any shard count — this knob only trades
+  // insert/scan parallelism against per-shard overhead.
+  size_t num_shards = 0;
 };
+
+// Per-flow byte totals — the shared aggregation used by both TopK and
+// FlowSizeDistribution.  Sharding by flow hash means each flow lives in
+// exactly one shard, so per-shard partial maps are key-disjoint.
+using FlowBytesMap = std::unordered_map<FiveTuple, uint64_t, FiveTupleHash>;
 
 class Tib {
  public:
-  explicit Tib(TibOptions options = {}) : options_(options) {}
+  // Hard cap on shards; beyond this, per-shard overhead dwarfs any win.
+  static constexpr size_t kMaxShards = 256;
 
+  explicit Tib(TibOptions options = {});
+
+  Tib(const Tib&) = delete;
+  Tib& operator=(const Tib&) = delete;
+
+  // Locks exactly the owning shard.
   void Insert(const TibRecord& rec);
 
-  size_t size() const { return records_.size(); }
-  const TibRecord& record(size_t i) const { return records_[i]; }
-  const std::vector<TibRecord>& records() const { return records_; }
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+  size_t shard_count() const { return shards_.size(); }
 
-  // Indices of records for this exact 5-tuple overlapping the range.
+  // Record by global insertion id (a copy — the backing row may move as
+  // its shard grows).  Returns a default record for an unknown id.
+  TibRecord record(size_t id) const;
+
+  // Locked snapshot of all records, in insertion-id order.
+  std::vector<TibRecord> records() const;
+
+  // Sequential whole-TIB visitor in insertion-id order.  All shard locks
+  // are held (shared) for the duration; fn must not call back into this
+  // Tib's mutating API, nor block on any lock ordered after shard locks
+  // (e.g. an EdgeAgent method that takes the agent lock — a concurrent
+  // GetPathsLive holds that lock while waiting on a shard, and a queued
+  // writer can close the cycle on writer-preferring shared_mutexes).
+  void ForEachRecord(const std::function<void(size_t id, const TibRecord& rec)>& fn) const;
+
+  // Unordered whole-TIB visitor for commutative aggregation: one shard
+  // locked (shared) at a time, so inserts into other shards proceed
+  // during the walk, and no merge machinery runs.  Record order is
+  // unspecified; the callback restrictions of ForEachRecord apply.
+  void ForEachRecordUnordered(const std::function<void(const TibRecord& rec)>& fn) const;
+
+  // Ids of records for this exact 5-tuple overlapping the range, ascending.
+  // Touches exactly one shard (even without the by-flow index).
   std::vector<size_t> RecordsOfFlow(const FiveTuple& flow, const TimeRange& range) const;
 
-  // Indices of records whose path matches the (wildcardable) link query and
-  // that overlap the range.  (<*, *>) matches every record.
+  // Visitor over one flow's records in id order, under that single shard's
+  // shared lock; the callback restrictions of ForEachRecord apply.
+  void ForEachRecordOfFlow(const FiveTuple& flow, const TimeRange& range,
+                           const std::function<void(size_t id, const TibRecord& rec)>& fn) const;
+
+  // Ids of records whose path matches the (wildcardable) link query and
+  // that overlap the range, ascending.  (<*, *>) matches every record.
+  // Shard-parallel when a scan pool is set.
   std::vector<size_t> RecordsOnLink(const LinkId& link, const TimeRange& range) const;
+
+  // Per-flow byte totals over records overlapping `range` whose path
+  // matches `link` ((<*, *>) aggregates every record).  Shard-parallel;
+  // the merge concatenates key-disjoint per-shard maps, so totals are
+  // deterministic at any shard/worker count.
+  FlowBytesMap AggregateFlowBytes(const LinkId& link, const TimeRange& range) const;
+
+  // Distinct (flow, path) pairs on a link (the getFlows scan), in order of
+  // first appearance.  Shard-parallel with an ordered reduce by first id.
+  std::vector<Flow> FlowsOnLink(const LinkId& link, const TimeRange& range) const;
+
+  // Non-owning pool used by the scan queries above; nullptr (the default)
+  // scans shards sequentially on the calling thread.
+  void SetScanPool(ThreadPool* pool) { scan_pool_.store(pool, std::memory_order_release); }
 
   // Rough resident size, for the §5.3 storage numbers.
   size_t ApproxBytes() const;
 
   // Persists all records to a binary file (fixed-size rows + header), the
   // stand-in for the paper's MongoDB on-disk store; returns bytes written
-  // (0 on failure).  Load replaces the current contents; returns records
-  // read or -1 on failure/corruption.
+  // (0 on failure).  Rows are written in insertion-id order, so the file
+  // bytes are independent of the shard count.  Load replaces the current
+  // contents (records get fresh dense ids 0..n-1 regardless of the shard
+  // counts on either side); returns records read or -1 on
+  // failure/corruption (including a truncated row tail).
   size_t SaveTo(const std::string& path) const;
   int64_t LoadFrom(const std::string& path);
 
   void Clear();
 
  private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::vector<TibRecord> records;
+    // Global insertion ids, parallel to `records`; strictly ascending
+    // (ids are assigned under the shard lock).
+    std::vector<uint64_t> ids;
+    // Flow -> local indices into `records`, ascending.
+    std::unordered_map<FiveTuple, std::vector<uint32_t>, FiveTupleHash> by_flow;
+  };
+
+  size_t ShardOf(const FiveTuple& flow) const {
+    return FiveTupleHash{}(flow) % shards_.size();
+  }
+
+  // Runs fn(shard_index) for every shard — on the scan pool when one is
+  // set, else inline.  fn takes its own shard lock.
+  template <typename PerShard>
+  void ForEachShardParallel(PerShard&& fn) const;
+
+  // Shared scan scaffolding: one Acc per shard, filled under that shard's
+  // shared lock (in parallel when a scan pool is set), returned in shard
+  // order for the caller's deterministic ordered reduce.
+  template <typename Acc, typename Fill>
+  std::vector<Acc> CollectShardPartials(Fill&& fill) const;
+
   TibOptions options_;
-  std::vector<TibRecord> records_;
-  std::unordered_map<FiveTuple, std::vector<uint32_t>, FiveTupleHash> by_flow_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Ids issued vs records stored: they differ only if an Insert rolled
+  // back on an allocation failure (ids may gap; size() must not).
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<ThreadPool*> scan_pool_{nullptr};
 };
 
 }  // namespace pathdump

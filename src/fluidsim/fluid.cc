@@ -133,7 +133,7 @@ FluidSimulation::RunStats FluidSimulation::Run(const std::vector<FlowDesc>& flow
         // Feed the source host's retransmission monitor so
         // getPoorTCPFlows() reflects reality.
         for (uint64_t i = 0; i < flow_drops; ++i) {
-          fleet->agent(f.src).retx_monitor().OnRetransmission(f.tuple, etime);
+          fleet->agent(f.src).RecordRetransmission(f.tuple, etime);
         }
       }
       if (alarms) {

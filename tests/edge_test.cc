@@ -445,8 +445,10 @@ TEST_F(EdgeAgentPipeline, TrajectoryCacheHitsOnRepeatedPath) {
   SendFlow(src, dst, 1000, kNsPerMs, 10000);  // same 5-tuple -> same path
   net_->events().RunAll();
   agent.FlushAll(net_->events().now());
-  EXPECT_GE(agent.trajectory_cache().hits() + agent.trajectory_cache().misses(), 1u);
+  EXPECT_GE(agent.cache_stats().hits + agent.cache_stats().misses, 1u);
   EXPECT_EQ(agent.decode_failures(), 0u);
+  // FlushAll drained the trajectory memory into the TIB.
+  EXPECT_TRUE(agent.MemorySnapshot().empty());
 }
 
 TEST_F(EdgeAgentPipeline, BogusTagsRaiseInfeasiblePathAlarm) {

@@ -270,7 +270,7 @@ TEST(PoorTcpMonitor, AlarmsOncePerEpisode) {
 
   FiveTuple flow{1, 2, 3, 4, kProtoTcp};
   for (int i = 0; i < 5; ++i) {
-    agent.retx_monitor().OnRetransmission(flow, SimTime(i));
+    agent.RecordRetransmission(flow, SimTime(i));
   }
   agent.Tick(200 * kNsPerMs);
   ASSERT_EQ(alarms.size(), 1u);
@@ -282,7 +282,7 @@ TEST(PoorTcpMonitor, AlarmsOncePerEpisode) {
 
   // A new episode alarms again.
   for (int i = 0; i < 3; ++i) {
-    agent.retx_monitor().OnRetransmission(flow, 500 * kNsPerMs + SimTime(i));
+    agent.RecordRetransmission(flow, 500 * kNsPerMs + SimTime(i));
   }
   agent.Tick(600 * kNsPerMs);
   EXPECT_EQ(alarms.size(), 2u);

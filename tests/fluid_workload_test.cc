@@ -210,7 +210,7 @@ TEST_F(FluidFixture, FaultyLinkRaisesAlarms) {
   EXPECT_EQ(alarms[0].reason, AlarmReason::kPoorPerf);
   EXPECT_EQ(alarms[0].host, f.src);
   // Sender-side retx monitor reflects the drops.
-  EXPECT_GE(fleet_->agent(f.src).retx_monitor().TotalRetx(f.tuple), stats.dropped_pkts);
+  EXPECT_GE(fleet_->agent(f.src).TotalRetx(f.tuple), stats.dropped_pkts);
 }
 
 TEST_F(FluidFixture, HealthyFlowNoAlarms) {
