@@ -14,7 +14,9 @@
 //
 // Options (before the command): --fat-tree <k>, --seed <n>,
 // --seconds <s>, --workers <n> (controller query fan-out threads;
-// results are byte-identical at any worker count).
+// results are byte-identical at any worker count), --standing (serve
+// topk from a standing subscription fed by epoch deltas during the run
+// instead of a full-scan poll; the result is byte-identical).
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,7 @@
 #include "src/apps/silent_drop.h"
 #include "src/apps/traffic_measure.h"
 #include "src/controller/controller.h"
+#include "src/controller/subscription.h"
 #include "src/edge/fleet.h"
 #include "src/fluidsim/fluid.h"
 #include "src/switchsim/rule_budget.h"
@@ -40,13 +43,14 @@ struct Cli {
   uint64_t seed = 1;
   double seconds = 10;
   int workers = 1;
+  bool standing = false;
   std::string command = "topk";
   std::string arg;
 };
 
 void Usage() {
   std::printf(
-      "usage: pathdump_cli [--fat-tree k] [--seed n] [--seconds s] [--workers n] "
+      "usage: pathdump_cli [--fat-tree k] [--seed n] [--seconds s] [--workers n] [--standing] "
       "<topk [k] | flows <switch> | paths <host> | matrix | hunt | rules>\n");
 }
 
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
       cli.seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       cli.workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--standing") == 0) {
+      cli.standing = true;
     } else {
       break;
     }
@@ -117,6 +123,15 @@ int main(int argc, char** argv) {
                 topo.NameOf(fault.src).c_str(), topo.NameOf(fault.dst).c_str());
   }
 
+  // A standing subscription must watch the TIBs while they fill, so it
+  // installs before the workload runs.
+  SubscriptionManager subscriptions(&controller);
+  size_t topk_k = cli.arg.empty() ? 10 : size_t(std::atoll(cli.arg.c_str()));
+  uint64_t standing_sub = 0;
+  if (cli.standing && cli.command == "topk") {
+    standing_sub = SubscribeTopK(subscriptions, controller.registered_hosts(), topk_k);
+  }
+
   WebSearchFlowSizes sizes;
   TrafficGenerator gen(&topo, &sizes);
   TrafficParams params;
@@ -129,10 +144,23 @@ int main(int argc, char** argv) {
               cli.k);
 
   if (cli.command == "topk") {
-    size_t k = cli.arg.empty() ? 10 : size_t(std::atoll(cli.arg.c_str()));
-    TopKFlows top =
-        TopKAcrossHosts(controller, controller.registered_hosts(), k, TimeRange::All());
-    std::printf("top-%zu flows:\n", k);
+    TopKFlows top;
+    if (cli.standing) {
+      // Epoch boundary: agents ship their per-flow increments; the
+      // materialized result must equal a full-scan poll byte for byte.
+      subscriptions.TickEpoch();
+      top = TopKStanding(subscriptions, standing_sub);
+      TopKFlows poll = TopKAcrossHosts(controller, controller.registered_hosts(), topk_k,
+                                       TimeRange::All(), /*multi_level=*/false);
+      SubscriptionInfo info = subscriptions.info(standing_sub);
+      std::printf("standing top-%zu: %llu deltas folded, %.1f KB on the wire, "
+                  "poll-identical: %s\n",
+                  topk_k, (unsigned long long)info.deltas_folded,
+                  double(info.delta_bytes) / 1e3, top == poll ? "yes" : "NO");
+    } else {
+      top = TopKAcrossHosts(controller, controller.registered_hosts(), topk_k, TimeRange::All());
+    }
+    std::printf("top-%zu flows:\n", topk_k);
     for (const auto& [bytes, flow] : top.items) {
       std::printf("  %10.3f MB  %s\n", double(bytes) / 1e6, FlowToString(flow).c_str());
     }

@@ -19,6 +19,29 @@ FlowSizeHistogram FlowSizeDistributionForLink(Controller& controller,
   return FlowSizeHistogram{bin_width, {}};
 }
 
+uint64_t SubscribeFlowSizeDistribution(SubscriptionManager& manager,
+                                       const std::vector<HostId>& hosts, LinkId link,
+                                       TimeRange range, int64_t bin_width,
+                                       SimTime epoch_period) {
+  StandingQuerySpec spec;
+  spec.kind = StandingQuerySpec::Kind::kFlowSizeHistogram;
+  spec.link = link;
+  spec.range = range;
+  spec.bin_width = bin_width;
+  return manager.Subscribe(hosts, spec, epoch_period);
+}
+
+FlowSizeHistogram FlowSizeDistributionStanding(SubscriptionManager& manager,
+                                               uint64_t subscription_id) {
+  QueryResult result = manager.Materialize(subscription_id);
+  if (auto* h = std::get_if<FlowSizeHistogram>(&result)) {
+    return std::move(*h);
+  }
+  // No host has shipped anything yet (or the id is unknown): an empty
+  // histogram shaped by the subscription's own spec.
+  return FlowSizeHistogram{manager.info(subscription_id).spec.bin_width, {}};
+}
+
 std::vector<SubflowUsage> PerPathUsage(EdgeAgent& dst_agent, const FiveTuple& flow,
                                        TimeRange range) {
   std::vector<SubflowUsage> out;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/controller/controller.h"
+#include "src/controller/subscription.h"
 #include "src/edge/fleet.h"
 
 namespace pathdump {
@@ -25,6 +26,24 @@ FlowSizeHistogram FlowSizeDistributionForLink(Controller& controller,
                                               const std::vector<HostId>& hosts, LinkId link,
                                               TimeRange range, int64_t bin_width = 10000,
                                               bool multi_level = true);
+
+// Standing variant of the ECMP diagnosis: installs the per-link
+// flow-size distribution as a standing query and returns the
+// subscription id.  Each epoch ships only the per-flow byte increments
+// for records whose path matched `link`; at any epoch boundary the
+// materialized histogram is byte-identical to a direct-poll
+// FlowSizeDistributionForLink over the same records.  Polling keeps
+// working alongside.
+uint64_t SubscribeFlowSizeDistribution(SubscriptionManager& manager,
+                                       const std::vector<HostId>& hosts, LinkId link,
+                                       TimeRange range, int64_t bin_width = 10000,
+                                       SimTime epoch_period = 0);
+
+// Materializes the standing histogram (flushes in-flight deltas
+// first).  The bin width (like every query parameter) is the
+// subscription's own spec.
+FlowSizeHistogram FlowSizeDistributionStanding(SubscriptionManager& manager,
+                                               uint64_t subscription_id);
 
 // Per-path traffic of one flow at its destination TIB (Fig. 6 data).
 struct SubflowUsage {

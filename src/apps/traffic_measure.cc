@@ -19,6 +19,26 @@ TopKFlows TopKAcrossHosts(Controller& controller, const std::vector<HostId>& hos
   return TopKFlows{k, {}};
 }
 
+uint64_t SubscribeTopK(SubscriptionManager& manager, const std::vector<HostId>& hosts, size_t k,
+                       TimeRange range, SimTime epoch_period) {
+  StandingQuerySpec spec;
+  spec.kind = StandingQuerySpec::Kind::kTopK;
+  spec.k = k;
+  spec.range = range;
+  return manager.Subscribe(hosts, spec, epoch_period);
+}
+
+TopKFlows TopKStanding(SubscriptionManager& manager, uint64_t subscription_id) {
+  QueryResult result = manager.Materialize(subscription_id);
+  if (auto* t = std::get_if<TopKFlows>(&result)) {
+    t->Finalize();
+    return std::move(*t);
+  }
+  // No host has shipped anything yet (or the id is unknown): an empty
+  // result shaped by the subscription's own spec.
+  return TopKFlows{manager.info(subscription_id).spec.k, {}};
+}
+
 std::map<std::pair<SwitchId, SwitchId>, uint64_t> TrafficMatrix(AgentFleet& fleet,
                                                                 TimeRange range) {
   std::map<std::pair<SwitchId, SwitchId>, uint64_t> matrix;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/controller/controller.h"
+#include "src/controller/subscription.h"
 #include "src/edge/fleet.h"
 
 namespace pathdump {
@@ -17,6 +18,19 @@ namespace pathdump {
 // Top-k flows by bytes across the given hosts (Fig. 12's query).
 TopKFlows TopKAcrossHosts(Controller& controller, const std::vector<HostId>& hosts, size_t k,
                           TimeRange range, bool multi_level = true);
+
+// Standing variant of the same measurement: installs a top-k standing
+// query on `hosts` and returns the subscription id.  Agents then
+// evaluate incrementally at insert time; each epoch tick ships only the
+// per-flow byte increments.  At any epoch boundary TopKStanding is
+// byte-identical to a direct-poll TopKAcrossHosts over the same TIB
+// contents.  The poll path above keeps working — both consume the TIB.
+uint64_t SubscribeTopK(SubscriptionManager& manager, const std::vector<HostId>& hosts, size_t k,
+                       TimeRange range = TimeRange::All(), SimTime epoch_period = 0);
+
+// Materializes the standing top-k (flushes in-flight deltas first).
+// The k (like every query parameter) is the subscription's own spec.
+TopKFlows TopKStanding(SubscriptionManager& manager, uint64_t subscription_id);
 
 // Traffic matrix between ToR pairs: (src ToR, dst ToR) -> bytes, assembled
 // from every destination TIB (Table 2 "Traffic matrix").

@@ -1,0 +1,67 @@
+#include "src/common/flow_delta.h"
+
+#include <algorithm>
+
+namespace pathdump {
+
+namespace {
+
+// Framing constants, matching src/edge/query.cc: 16-byte message header;
+// 13-byte packed 5-tuple + 8-byte count per item.
+constexpr size_t kDeltaHeader = 16;
+constexpr size_t kPerFlowItem = 21;
+
+}  // namespace
+
+size_t FlowBytesDelta::SerializedSize() const {
+  return kDeltaHeader + items.size() * kPerFlowItem;
+}
+
+FlowBytesDelta FlowBytesDelta::FromShardMaps(std::vector<FlowBytesMap>& shard_maps) {
+  FlowBytesDelta out;
+  size_t total = 0;
+  for (const FlowBytesMap& m : shard_maps) {
+    total += m.size();
+  }
+  out.items.reserve(total);
+  for (FlowBytesMap& m : shard_maps) {
+    for (const auto& [flow, bytes] : m) {
+      out.items.emplace_back(flow, bytes);
+    }
+    m.clear();
+  }
+  // Shard maps are key-disjoint (a flow hashes to exactly one shard), so
+  // concatenation loses nothing; the sort canonicalizes.
+  std::sort(out.items.begin(), out.items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void FlowBytesDelta::ApplyTo(FlowBytesMap& acc) const {
+  for (const auto& [flow, bytes] : items) {
+    acc[flow] += bytes;
+  }
+}
+
+void FlowBytesDelta::Merge(const FlowBytesDelta& in) {
+  std::vector<std::pair<FiveTuple, uint64_t>> merged;
+  merged.reserve(items.size() + in.items.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < items.size() && j < in.items.size()) {
+    if (items[i].first == in.items[j].first) {
+      merged.emplace_back(items[i].first, items[i].second + in.items[j].second);
+      ++i;
+      ++j;
+    } else if (items[i].first < in.items[j].first) {
+      merged.push_back(items[i++]);
+    } else {
+      merged.push_back(in.items[j++]);
+    }
+  }
+  merged.insert(merged.end(), items.begin() + std::ptrdiff_t(i), items.end());
+  merged.insert(merged.end(), in.items.begin() + std::ptrdiff_t(j), in.items.end());
+  items = std::move(merged);
+}
+
+}  // namespace pathdump

@@ -1,6 +1,7 @@
 #include "src/controller/controller.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 namespace pathdump {
@@ -111,68 +112,114 @@ std::pair<QueryResult, QueryExecStats> Controller::ExecuteMultiLevel(
   QueryExecStats stats;
   stats.hosts = hosts.size();
   AggregationTree tree = BuildAggregationTree(hosts, top_fanout, fanout);
+  const size_t n = tree.nodes.size();
 
-  // Phase 1 — fan-out: every tree node's own query execution is
-  // independent of every other's, so all of them run across the worker
-  // pool at once.  The tree is redistributed downward (§3.2); in the real
-  // system all hosts execute concurrently too.
-  std::vector<EdgeAgent*> node_agents;
-  node_agents.reserve(tree.nodes.size());
-  for (const AggregationNode& node : tree.nodes) {
-    node_agents.push_back(agent(node.host));
+  std::vector<EdgeAgent*> node_agents(n, nullptr);
+  std::vector<int> parent(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    node_agents[i] = agent(tree.nodes[i].host);
+    for (int child : tree.nodes[i].children) {
+      parent[size_t(child)] = int(i);
+    }
   }
-  std::vector<TimedResult> node_results;
-  RunAll(node_agents, query, node_results);
 
-  struct NodeOutcome {
-    QueryResult result;
-    double ready_at = 0;  // seconds after query dispatch
+  // Phase 1 — pipelined fan-out + reduce.  Every tree node's own query
+  // execution is an independent work item, and a node's subtree merge
+  // runs as soon as its own execution AND all of its children's subtree
+  // merges have finished — on whichever worker completed the last
+  // dependency.  Subtree reduction therefore overlaps still-running
+  // executions elsewhere in the tree instead of waiting for a full
+  // fan-out barrier.  Determinism is untouched: each node's merge
+  // happens exactly once, in fixed child order, over children that are
+  // already final — so the payload bytes cannot depend on scheduling.
+  std::vector<TimedResult> own(n);
+  std::vector<QueryResult> merged_subtree(n);   // final subtree result per node
+  std::vector<double> merge_seconds(n, 0.0);    // measured per-node merge work
+  std::vector<size_t> subtree_bytes(n, 0);      // SerializedBytes(merged_subtree)
+  // Dependencies outstanding per node: own execution + each child's
+  // completed subtree merge.  The release/acquire decrement chain also
+  // publishes the children's merged results to the merging worker.
+  std::vector<std::atomic<int>> pending(n);
+  for (size_t i = 0; i < n; ++i) {
+    pending[i].store(int(tree.nodes[i].children.size()) + 1, std::memory_order_relaxed);
+  }
+
+  auto merge_node = [&](size_t i) {
+    auto t0 = std::chrono::steady_clock::now();
+    merged_subtree[i] = std::move(own[i].result);
+    for (int child : tree.nodes[i].children) {
+      MergeQueryResult(merged_subtree[i], merged_subtree[size_t(child)]);
+      // The child's size was recorded when it merged; release its
+      // payload now — otherwise a deep tree over list-shaped results
+      // holds every level's concatenation live at once.
+      merged_subtree[size_t(child)] = QueryResult{};
+    }
+    merge_seconds[i] = SecondsSince(t0);
+    // A pure function of the (deterministic) result — safe to compute on
+    // whichever worker merged; charged during the sequential pass below.
+    subtree_bytes[i] = SerializedBytes(merged_subtree[i]);
   };
+  // Completes one dependency of node `cur` and, if it was the last,
+  // merges and climbs: the finished subtree is itself a dependency of
+  // the parent.  The worker that closes the final dependency of the
+  // whole tree carries the reduction all the way to the roots.
+  auto complete = [&](size_t i) {
+    int cur = int(i);
+    while (cur >= 0 && pending[size_t(cur)].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      merge_node(size_t(cur));
+      cur = parent[size_t(cur)];
+    }
+  };
+  auto run_item = [&](size_t i) {
+    if (node_agents[i] != nullptr) {
+      own[i] = RunOn(*node_agents[i], query);
+    }
+    complete(i);
+  };
+  if (pool_ != nullptr && n > 1) {
+    pool_->ParallelFor(n, run_item);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      run_item(i);
+    }
+  }
 
-  // Phase 2 — deterministic post-order reduce.  Every interior merge is
-  // real, measured work in fixed child order; transfers are modeled per
-  // edge.
-  std::function<NodeOutcome(int)> eval = [&](int idx) -> NodeOutcome {
+  // Phase 2 — deterministic modeled accounting, sequential.  Byte
+  // charges and the response-time recurrence depend only on the tree
+  // shape and the (deterministic) per-subtree payload sizes; the merge
+  // and execution wall-times were measured above.
+  std::function<double(int)> ready_at = [&](int idx) -> double {
     const AggregationNode& node = tree.nodes[size_t(idx)];
-    NodeOutcome out;
-    EdgeAgent* a = node_agents[size_t(idx)];
     double own_exec = 0;
-    if (a != nullptr) {
-      TimedResult& r = node_results[size_t(idx)];
-      own_exec = r.compute_seconds;
+    if (node_agents[size_t(idx)] != nullptr) {
+      own_exec = own[size_t(idx)].compute_seconds;
       stats.max_host_compute_seconds = std::max(stats.max_host_compute_seconds, own_exec);
       stats.network_bytes += rpc_.request_bytes;
-      out.result = std::move(r.result);
     }
     double children_ready = 0;
-    double merge_seconds = 0;
     for (int child : node.children) {
-      NodeOutcome c = eval(child);
-      size_t bytes = SerializedBytes(c.result);
+      double child_ready = ready_at(child);
+      size_t bytes = subtree_bytes[size_t(child)];
       stats.network_bytes += bytes;
       stats.response_bytes += bytes;
-      children_ready =
-          std::max(children_ready, c.ready_at + rpc_.rtt_seconds / 2 + rpc_.TransferSeconds(bytes));
-      auto t0 = std::chrono::steady_clock::now();
-      MergeQueryResult(out.result, c.result);
-      merge_seconds += SecondsSince(t0);
+      children_ready = std::max(children_ready,
+                                child_ready + rpc_.rtt_seconds / 2 + rpc_.TransferSeconds(bytes));
     }
-    out.ready_at = std::max(own_exec, children_ready) + merge_seconds;
-    return out;
+    return std::max(own_exec, children_ready) + merge_seconds[size_t(idx)];
   };
 
   QueryResult merged;
   double latest = 0;
   double controller_merge = 0;
   for (int root : tree.roots) {
-    NodeOutcome r = eval(root);
-    size_t bytes = SerializedBytes(r.result);
+    double root_ready = ready_at(root);
+    size_t bytes = subtree_bytes[size_t(root)];
     stats.network_bytes += bytes;
     stats.response_bytes += bytes;
     latest = std::max(latest,
-                      r.ready_at + rpc_.rtt_seconds / 2 + rpc_.TransferSeconds(bytes));
+                      root_ready + rpc_.rtt_seconds / 2 + rpc_.TransferSeconds(bytes));
     auto t0 = std::chrono::steady_clock::now();
-    MergeQueryResult(merged, r.result);
+    MergeQueryResult(merged, merged_subtree[size_t(root)]);
     controller_merge += SecondsSince(t0);
   }
   stats.controller_compute_seconds = controller_merge;

@@ -74,7 +74,11 @@ class Controller {
                                                  const QueryFn& query) const;
 
   // Multi-level variant: query + aggregation tree distributed to hosts;
-  // results reduce bottom-up (§3.2, §5.2).
+  // results reduce bottom-up (§3.2, §5.2).  The reduction is pipelined:
+  // a subtree merges as soon as its own pieces finish, overlapping
+  // still-running executions elsewhere in the tree (per-node dependency
+  // counters; fixed child order keeps payloads byte-identical at any
+  // worker count).
   std::pair<QueryResult, QueryExecStats> ExecuteMultiLevel(const std::vector<HostId>& hosts,
                                                            const QueryFn& query,
                                                            int top_fanout = 7,

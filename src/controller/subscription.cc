@@ -1,0 +1,340 @@
+#include "src/controller/subscription.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/controller/controller.h"
+#include "src/edge/edge_agent.h"
+
+namespace pathdump {
+
+namespace {
+
+// True on the drain worker — lets Flush() detect reentrancy.
+thread_local bool tl_inside_subscription_drain = false;
+
+}  // namespace
+
+SubscriptionManager::SubscriptionManager(Controller* controller,
+                                         SubscriptionManagerOptions options)
+    : controller_(controller), options_(options) {
+  drain_ = std::thread([this] { DrainLoop(); });
+}
+
+SubscriptionManager::~SubscriptionManager() {
+  // Detach agent-side accumulators first so no new delta is produced,
+  // then drain what was already accepted.  Detaching happens outside
+  // state_mu_ (it takes agent registration + TIB shard locks).
+  std::vector<Subscription> detach;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    for (auto& [id, sub] : subscriptions_) {
+      detach.push_back(std::move(sub));
+    }
+    subscriptions_.clear();
+  }
+  for (Subscription& sub : detach) {
+    DetachAgents(sub);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  drain_.join();  // DrainLoop empties the queue before exiting
+}
+
+uint64_t SubscriptionManager::Subscribe(const std::vector<HostId>& hosts,
+                                        const StandingQuerySpec& spec, SimTime epoch_period) {
+  // Publish the subscription (hosts + fold state) BEFORE attaching any
+  // agent-side hook: with a periodic epoch ticker the first delta can
+  // arrive the moment a hook exists, and it must find the subscription
+  // — an orphaned epoch 1 would leave the accumulator ahead of the
+  // fold state and wedge that host's in-order fold for good.
+  Subscription sub;
+  sub.spec = spec;
+  std::vector<EdgeAgent*> agents;
+  for (HostId h : hosts) {
+    EdgeAgent* agent = controller_->agent(h);
+    if (agent == nullptr) {
+      continue;  // skipped exactly like a poll Execute
+    }
+    sub.hosts.push_back(h);
+    sub.host_state.emplace(h, HostState{});
+    agents.push_back(agent);
+  }
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    id = next_subscription_id_++;
+    subscriptions_.emplace(id, std::move(sub));
+  }
+  // Attach outside state_mu_: registering the accumulator takes every
+  // TIB shard lock on the agent, which may be mid-insert.
+  std::vector<AgentAttachment> attachments;
+  attachments.reserve(agents.size());
+  for (EdgeAgent* agent : agents) {
+    AgentAttachment att;
+    att.agent = agent;
+    att.standing_id = agent->RegisterStandingQuery(
+        id, spec, [this](QueryDelta&& delta) { SubmitDelta(std::move(delta)); });
+    if (epoch_period > 0) {
+      const int standing_id = att.standing_id;
+      att.periodic_id = agent->InstallQuery(
+          epoch_period, [standing_id](EdgeAgent& a, SimTime) { a.EpochTickOne(standing_id); });
+    }
+    attachments.push_back(att);
+  }
+  bool unsubscribed_meanwhile = false;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    auto it = subscriptions_.find(id);
+    if (it != subscriptions_.end()) {
+      it->second.attachments = std::move(attachments);
+    } else {
+      unsubscribed_meanwhile = true;
+    }
+  }
+  if (unsubscribed_meanwhile) {
+    // A concurrent Unsubscribe(id) won the race before the attachments
+    // landed; take back what was just installed.
+    Subscription torn_down;
+    torn_down.attachments = std::move(attachments);
+    DetachAgents(torn_down);
+  }
+  return id;
+}
+
+void SubscriptionManager::DetachAgents(Subscription& sub) {
+  for (AgentAttachment& att : sub.attachments) {
+    if (att.agent == nullptr) {
+      continue;
+    }
+    if (att.periodic_id >= 0) {
+      att.agent->UninstallQuery(att.periodic_id);
+    }
+    att.agent->UnregisterStandingQuery(att.standing_id);
+    att.agent = nullptr;
+  }
+}
+
+void SubscriptionManager::Unsubscribe(uint64_t id) {
+  std::unique_lock<std::mutex> state(state_mu_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) {
+    return;
+  }
+  Subscription sub = std::move(it->second);
+  subscriptions_.erase(it);
+  state.unlock();
+  // Hook removal takes the agent's TIB shard locks; done outside
+  // state_mu_ so the drain worker never waits on an agent's data path.
+  DetachAgents(sub);
+}
+
+void SubscriptionManager::TickEpoch() {
+  // Snapshot the attachments, then tick outside state_mu_: a full
+  // intake queue blocks the ticking thread, and the drain worker needs
+  // state_mu_ to fold its way out.
+  std::vector<std::pair<EdgeAgent*, int>> targets;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    for (auto& [id, sub] : subscriptions_) {
+      for (const AgentAttachment& att : sub.attachments) {
+        if (att.agent != nullptr) {
+          targets.emplace_back(att.agent, att.standing_id);
+        }
+      }
+    }
+  }
+  for (auto& [agent, standing_id] : targets) {
+    agent->EpochTickOne(standing_id);
+  }
+}
+
+bool SubscriptionManager::SubmitDelta(QueryDelta delta) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) {
+    return false;
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    ++stats_.blocked_enqueues;
+    space_cv_.wait(lock, [this] { return queue_.size() < options_.queue_capacity || stop_; });
+    if (stop_) {
+      return false;
+    }
+  }
+  delta.seq = next_seq_++;
+  queue_.push_back(std::move(delta));
+  ++accepted_;
+  ++stats_.deltas_submitted;
+  work_cv_.notify_one();
+  return true;
+}
+
+void SubscriptionManager::Flush() {
+  if (tl_inside_subscription_drain) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = accepted_;
+  flush_cv_.wait(lock, [this, target] { return processed_ >= target; });
+}
+
+void SubscriptionManager::DrainLoop() {
+  tl_inside_subscription_drain = true;
+  std::vector<QueryDelta> batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) {
+        return;
+      }
+      continue;
+    }
+    const size_t take = std::min(queue_.size(), options_.max_batch);
+    batch.clear();
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++stats_.batches;
+    lock.unlock();
+    space_cv_.notify_all();
+
+    FoldBatch(batch);
+
+    lock.lock();
+    processed_ += take;
+    flush_cv_.notify_all();
+  }
+}
+
+void SubscriptionManager::FoldReady(Subscription& sub, HostState& hs,
+                                    const FlowBytesDelta& payload, size_t wire_bytes) {
+  payload.ApplyTo(hs.folded);
+  ++hs.next_epoch;
+  ++sub.deltas_folded;
+  sub.delta_bytes += wire_bytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.deltas_folded;
+  stats_.flow_updates += payload.items.size();
+  stats_.delta_bytes += wire_bytes;
+}
+
+void SubscriptionManager::FoldBatch(std::vector<QueryDelta>& batch) {
+  std::lock_guard<std::mutex> state(state_mu_);
+  for (QueryDelta& d : batch) {
+    auto it = subscriptions_.find(d.subscription_id);
+    if (it == subscriptions_.end()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deltas_orphaned;
+      continue;
+    }
+    Subscription& sub = it->second;
+    auto hit = sub.host_state.find(d.host);
+    if (hit == sub.host_state.end()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deltas_orphaned;
+      continue;
+    }
+    HostState& hs = hit->second;
+    if (d.epoch < hs.next_epoch) {
+      // Duplicate (already folded) — fold-once means drop.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deltas_orphaned;
+      continue;
+    }
+    if (d.epoch > hs.next_epoch) {
+      // Gap: an earlier epoch is still in flight.  Buffer; folding out
+      // of order would make intermediate materializations depend on
+      // arrival order.  A duplicate of an already-buffered epoch is a
+      // duplicate, not a reorder.
+      const size_t wire_bytes = d.SerializedSize();
+      bool inserted =
+          hs.pending.emplace(d.epoch, PendingDelta{std::move(d.payload), wire_bytes}).second;
+      std::lock_guard<std::mutex> lock(mu_);
+      if (inserted) {
+        ++stats_.deltas_reordered;
+      } else {
+        ++stats_.deltas_orphaned;
+      }
+      continue;
+    }
+    FoldReady(sub, hs, d.payload, d.SerializedSize());
+    // The arrival may have closed a gap — fold the now-contiguous run.
+    for (auto pit = hs.pending.begin();
+         pit != hs.pending.end() && pit->first == hs.next_epoch;) {
+      FoldReady(sub, hs, pit->second.payload, pit->second.wire_bytes);
+      pit = hs.pending.erase(pit);
+    }
+  }
+}
+
+QueryResult SubscriptionManager::Materialize(uint64_t id) {
+  Flush();
+  // Snapshot the folded maps under state_mu_, but materialize and merge
+  // outside it: the per-host sort/merge can take hundreds of ms at
+  // large flow populations, and the drain worker needs state_mu_ to
+  // keep folding (a stalled fold backs the bounded queue up into the
+  // epoch tickers).
+  StandingQuerySpec spec;
+  std::vector<FlowBytesMap> folded;  // in host (merge) order
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    auto it = subscriptions_.find(id);
+    if (it == subscriptions_.end()) {
+      return QueryResult{};
+    }
+    const Subscription& sub = it->second;
+    spec = sub.spec;
+    folded.reserve(sub.hosts.size());
+    for (HostId h : sub.hosts) {
+      auto hit = sub.host_state.find(h);
+      if (hit != sub.host_state.end()) {
+        folded.push_back(hit->second.folded);
+      }
+    }
+  }
+  // The poll path's reduce, reproduced: per-host results merged
+  // sequentially in host order (Controller::Execute phase 2).
+  QueryResult merged;
+  for (const FlowBytesMap& per_flow : folded) {
+    QueryResult host_result = MaterializeStandingResult(spec, per_flow);
+    MergeQueryResult(merged, host_result);
+  }
+  return merged;
+}
+
+SubscriptionManagerStats SubscriptionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+SubscriptionInfo SubscriptionManager::info(uint64_t id) const {
+  std::lock_guard<std::mutex> state(state_mu_);
+  SubscriptionInfo out;
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) {
+    return out;
+  }
+  const Subscription& sub = it->second;
+  out.id = id;
+  out.spec = sub.spec;
+  out.hosts = sub.hosts.size();
+  out.deltas_folded = sub.deltas_folded;
+  out.delta_bytes = sub.delta_bytes;
+  for (const auto& [h, hs] : sub.host_state) {
+    out.pending_gaps += hs.pending.size();
+  }
+  return out;
+}
+
+size_t SubscriptionManager::subscription_count() const {
+  std::lock_guard<std::mutex> state(state_mu_);
+  return subscriptions_.size();
+}
+
+}  // namespace pathdump

@@ -1,0 +1,199 @@
+// Controller-side standing-query subscriptions.
+//
+// A SubscriptionManager installs a standing query (the same spec shape
+// as a poll query) on a set of agents, receives their epoch deltas over
+// an alarm-pipeline-style channel, and folds them into a materialized
+// per-host state from which the standing result is produced on demand:
+//
+//   agents ──EpochTick──▶ QueryDelta ──Submit──▶ bounded MPSC queue
+//            (per-host      (seq stamp)           (backpressure)
+//             increments)                              │
+//                                          drain worker: fold deltas in
+//                                          epoch order per (sub, host)
+//                                                      │
+//                Materialize(sub): per-host result ──▶ merge in host
+//                order — byte-identical to a fresh poll Execute
+//
+//  * Intake mirrors AlarmPipeline: a bounded MPSC queue, every accepted
+//    delta sequence-stamped (QueryDelta::seq) under the queue lock, a
+//    dedicated drain worker pulling batches, blocking backpressure (a
+//    delta is never dropped), and a reentrant-safe Flush.
+//  * Ordering: network arrival may reorder epochs.  The drain worker
+//    folds strictly in epoch order per (subscription, host), buffering
+//    gapped deltas until the missing epoch arrives — the materialized
+//    state is always a contiguous epoch prefix per host, so arrival
+//    order can never leak into results (stats count the reorders).
+//  * Determinism contract: at any epoch boundary (all shipped deltas
+//    folded), Materialize() is byte-identical to Controller::Execute of
+//    the equivalent poll query over the same TIB contents, at any TIB
+//    shard count and any worker count (tests/standing_query_test.cc
+//    asserts the {1,4,16} x {1,4,16} matrix).
+//  * Cost: folding is O(delta entries); materialization is O(active
+//    flows) for the requested subscription only.  Polling stays
+//    available and untouched — subscriptions are a second consumer of
+//    the same TIB, not a replacement.
+
+#ifndef PATHDUMP_SRC_CONTROLLER_SUBSCRIPTION_H_
+#define PATHDUMP_SRC_CONTROLLER_SUBSCRIPTION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/flow_delta.h"
+#include "src/common/types.h"
+#include "src/edge/query.h"
+#include "src/edge/standing_query.h"
+
+namespace pathdump {
+
+class Controller;
+class EdgeAgent;
+
+struct SubscriptionManagerOptions {
+  // Bound of the delta intake queue (backpressure blocks above it).
+  size_t queue_capacity = 4096;
+  // Largest batch the drain worker pulls in one go.
+  size_t max_batch = 256;
+};
+
+// All counters are cumulative since construction.
+struct SubscriptionManagerStats {
+  uint64_t deltas_submitted = 0;  // accepted into the queue
+  uint64_t deltas_folded = 0;     // applied to materialized state
+  uint64_t deltas_reordered = 0;  // arrived ahead of a missing epoch, buffered
+  uint64_t deltas_orphaned = 0;   // for an unsubscribed/unknown subscription
+  uint64_t delta_bytes = 0;       // wire bytes of folded deltas
+  uint64_t flow_updates = 0;      // per-flow fold operations
+  uint64_t blocked_enqueues = 0;  // Submit() calls that had to wait
+  uint64_t batches = 0;           // drain pulls
+};
+
+// Per-subscription view for benches and introspection.
+struct SubscriptionInfo {
+  uint64_t id = 0;
+  StandingQuerySpec spec;
+  size_t hosts = 0;
+  uint64_t deltas_folded = 0;
+  uint64_t delta_bytes = 0;   // wire bytes folded so far
+  uint64_t pending_gaps = 0;  // buffered out-of-order deltas right now
+};
+
+class SubscriptionManager {
+ public:
+  explicit SubscriptionManager(Controller* controller, SubscriptionManagerOptions options = {});
+  // Unsubscribes everything (detaching agent-side accumulators), drains
+  // deltas already accepted, then joins the drain worker.  External
+  // epoch tickers must stop first.
+  ~SubscriptionManager();
+
+  SubscriptionManager(const SubscriptionManager&) = delete;
+  SubscriptionManager& operator=(const SubscriptionManager&) = delete;
+
+  // Installs `spec` on every registered agent in `hosts` (unregistered
+  // hosts are skipped, exactly like a poll Execute) and returns the
+  // subscription id.  If `epoch_period > 0`, a periodic query is also
+  // installed on each agent so the agent's own Tick drives epoch ticks;
+  // otherwise epochs are driven explicitly via TickEpoch().
+  uint64_t Subscribe(const std::vector<HostId>& hosts, const StandingQuerySpec& spec,
+                     SimTime epoch_period = 0);
+
+  // Detaches the subscription everywhere and drops its state.  Safe
+  // mid-epoch: agent-side hook removal synchronizes with in-flight
+  // inserts, and deltas still queued for this id are counted orphaned
+  // and discarded.
+  void Unsubscribe(uint64_t id);
+
+  // Explicit epoch boundary: ticks every (subscription, host) now, on
+  // the calling thread.  Deltas flow through the normal channel; call
+  // Flush() (or Materialize, which flushes) before reading results.
+  void TickEpoch();
+
+  // Channel intake: stamps QueryDelta::seq and enqueues.  Blocks while
+  // the queue is full (a delta is never dropped); returns false only
+  // after shutdown began.  Normally fed by agent sinks; exposed so
+  // tests can inject reordered arrivals directly.
+  bool SubmitDelta(QueryDelta delta);
+
+  // Blocks until every delta accepted so far has been folded (or
+  // counted orphaned).  No-op from inside the drain worker.
+  void Flush();
+
+  // Flushes, then materializes the standing result: per-host results
+  // (MaterializeStandingResult over the folded per-flow state) merged
+  // in host order — the poll Execute merge, byte for byte.  Unknown
+  // subscription ids yield monostate.
+  QueryResult Materialize(uint64_t id);
+
+  SubscriptionManagerStats stats() const;
+  SubscriptionInfo info(uint64_t id) const;
+  size_t subscription_count() const;
+
+ private:
+  struct PendingDelta {
+    FlowBytesDelta payload;
+    size_t wire_bytes = 0;  // the full QueryDelta's SerializedSize
+  };
+  struct HostState {
+    uint64_t next_epoch = 1;  // next epoch to fold
+    FlowBytesMap folded;      // materialized per-flow state
+    std::map<uint64_t, PendingDelta> pending;  // gapped arrivals by epoch
+  };
+  struct AgentAttachment {
+    EdgeAgent* agent = nullptr;
+    int standing_id = -1;
+    int periodic_id = -1;  // -1 when epochs are driven explicitly
+  };
+  struct Subscription {
+    StandingQuerySpec spec;
+    std::vector<HostId> hosts;  // merge order (registered hosts only)
+    std::vector<AgentAttachment> attachments;
+    std::unordered_map<HostId, HostState> host_state;
+    uint64_t deltas_folded = 0;
+    uint64_t delta_bytes = 0;
+  };
+
+  void DrainLoop();
+  void FoldBatch(std::vector<QueryDelta>& batch);
+  // Applies one contiguous-epoch delta to `hs`; caller holds state_mu_.
+  void FoldReady(Subscription& sub, HostState& hs, const FlowBytesDelta& payload,
+                 size_t wire_bytes);
+  // Uninstalls the periodic ticks and accumulators on every attached
+  // agent; must be called WITHOUT state_mu_ held (takes agent locks).
+  void DetachAgents(Subscription& sub);
+
+  Controller* const controller_;
+  const SubscriptionManagerOptions options_;
+
+  // Queue lock (intake side) — mirrors AlarmPipeline.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // queue non-empty / shutdown
+  std::condition_variable space_cv_;  // queue has room
+  std::condition_variable flush_cv_;  // progress for Flush() waiters
+  std::deque<QueryDelta> queue_;
+  bool stop_ = false;
+  uint64_t next_seq_ = 0;
+  uint64_t accepted_ = 0;
+  uint64_t processed_ = 0;
+  SubscriptionManagerStats stats_;
+
+  // Subscription registry + materialized state.  Ordered after mu_ is
+  // never needed: the drain worker releases the queue lock before
+  // folding, and registry operations touch the queue lock only via
+  // Flush (never while holding state_mu_).
+  mutable std::mutex state_mu_;
+  uint64_t next_subscription_id_ = 1;
+  std::unordered_map<uint64_t, Subscription> subscriptions_;
+
+  std::thread drain_;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_CONTROLLER_SUBSCRIPTION_H_

@@ -372,6 +372,89 @@ int EdgeAgent::InstallPoorTcpMonitor(SimTime period, int threshold) {
   });
 }
 
+int EdgeAgent::RegisterStandingQuery(uint64_t subscription_id, const StandingQuerySpec& spec,
+                                     DeltaSink sink) {
+  auto reg = std::make_shared<StandingRegistration>();
+  reg->accumulator =
+      std::make_unique<StandingQueryAccumulator>(subscription_id, host_, spec, &tib_);
+  reg->sink = std::move(sink);
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  int id = next_standing_id_++;
+  standing_[id] = std::move(reg);
+  return id;
+}
+
+// One gated tick: skips registrations already detached (their sink's
+// target may be mid-destruction), and holds the gate across the sink
+// call so unregister can fence the delivery out.
+bool EdgeAgent::TickRegistration(StandingRegistration& reg) {
+  std::lock_guard<std::mutex> gate(reg.gate);
+  if (reg.detached) {
+    return false;
+  }
+  if (auto delta = reg.accumulator->TakeDelta()) {
+    reg.sink(std::move(*delta));
+  }
+  return true;
+}
+
+void EdgeAgent::UnregisterStandingQuery(int id) {
+  std::shared_ptr<StandingRegistration> reg;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    auto it = standing_.find(id);
+    if (it == standing_.end()) {
+      return;
+    }
+    reg = std::move(it->second);
+    standing_.erase(it);
+  }
+  // Fence out epoch ticks: any tick already inside the gate finishes
+  // its delivery first (we block here), and any tick that snapshotted
+  // the registration but has not reached the gate yet will see
+  // `detached` and do nothing.  After this returns the sink is never
+  // invoked again.
+  {
+    std::lock_guard<std::mutex> gate(reg->gate);
+    reg->detached = true;
+  }
+  // Dropped outside reg_mu_: the accumulator's destructor takes every
+  // TIB shard lock to detach its insert hook.  A concurrent EpochTick
+  // holding a snapshot reference delays destruction, not this return.
+}
+
+void EdgeAgent::EpochTick() {
+  std::vector<std::shared_ptr<StandingRegistration>> regs;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    regs.reserve(standing_.size());
+    for (const auto& [id, reg] : standing_) {
+      regs.push_back(reg);
+    }
+  }
+  for (const auto& reg : regs) {
+    TickRegistration(*reg);
+  }
+}
+
+bool EdgeAgent::EpochTickOne(int id) {
+  std::shared_ptr<StandingRegistration> reg;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    auto it = standing_.find(id);
+    if (it == standing_.end()) {
+      return false;
+    }
+    reg = it->second;
+  }
+  return TickRegistration(*reg);
+}
+
+size_t EdgeAgent::StandingQueryCount() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  return standing_.size();
+}
+
 void EdgeAgent::UninstallQuery(int id) {
   std::lock_guard<std::mutex> lock(reg_mu_);
   periodic_.erase(id);

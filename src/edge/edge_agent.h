@@ -48,6 +48,7 @@
 #include "src/edge/alarm.h"
 #include "src/edge/packet_log.h"
 #include "src/edge/query.h"
+#include "src/edge/standing_query.h"
 #include "src/edge/tib.h"
 #include "src/edge/trajectory_memory.h"
 #include "src/packet/packet.h"
@@ -188,6 +189,35 @@ class EdgeAgent {
   // resets that flow's streak so one episode alarms once.
   int InstallPoorTcpMonitor(SimTime period = 200 * kNsPerMs, int threshold = 0);
 
+  // --- Standing queries (src/edge/standing_query.h) ---
+  //
+  // A registered standing query accumulates per-flow byte increments
+  // inside Tib::Insert (under the owning shard's lock) and, on an epoch
+  // tick, ships only the increment: the delta is merged with the
+  // deterministic ordered reduce, epoch-stamped, and handed to `sink`
+  // (normally the controller's SubscriptionManager intake).  The sink
+  // runs on the ticking thread with no agent lock held; it may be
+  // called concurrently from concurrent tickers.
+
+  using DeltaSink = std::function<void(QueryDelta&&)>;
+
+  // Registers the accumulator; returns a handle for EpochTickOne /
+  // UnregisterStandingQuery.  Cost per subsequent insert: one filter
+  // check + one hash-map bump on matching records.
+  int RegisterStandingQuery(uint64_t subscription_id, const StandingQuerySpec& spec,
+                            DeltaSink sink);
+  // Removes the accumulator and its TIB hook.  On return no further
+  // delta will be produced and no in-flight insert still observes the
+  // accumulator (Tib::RemoveInsertHook synchronizes with inserts); a
+  // concurrent EpochTick may still be delivering the final delta.
+  void UnregisterStandingQuery(int id);
+
+  // Epoch ticks: snapshot + reset the partials and push the delta (if
+  // any) to the sink.  EpochTickOne returns false for an unknown id.
+  void EpochTick();
+  bool EpochTickOne(int id);
+  size_t StandingQueryCount() const;
+
   // --- Introspection ---
 
   // The TIB synchronizes itself (per-shard locks); both overloads are safe
@@ -257,6 +287,28 @@ class EdgeAgent {
   };
   int next_query_id_ = 1;
   std::map<int, Installed> periodic_;
+
+  // Standing-query registrations, guarded by reg_mu_ like the other
+  // tables.  Entries are shared_ptrs so an epoch tick can run on a
+  // snapshot with no lock held while a concurrent unregister drops the
+  // table entry; the accumulator (and its TIB hook) dies with the last
+  // reference.
+  struct StandingRegistration {
+    std::unique_ptr<StandingQueryAccumulator> accumulator;
+    DeltaSink sink;
+    // Held while a tick runs TakeDelta + sink.  UnregisterStandingQuery
+    // acquires it after dropping the table entry and marks `detached`,
+    // so on return no in-flight tick is delivering into the sink and no
+    // later tick (one that grabbed its snapshot pre-unregister) will —
+    // the sink's target (e.g. a SubscriptionManager being destroyed)
+    // may safely die afterwards.
+    std::mutex gate;
+    bool detached = false;  // guarded by gate
+  };
+  // Runs one gated tick; returns false if the registration is detached.
+  static bool TickRegistration(StandingRegistration& reg);
+  int next_standing_id_ = 1;
+  std::map<int, std::shared_ptr<StandingRegistration>> standing_;
 };
 
 }  // namespace pathdump

@@ -1,0 +1,75 @@
+#include "src/edge/standing_query.h"
+
+#include <utility>
+
+namespace pathdump {
+
+QueryResult MaterializeStandingResult(const StandingQuerySpec& spec,
+                                      const FlowBytesMap& per_flow) {
+  // These two bodies mirror EdgeAgent::TopK and FlowSizeDistribution
+  // exactly — the byte-identity contract depends on it.
+  if (spec.kind == StandingQuerySpec::Kind::kTopK) {
+    TopKFlows out;
+    out.k = spec.k;
+    out.items.reserve(per_flow.size());
+    for (const auto& [flow, bytes] : per_flow) {
+      out.items.emplace_back(bytes, flow);
+    }
+    out.Finalize();
+    return out;
+  }
+  FlowSizeHistogram h;
+  h.bin_width = spec.bin_width;
+  for (const auto& [flow, bytes] : per_flow) {
+    h.bins[int64_t(bytes) / spec.bin_width] += 1;
+  }
+  return h;
+}
+
+StandingQueryAccumulator::StandingQueryAccumulator(uint64_t subscription_id, HostId host,
+                                                   const StandingQuerySpec& spec, Tib* tib)
+    : subscription_id_(subscription_id),
+      host_(host),
+      spec_(spec),
+      match_all_links_(spec.link.src == kInvalidNode && spec.link.dst == kInvalidNode),
+      tib_(tib),
+      partial_(tib->shard_count()) {
+  hook_id_ = tib_->AddInsertHook(
+      [this](size_t shard_index, const TibRecord& rec) { OnInsert(shard_index, rec); });
+}
+
+StandingQueryAccumulator::~StandingQueryAccumulator() {
+  // Synchronizes with every in-flight Insert (removal takes all shard
+  // locks), so after this no OnInsert call can touch partial_.
+  tib_->RemoveInsertHook(hook_id_);
+}
+
+void StandingQueryAccumulator::OnInsert(size_t shard_index, const TibRecord& rec) {
+  // Same record filter as Tib::AggregateFlowBytes — including creating
+  // the key for a zero-byte record (the poll path does too).
+  if (!rec.Overlaps(spec_.range)) {
+    return;
+  }
+  if (!match_all_links_ && !rec.path.MatchesLinkQuery(spec_.link)) {
+    return;
+  }
+  partial_[shard_index][rec.flow] += rec.bytes;
+}
+
+std::optional<QueryDelta> StandingQueryAccumulator::TakeDelta() {
+  std::lock_guard<std::mutex> tick(tick_mu_);
+  std::vector<FlowBytesMap> snapshot(partial_.size());
+  tib_->ForEachShardExclusive([&](size_t si) { snapshot[si].swap(partial_[si]); });
+  FlowBytesDelta payload = FlowBytesDelta::FromShardMaps(snapshot);
+  if (payload.empty()) {
+    return std::nullopt;
+  }
+  QueryDelta delta;
+  delta.subscription_id = subscription_id_;
+  delta.host = host_;
+  delta.epoch = next_epoch_++;
+  delta.payload = std::move(payload);
+  return delta;
+}
+
+}  // namespace pathdump

@@ -1,0 +1,136 @@
+// Standing queries: incremental edge-side evaluation with epoch deltas.
+//
+// The paper's recurring debugging applications (traffic measurement,
+// load imbalance) re-poll the fleet, and every poll re-scans the full
+// TIB — O(records) per poll even when almost nothing changed.  A
+// standing query inverts that: the agent evaluates incrementally at
+// insert time and, on an epoch tick, ships only what changed.
+//
+//   Tib::Insert ──(insert hook, under the shard lock)──▶ per-shard
+//   FlowBytesMap partial ──(epoch tick: swap + reset, one shard lock at
+//   a time)──▶ deterministic ordered reduce (key-disjoint concat, sort
+//   by flow) ──▶ epoch-stamped QueryDelta ──▶ controller subscription
+//   channel (src/controller/subscription.h).
+//
+// Both canned aggregates reduce to per-flow byte totals, so the delta
+// payload is one shape (FlowBytesDelta) and materialization is a pure
+// function of the accumulated map: MaterializeStandingResult reproduces
+// EdgeAgent::TopK / FlowSizeDistribution byte for byte.  Determinism
+// contract: at any epoch boundary, folding every delta shipped so far
+// equals a fresh AggregateFlowBytes over the same records — at any
+// shard count and any scan-worker count (tests/standing_query_test.cc).
+//
+// Locking: partial updates ride the shard lock Tib::Insert already
+// holds; the epoch snapshot takes one shard lock at a time
+// (Tib::ForEachShardExclusive).  No new lock hierarchy — the only
+// accumulator-private lock is a tick mutex serializing epoch snapshots
+// against each other, taken before any shard lock.
+
+#ifndef PATHDUMP_SRC_EDGE_STANDING_QUERY_H_
+#define PATHDUMP_SRC_EDGE_STANDING_QUERY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/common/flow_delta.h"
+#include "src/common/types.h"
+#include "src/edge/query.h"
+#include "src/edge/tib.h"
+
+namespace pathdump {
+
+// What a subscription computes.  The same spec installs on every agent
+// of the subscription; the controller materializes per host and merges
+// in host order — exactly the poll path's shape.
+struct StandingQuerySpec {
+  enum class Kind : uint8_t { kTopK = 0, kFlowSizeHistogram = 1 };
+
+  Kind kind = Kind::kTopK;
+  // kTopK: per-host truncation bound (the poll path's k).
+  size_t k = 0;
+  // kFlowSizeHistogram: histogram bin width.
+  int64_t bin_width = 10000;
+  // Record filter, identical to Tib::AggregateFlowBytes: a wildcardable
+  // link the record's path must match (TopK uses (<*, *>)) ...
+  LinkId link{kInvalidNode, kInvalidNode};
+  // ... and a time range the record must overlap.  Records are filtered
+  // once, at insert; a standing range is normally open-ended.
+  TimeRange range = TimeRange::All();
+
+  friend bool operator==(const StandingQuerySpec&, const StandingQuerySpec&) = default;
+};
+
+// One epoch's increment from one host, shipped over the subscription
+// channel.  Epochs are 1-based and contiguous per (subscription, host);
+// empty epochs ship nothing (and consume no epoch number), so per-epoch
+// wire cost scales with the delta, not with the TIB.
+struct QueryDelta {
+  uint64_t subscription_id = 0;
+  HostId host = kInvalidNode;
+  // Per-(subscription, host) epoch number, stamped by the accumulator.
+  uint64_t epoch = 0;
+  // Channel intake sequence, stamped by the SubscriptionManager at
+  // enqueue (0 until then) — arrival order, which may disagree with
+  // epoch order; the manager folds in epoch order regardless.
+  uint64_t seq = 0;
+  FlowBytesDelta payload;
+
+  // Bytes on the wire: the payload plus the subscription/host/epoch
+  // framing (8 + 4 + 8, padded to 24 like the fixed fields elsewhere).
+  size_t SerializedSize() const { return 24 + payload.SerializedSize(); }
+
+  friend bool operator==(const QueryDelta&, const QueryDelta&) = default;
+};
+
+// Materializes the standing result for one host from its accumulated
+// per-flow byte totals — byte-identical to what the poll path computes
+// from Tib::AggregateFlowBytes (EdgeAgent::TopK / FlowSizeDistribution).
+QueryResult MaterializeStandingResult(const StandingQuerySpec& spec, const FlowBytesMap& per_flow);
+
+// The per-agent accumulator: one FlowBytesMap partial per TIB shard,
+// updated by a Tib insert hook under that shard's lock, drained by
+// TakeDelta on epoch ticks.  Construction installs the hook;
+// destruction removes it (after which no update is running — the Tib
+// guarantees removal synchronizes with every in-flight Insert).
+class StandingQueryAccumulator {
+ public:
+  StandingQueryAccumulator(uint64_t subscription_id, HostId host, const StandingQuerySpec& spec,
+                           Tib* tib);
+  ~StandingQueryAccumulator();
+
+  StandingQueryAccumulator(const StandingQueryAccumulator&) = delete;
+  StandingQueryAccumulator& operator=(const StandingQueryAccumulator&) = delete;
+
+  // Epoch tick: snapshots + resets the per-shard partials (one shard
+  // lock at a time), merges them with the deterministic ordered reduce,
+  // and returns the epoch-stamped delta — or nullopt if nothing changed
+  // (no epoch number is consumed).  Thread-safe; cost is O(delta).
+  std::optional<QueryDelta> TakeDelta();
+
+  uint64_t subscription_id() const { return subscription_id_; }
+  HostId host() const { return host_; }
+  const StandingQuerySpec& spec() const { return spec_; }
+
+ private:
+  // Runs under the owning shard's lock, inside Tib::Insert.
+  void OnInsert(size_t shard_index, const TibRecord& rec);
+
+  const uint64_t subscription_id_;
+  const HostId host_;
+  const StandingQuerySpec spec_;
+  const bool match_all_links_;
+  Tib* const tib_;
+  int hook_id_ = -1;
+  // partial_[s] is guarded by TIB shard s's lock (writes from OnInsert
+  // and swaps from TakeDelta both hold it).
+  std::vector<FlowBytesMap> partial_;
+  // Serializes concurrent epoch ticks; ordered before shard locks.
+  std::mutex tick_mu_;
+  uint64_t next_epoch_ = 1;  // guarded by tick_mu_
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_EDGE_STANDING_QUERY_H_

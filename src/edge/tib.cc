@@ -162,7 +162,8 @@ std::vector<T> ConcatPartials(const std::vector<std::vector<T>>& partial) {
 }  // namespace
 
 void Tib::Insert(const TibRecord& rec) {
-  Shard& s = *shards_[ShardOf(rec.flow)];
+  const size_t si = ShardOf(rec.flow);
+  Shard& s = *shards_[si];
   std::unique_lock<std::shared_mutex> lock(s.mu);
   // The id is claimed under the shard lock so each shard's id column stays
   // strictly ascending — the invariant the ordered reduces rely on.
@@ -184,6 +185,45 @@ void Tib::Insert(const TibRecord& rec) {
     throw;
   }
   count_.fetch_add(1, std::memory_order_acq_rel);
+  // Standing-query accumulators ride the shard lock already held here:
+  // the hook table is only ever swapped under all shard locks, so this
+  // read is race-free, and per-shard partials need no lock of their own.
+  for (const auto& [id, hook] : insert_hooks_) {
+    hook(si, rec);
+  }
+}
+
+int Tib::AddInsertHook(InsertHook hook) {
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    locks.emplace_back(sp->mu);
+  }
+  int id = next_insert_hook_id_++;
+  insert_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Tib::RemoveInsertHook(int id) {
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    locks.emplace_back(sp->mu);
+  }
+  std::erase_if(insert_hooks_, [id](const auto& entry) { return entry.first == id; });
+}
+
+size_t Tib::insert_hook_count() const {
+  // Any one shard lock orders this read against the all-locks writers.
+  std::shared_lock<std::shared_mutex> lock(shards_[0]->mu);
+  return insert_hooks_.size();
+}
+
+void Tib::ForEachShardExclusive(const std::function<void(size_t)>& fn) const {
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    std::unique_lock<std::shared_mutex> lock(shards_[si]->mu);
+    fn(si);
+  }
 }
 
 TibRecord Tib::record(size_t id) const {

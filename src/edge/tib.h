@@ -38,8 +38,10 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/common/flow_delta.h"
 #include "src/common/types.h"
 
 namespace pathdump {
@@ -110,10 +112,11 @@ struct TibOptions {
   size_t num_shards = 0;
 };
 
-// Per-flow byte totals — the shared aggregation used by both TopK and
-// FlowSizeDistribution.  Sharding by flow hash means each flow lives in
-// exactly one shard, so per-shard partial maps are key-disjoint.
-using FlowBytesMap = std::unordered_map<FiveTuple, uint64_t, FiveTupleHash>;
+// FlowBytesMap — the per-flow byte aggregation shared by TopK and
+// FlowSizeDistribution — lives in src/common/flow_delta.h (standing-query
+// epoch deltas canonicalize the same shape).  Sharding by flow hash means
+// each flow lives in exactly one shard, so per-shard partial maps are
+// key-disjoint.
 
 class Tib {
  public:
@@ -180,6 +183,35 @@ class Tib {
   // scans shards sequentially on the calling thread.
   void SetScanPool(ThreadPool* pool) { scan_pool_.store(pool, std::memory_order_release); }
 
+  // --- Insert hooks (the standing-query attachment point) ---
+  //
+  // An insert hook runs inside Insert, under the owning shard's exclusive
+  // lock, after the record is stored.  That placement is the whole point:
+  // a per-shard incremental accumulator updated here needs no lock of its
+  // own — the shard lock that already serializes inserts to the shard
+  // also serializes updates to that shard's partial.  Hooks must be cheap
+  // and must not call back into this Tib (the shard lock is held) nor
+  // take any lock ordered before shard locks.
+  //
+  // Registration swaps the hook table while holding EVERY shard lock
+  // exclusively, so (a) Insert reads the table under its shard lock with
+  // no extra synchronization, and (b) once RemoveInsertHook returns, no
+  // invocation of the removed hook is running or will run — the
+  // unsubscribe-mid-epoch guarantee.  Bulk mutations (LoadFrom, Clear)
+  // bypass hooks; attach standing state after loading, not before.
+  using InsertHook = std::function<void(size_t shard_index, const TibRecord& rec)>;
+  int AddInsertHook(InsertHook hook);
+  void RemoveInsertHook(int id);
+  size_t insert_hook_count() const;
+
+  // Runs fn(shard_index) under that shard's exclusive lock, one shard at
+  // a time in ascending order — the epoch-snapshot primitive: swapping
+  // out a per-shard partial here cannot race the inserts that fill it.
+  // Each record lands in exactly one snapshot (the cut need not be a
+  // single point in time across shards; per-flow sums make any cut
+  // consistent).  The callback restrictions of ForEachRecord apply.
+  void ForEachShardExclusive(const std::function<void(size_t shard_index)>& fn) const;
+
   // Rough resident size, for the §5.3 storage numbers.
   size_t ApproxBytes() const;
 
@@ -223,6 +255,11 @@ class Tib {
 
   TibOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Written only while holding every shard lock exclusively; read under
+  // any single shard lock (Insert) — no separate mutex needed, and no
+  // new lock hierarchy.
+  std::vector<std::pair<int, InsertHook>> insert_hooks_;
+  int next_insert_hook_id_ = 1;
   // Ids issued vs records stored: they differ only if an Insert rolled
   // back on an allocation failure (ids may gap; size() must not).
   std::atomic<uint64_t> next_id_{0};

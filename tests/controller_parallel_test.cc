@@ -140,6 +140,35 @@ TEST_F(ParallelControllerTest, UnregisteredHostsAreSkippedIdentically) {
   controller_->SetWorkerThreads(1);
 }
 
+TEST_F(ParallelControllerTest, PipelinedReduceHandlesDegenerateTreeShapes) {
+  // The pipelined reduce climbs a dependency chain per tree edge; a
+  // chain tree (fanout 1) makes every merge depend on the previous one
+  // — the worst case for the per-node counters — while a flat tree has
+  // no interior merges at all.  Both must stay byte-identical to the
+  // sequential baseline at any worker count.
+  struct Shape {
+    int top_fanout;
+    int fanout;
+  };
+  for (Shape shape : {Shape{1, 1}, Shape{100, 4}, Shape{7, 4}}) {
+    controller_->SetWorkerThreads(1);
+    // 24 hosts keeps the chain deep (depth 24) but the test fast.
+    std::vector<HostId> subset(hosts_.begin(), hosts_.begin() + 24);
+    auto [base, base_stats] =
+        controller_->ExecuteMultiLevel(subset, TopKQuery(), shape.top_fanout, shape.fanout);
+    for (size_t workers : {size_t(4), size_t(16)}) {
+      controller_->SetWorkerThreads(workers);
+      auto [res, stats] =
+          controller_->ExecuteMultiLevel(subset, TopKQuery(), shape.top_fanout, shape.fanout);
+      EXPECT_EQ(res, base) << shape.top_fanout << "/" << shape.fanout << ", " << workers
+                           << " workers";
+      EXPECT_EQ(stats.network_bytes, base_stats.network_bytes);
+      EXPECT_EQ(stats.response_bytes, base_stats.response_bytes);
+    }
+  }
+  controller_->SetWorkerThreads(1);
+}
+
 TEST(TopKFinalizeTest, TiesTruncateByTotalOrder) {
   // Three flows tie at 500 bytes across the k-boundary; the retained set
   // must be the same no matter the arrival order of the tied items.

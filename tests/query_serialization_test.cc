@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/flow_delta.h"
 #include "src/controller/aggregation_tree.h"
 #include "src/controller/rpc_model.h"
 #include "src/edge/fleet.h"
 #include "src/edge/query.h"
+#include "src/edge/standing_query.h"
 #include "src/fluidsim/fluid.h"
 #include "src/topology/vl2.h"
 #include "tests/test_util.h"
@@ -43,6 +45,130 @@ TEST(SerializationGolden, FixedFraming) {
   pl.paths.push_back({1, 2, 3, 4, 5});
   pl.paths.push_back({9});
   EXPECT_EQ(SerializedBytes(QueryResult{pl}), 16u + (1u + 20u) + (1u + 4u));
+}
+
+// --- Serialize / merge / size-accounting consistency ---
+//
+// For every payload with a wire size, the three views must agree: the
+// size is a pure function of the content, merging re-derives the size
+// from the merged content (never by adding the inputs' sizes), and the
+// per-item constants match the golden framing above.
+
+TEST(SerializationConsistency, FlowBytesDeltaGoldenAndMergeAgree) {
+  auto item = [](uint16_t port, uint64_t bytes) {
+    return std::pair<FiveTuple, uint64_t>{FiveTuple{1, 2, port, 80, kProtoTcp}, bytes};
+  };
+  // Golden framing: 16-byte header + 21 per item (same per-flow item
+  // size as TopKFlows).
+  FlowBytesDelta empty;
+  EXPECT_EQ(empty.SerializedSize(), 16u);
+  FlowBytesDelta a;
+  a.items = {item(10, 100), item(20, 200)};
+  EXPECT_EQ(a.SerializedSize(), 16u + 2u * 21u);
+
+  // Merge with one shared flow: 2 + 2 items collapse to 3, and the size
+  // tracks the merged item count — not the sum of the input sizes.
+  FlowBytesDelta b;
+  b.items = {item(20, 50), item(30, 300)};
+  FlowBytesDelta ab = a;
+  ab.Merge(b);
+  ASSERT_EQ(ab.items.size(), 3u);
+  EXPECT_EQ(ab.SerializedSize(), 16u + 3u * 21u);
+  EXPECT_EQ(ab.items[1].second, 250u);  // shared flow summed
+  // Canonical order survives the merge.
+  for (size_t i = 1; i < ab.items.size(); ++i) {
+    EXPECT_LT(ab.items[i - 1].first, ab.items[i].first);
+  }
+  // Merge is commutative on content, hence on bytes.
+  FlowBytesDelta ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.SerializedSize(), ba.SerializedSize());
+
+  // ApplyTo agrees with Merge: folding a then b into a map equals the
+  // merged delta's contents.
+  FlowBytesMap folded;
+  a.ApplyTo(folded);
+  b.ApplyTo(folded);
+  ASSERT_EQ(folded.size(), ab.items.size());
+  for (const auto& [flow, bytes] : ab.items) {
+    EXPECT_EQ(folded.at(flow), bytes);
+  }
+}
+
+TEST(SerializationConsistency, QueryDeltaFramingAndMaterialization) {
+  QueryDelta d;
+  d.subscription_id = 7;
+  d.host = 3;
+  d.epoch = 1;
+  // Empty delta: 24-byte sub/host/epoch framing + payload header.
+  EXPECT_EQ(d.SerializedSize(), 24u + 16u);
+  d.payload.items = {{FiveTuple{1, 2, 10, 80, kProtoTcp}, 500},
+                     {FiveTuple{1, 2, 20, 80, kProtoTcp}, 900}};
+  EXPECT_EQ(d.SerializedSize(), 24u + 16u + 2u * 21u);
+
+  // Materializing the folded payload yields a result whose size obeys
+  // the golden framing for its own type.
+  FlowBytesMap folded;
+  d.payload.ApplyTo(folded);
+  StandingQuerySpec topk;
+  topk.kind = StandingQuerySpec::Kind::kTopK;
+  topk.k = 10;
+  QueryResult r = MaterializeStandingResult(topk, folded);
+  EXPECT_EQ(SerializedBytes(r), 16u + 2u * 21u);
+  StandingQuerySpec hist;
+  hist.kind = StandingQuerySpec::Kind::kFlowSizeHistogram;
+  hist.bin_width = 1000;
+  QueryResult h = MaterializeStandingResult(hist, folded);
+  // Two flows in bins 0 and... 500/1000 = 0 and 900/1000 = 0: one bin.
+  EXPECT_EQ(std::get<FlowSizeHistogram>(h).bins.size(), 1u);
+  EXPECT_EQ(SerializedBytes(h), 16u + 8u + 1u * 12u);
+}
+
+TEST(SerializationConsistency, MergedResultSizesTrackContent) {
+  // Audit of the existing result types: after a merge, SerializedBytes
+  // must equal the golden framing recomputed from the merged content.
+  FlowSizeHistogram ha;
+  ha.bins[0] = 1;
+  ha.bins[3] = 2;
+  FlowSizeHistogram hb;
+  hb.bins[3] = 1;
+  hb.bins[9] = 4;
+  QueryResult hacc = ha;
+  MergeQueryResult(hacc, QueryResult{hb});
+  const auto& hm = std::get<FlowSizeHistogram>(hacc);
+  EXPECT_EQ(SerializedBytes(hacc), 16u + 8u + hm.bins.size() * 12u);
+  EXPECT_EQ(hm.bins.size(), 3u);  // shared bin merged, not duplicated
+
+  TopKFlows ta;
+  ta.k = 2;
+  ta.items = {{100, FiveTuple{1, 2, 1, 80, kProtoTcp}}, {90, FiveTuple{1, 2, 2, 80, kProtoTcp}}};
+  TopKFlows tb;
+  tb.k = 2;
+  tb.items = {{95, FiveTuple{1, 2, 3, 80, kProtoTcp}}};
+  QueryResult tacc = ta;
+  MergeQueryResult(tacc, QueryResult{tb});
+  const auto& tm = std::get<TopKFlows>(tacc);
+  // Truncated to k by the merge — size reflects the survivors only.
+  EXPECT_EQ(tm.items.size(), 2u);
+  EXPECT_EQ(SerializedBytes(tacc), 16u + tm.items.size() * 21u);
+
+  FlowList fa;
+  fa.flows.push_back(Flow{FiveTuple{1, 2, 3, 4, 6}, {1, 2}});
+  FlowList fb;
+  fb.flows.push_back(Flow{FiveTuple{1, 2, 5, 4, 6}, {3}});
+  QueryResult facc = fa;
+  MergeQueryResult(facc, QueryResult{fb});
+  // Concatenating lists: merged size = sum of parts minus one header.
+  EXPECT_EQ(SerializedBytes(facc),
+            SerializedBytes(QueryResult{fa}) + SerializedBytes(QueryResult{fb}) - 16u);
+
+  CountSummary ca{10, 2};
+  CountSummary cb{5, 1};
+  QueryResult cacc = ca;
+  MergeQueryResult(cacc, QueryResult{cb});
+  // Fixed-size payloads merge without growing.
+  EXPECT_EQ(SerializedBytes(cacc), 32u);
 }
 
 // --- Merge algebra: order independence where the semantics demand it ---

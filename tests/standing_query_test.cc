@@ -1,0 +1,418 @@
+// Standing-query subsystem contract tests (the PR 4 tentpole):
+//
+//  1. Byte-identity — at every epoch boundary the materialized standing
+//     result (TopK and FlowSizeHistogram) equals a fresh poll Execute
+//     over the same TIB contents, across the {1, 4, 16} shards x
+//     {1, 4, 16} workers matrix.
+//  2. Concurrency — epoch ticks racing Tib::Insert are safe (run under
+//     ThreadSanitizer in CI) and the post-race materialization matches
+//     a fresh poll.
+//  3. Lifecycle — unsubscribe mid-epoch detaches the insert hook and
+//     discards late deltas without corrupting other subscriptions.
+//  4. Ordering — deltas arriving out of epoch order (simulated network
+//     reordering) still fold to a deterministic materialized state.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/apps/load_imbalance.h"
+#include "src/apps/traffic_measure.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/controller/controller.h"
+#include "src/controller/subscription.h"
+#include "src/edge/edge_agent.h"
+#include "src/edge/standing_query.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/link_labels.h"
+
+namespace pathdump {
+namespace {
+
+std::vector<TibRecord> MakeRecords(int n, uint32_t seed) {
+  Rng rng(seed);
+  std::vector<TibRecord> out;
+  out.reserve(size_t(n));
+  for (int i = 0; i < n; ++i) {
+    TibRecord rec;
+    rec.flow.src_ip = kHostIpBase | rng.UniformInt(2048);
+    rec.flow.dst_ip = kHostIpBase | rng.UniformInt(2048);
+    rec.flow.src_port = uint16_t(1024 + rng.UniformInt(20000));
+    rec.flow.dst_port = uint16_t(80 + rng.UniformInt(8));
+    rec.flow.protocol = kProtoTcp;
+    Path p;
+    int len = 3 + int(rng.UniformInt(3));
+    for (int j = 0; j < len; ++j) {
+      p.push_back(SwitchId(rng.UniformInt(24)));
+    }
+    rec.path = CompactPath::FromPath(p);
+    rec.stime = SimTime(rng.UniformInt(3600)) * kNsPerSec;
+    rec.etime = rec.stime + SimTime(rng.UniformInt(5000)) * kNsPerMs;
+    rec.bytes = 100 + rng.UniformInt(1000000);
+    rec.pkts = uint32_t(rec.bytes / 1460 + 1);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+constexpr size_t kTopK = 500;
+constexpr int64_t kBinWidth = 10000;
+const LinkId kProbeLink{3, 7};
+
+Controller::QueryFn PollTopK() {
+  return [](EdgeAgent& a) -> QueryResult { return a.TopK(kTopK, TimeRange::All()); };
+}
+
+Controller::QueryFn PollHistogram() {
+  return [](EdgeAgent& a) -> QueryResult {
+    return a.FlowSizeDistribution(kProbeLink, TimeRange::All(), kBinWidth);
+  };
+}
+
+// A small fleet sharing one topology/codec, owned per test.
+struct Testbed {
+  Topology topo;
+  LinkLabelMap labels;
+  CherryPickCodec codec;
+  Controller controller;
+  std::vector<std::unique_ptr<EdgeAgent>> agents;
+  std::vector<HostId> hosts;
+
+  explicit Testbed(size_t num_agents, size_t shards)
+      : topo(BuildFatTree(4)), labels(&topo), codec(&topo, &labels) {
+    for (size_t a = 0; a < num_agents; ++a) {
+      HostId h = topo.hosts()[a];
+      EdgeAgentConfig cfg;
+      cfg.tib_options.num_shards = shards;
+      agents.push_back(std::make_unique<EdgeAgent>(h, &topo, &codec, cfg));
+      controller.RegisterAgent(agents.back().get());
+      hosts.push_back(h);
+    }
+  }
+};
+
+// --- 1. Poll-vs-standing byte-identity across the shard x worker matrix ---
+
+TEST(StandingQueryDeterminism, MatchesPollAcrossShardWorkerMatrix) {
+  const int kPerAgent = 12000;
+  const int kEpochs = 4;
+  const size_t kAgents = 4;
+  std::vector<std::vector<TibRecord>> records;
+  for (size_t a = 0; a < kAgents; ++a) {
+    records.push_back(MakeRecords(kPerAgent, 0x5D00 + uint32_t(a)));
+  }
+
+  for (size_t shards : {size_t(1), size_t(4), size_t(16)}) {
+    Testbed tb(kAgents, shards);
+    SubscriptionManager manager(&tb.controller);
+    uint64_t topk_sub = SubscribeTopK(manager, tb.hosts, kTopK);
+    uint64_t hist_sub =
+        SubscribeFlowSizeDistribution(manager, tb.hosts, kProbeLink, TimeRange::All(), kBinWidth);
+
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      // One epoch's worth of inserts on every agent...
+      for (size_t a = 0; a < kAgents; ++a) {
+        for (int i = epoch * kPerAgent / kEpochs; i < (epoch + 1) * kPerAgent / kEpochs; ++i) {
+          tb.agents[a]->tib().Insert(records[a][size_t(i)]);
+        }
+      }
+      // ... then an epoch boundary.
+      manager.TickEpoch();
+      manager.Flush();
+
+      // At the boundary, the materialized standing result must equal a
+      // fresh poll over the same records — at every worker count.
+      for (size_t workers : {size_t(1), size_t(4), size_t(16)}) {
+        tb.controller.SetWorkerThreads(workers);
+        ThreadPool scan_pool(workers);
+        for (auto& agent : tb.agents) {
+          agent->SetQueryThreadPool(workers > 1 ? &scan_pool : nullptr);
+        }
+        auto [poll_topk, tstats] = tb.controller.Execute(tb.hosts, PollTopK());
+        auto [poll_hist, hstats] = tb.controller.Execute(tb.hosts, PollHistogram());
+        QueryResult standing_topk = manager.Materialize(topk_sub);
+        QueryResult standing_hist = manager.Materialize(hist_sub);
+        EXPECT_EQ(standing_topk, poll_topk)
+            << shards << " shards, " << workers << " workers, epoch " << epoch;
+        EXPECT_EQ(standing_hist, poll_hist)
+            << shards << " shards, " << workers << " workers, epoch " << epoch;
+        EXPECT_EQ(SerializedBytes(standing_topk), SerializedBytes(poll_topk));
+        for (auto& agent : tb.agents) {
+          agent->SetQueryThreadPool(nullptr);
+        }
+      }
+      tb.controller.SetWorkerThreads(1);
+    }
+    // Delta accounting: every epoch shipped something, and the folded
+    // wire bytes stayed O(delta), not O(TIB).
+    SubscriptionInfo info = manager.info(topk_sub);
+    EXPECT_EQ(info.hosts, kAgents);
+    EXPECT_GE(info.deltas_folded, uint64_t(kEpochs));
+    EXPECT_EQ(info.pending_gaps, 0u);
+  }
+}
+
+TEST(StandingQueryDeterminism, EmptyEpochsShipNothingAndAppResultsMatch) {
+  Testbed tb(2, 4);
+  SubscriptionManager manager(&tb.controller);
+  uint64_t topk_sub = SubscribeTopK(manager, tb.hosts, kTopK);
+  uint64_t hist_sub =
+      SubscribeFlowSizeDistribution(manager, tb.hosts, kProbeLink, TimeRange::All(), kBinWidth);
+
+  std::vector<TibRecord> records = MakeRecords(5000, 0xE44);
+  for (const TibRecord& rec : records) {
+    tb.agents[0]->tib().Insert(rec);
+  }
+  // Drive this boundary from the agents' side (EpochTick ticks every
+  // registration on the agent) — same channel, same semantics as the
+  // manager-driven TickEpoch used below.
+  for (auto& agent : tb.agents) {
+    agent->EpochTick();
+  }
+  // No inserts since the last boundary: these epochs must ship nothing.
+  manager.TickEpoch();
+  manager.TickEpoch();
+  manager.Flush();
+  SubscriptionManagerStats stats = manager.stats();
+  EXPECT_EQ(stats.deltas_reordered, 0u);
+  EXPECT_EQ(stats.deltas_folded, stats.deltas_submitted);
+  // Only the first boundary produced deltas (one per matching host/sub).
+  EXPECT_LE(stats.deltas_submitted, 2u * 2u);
+
+  // The app-level accessors agree with their poll twins.
+  TopKFlows standing_topk = TopKStanding(manager, topk_sub);
+  TopKFlows poll_topk = TopKAcrossHosts(tb.controller, tb.hosts, kTopK, TimeRange::All(),
+                                        /*multi_level=*/false);
+  EXPECT_EQ(standing_topk, poll_topk);
+  FlowSizeHistogram standing_hist = FlowSizeDistributionStanding(manager, hist_sub);
+  FlowSizeHistogram poll_hist = FlowSizeDistributionForLink(
+      tb.controller, tb.hosts, kProbeLink, TimeRange::All(), kBinWidth, /*multi_level=*/false);
+  EXPECT_EQ(standing_hist, poll_hist);
+}
+
+// --- 2. Epoch ticks racing Tib::Insert (TSan) ---
+
+TEST(StandingQueryConcurrency, EpochTicksRaceInserts) {
+  const int kPreload = 20000;
+  const int kPerWriter = 10000;
+  std::vector<TibRecord> records = MakeRecords(kPreload + 2 * kPerWriter, 0xACE2);
+
+  Testbed tb(1, 8);
+  EdgeAgent& agent = *tb.agents[0];
+  // Subscribe before any data: the standing state must account for
+  // every record the poll sees.
+  SubscriptionManager manager(&tb.controller);
+  uint64_t sub = SubscribeTopK(manager, tb.hosts, kTopK);
+  for (int i = 0; i < kPreload; ++i) {
+    agent.tib().Insert(records[size_t(i)]);
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        agent.tib().Insert(records[size_t(kPreload + w * kPerWriter + i)]);
+      }
+    });
+  }
+  std::thread ticker([&] {
+    uint64_t boundaries = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      manager.TickEpoch();
+      ++boundaries;
+    }
+    EXPECT_GE(boundaries, 1u);
+  });
+  for (auto& t : writers) {
+    t.join();
+  }
+  done.store(true, std::memory_order_release);
+  ticker.join();
+
+  // Quiesce: one final boundary captures whatever the racing ticks
+  // missed, then the materialized state must equal a fresh poll.
+  manager.TickEpoch();
+  manager.Flush();
+  auto [poll, stats] = tb.controller.Execute(tb.hosts, PollTopK());
+  EXPECT_EQ(manager.Materialize(sub), poll);
+  EXPECT_EQ(manager.stats().deltas_folded, manager.stats().deltas_submitted);
+}
+
+// --- 3. Unsubscribe mid-epoch ---
+
+TEST(StandingQueryLifecycle, UnsubscribeMidEpochDetachesCleanly) {
+  Testbed tb(2, 4);
+  SubscriptionManager manager(&tb.controller);
+  uint64_t doomed = SubscribeTopK(manager, tb.hosts, kTopK);
+  uint64_t kept =
+      SubscribeFlowSizeDistribution(manager, tb.hosts, kProbeLink, TimeRange::All(), kBinWidth);
+  EXPECT_EQ(manager.subscription_count(), 2u);
+  EXPECT_EQ(tb.agents[0]->StandingQueryCount(), 2u);
+  EXPECT_EQ(tb.agents[0]->tib().insert_hook_count(), 2u);
+
+  std::vector<TibRecord> records = MakeRecords(6000, 0x0DD1);
+  for (size_t i = 0; i < 3000; ++i) {
+    tb.agents[0]->tib().Insert(records[i]);
+  }
+  manager.TickEpoch();
+  // Mid-epoch: more data has accumulated but no boundary yet.
+  for (size_t i = 3000; i < records.size(); ++i) {
+    tb.agents[1]->tib().Insert(records[i]);
+  }
+  manager.Unsubscribe(doomed);
+  EXPECT_EQ(manager.subscription_count(), 1u);
+  EXPECT_EQ(tb.agents[0]->StandingQueryCount(), 1u);
+  EXPECT_EQ(tb.agents[0]->tib().insert_hook_count(), 1u);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(manager.Materialize(doomed)));
+
+  // Inserts keep flowing with the hook gone, and the surviving
+  // subscription still matches its poll twin at the next boundary.
+  for (const TibRecord& rec : MakeRecords(1000, 0x0DD2)) {
+    tb.agents[0]->tib().Insert(rec);
+  }
+  manager.TickEpoch();
+  manager.Flush();
+  auto [poll_hist, stats] = tb.controller.Execute(tb.hosts, PollHistogram());
+  EXPECT_EQ(manager.Materialize(kept), poll_hist);
+}
+
+TEST(StandingQueryLifecycle, UnsubscribeRacesInserts) {
+  Testbed tb(1, 8);
+  EdgeAgent& agent = *tb.agents[0];
+  SubscriptionManager manager(&tb.controller);
+  std::vector<TibRecord> records = MakeRecords(20000, 0x5AFE);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (const TibRecord& rec : records) {
+      agent.tib().Insert(rec);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  // Subscribe/tick/unsubscribe churn while the writer runs: hook
+  // install/remove synchronizes with in-flight inserts via the shard
+  // locks (TSan-covered in CI).
+  uint64_t churned = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    uint64_t sub = SubscribeTopK(manager, tb.hosts, kTopK);
+    manager.TickEpoch();
+    manager.Unsubscribe(sub);
+    ++churned;
+  }
+  writer.join();
+  EXPECT_GE(churned, 1u);
+  EXPECT_EQ(agent.tib().insert_hook_count(), 0u);
+  EXPECT_EQ(agent.tib().size(), records.size());
+
+  // A fresh subscription sees only post-subscription inserts — and
+  // after inserting more, matches a poll restricted to those records?
+  // No: standing state starts empty by design.  Assert exactly that.
+  uint64_t fresh = SubscribeTopK(manager, tb.hosts, kTopK);
+  manager.TickEpoch();
+  manager.Flush();
+  EXPECT_EQ(manager.info(fresh).deltas_folded, 0u);
+  TopKFlows empty = TopKStanding(manager, fresh);
+  EXPECT_TRUE(empty.items.empty());
+}
+
+// --- 4. Out-of-order delta arrival ---
+
+TEST(StandingQueryOrdering, ReorderedDeltasFoldDeterministically) {
+  Testbed tb(1, 4);
+  SubscriptionManager manager(&tb.controller);
+  uint64_t sub = SubscribeTopK(manager, tb.hosts, kTopK);
+  HostId host = tb.hosts[0];
+
+  auto delta_for = [&](uint64_t epoch, uint16_t port, uint64_t bytes) {
+    QueryDelta d;
+    d.subscription_id = sub;
+    d.host = host;
+    d.epoch = epoch;
+    d.payload.items = {{FiveTuple{1, 2, port, 80, kProtoTcp}, bytes}};
+    return d;
+  };
+
+  // Epochs arrive 2, 3, 1: the first two must be buffered (a gap), and
+  // folding must happen in epoch order once 1 lands.
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(2, 20, 200)));
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(3, 30, 300)));
+  manager.Flush();
+  EXPECT_EQ(manager.stats().deltas_reordered, 2u);
+  EXPECT_EQ(manager.stats().deltas_folded, 0u);
+  EXPECT_EQ(manager.info(sub).pending_gaps, 2u);
+  // A duplicate of a still-gapped epoch is a duplicate, not a reorder.
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(3, 30, 300)));
+  manager.Flush();
+  EXPECT_EQ(manager.stats().deltas_reordered, 2u);
+  EXPECT_EQ(manager.stats().deltas_orphaned, 1u);
+  // Materialization before the gap closes reflects no folded epoch.
+  TopKFlows before = TopKStanding(manager, sub);
+  EXPECT_TRUE(before.items.empty());
+
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(1, 10, 100)));
+  manager.Flush();
+  EXPECT_EQ(manager.stats().deltas_folded, 3u);
+  EXPECT_EQ(manager.info(sub).pending_gaps, 0u);
+
+  // A duplicate of an already-folded epoch is dropped, not re-applied.
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(2, 20, 200)));
+  manager.Flush();
+  EXPECT_EQ(manager.stats().deltas_orphaned, 2u);
+
+  // The folded state equals the in-order fold.
+  TopKFlows after = TopKStanding(manager, sub);
+  ASSERT_EQ(after.items.size(), 3u);
+  EXPECT_EQ(after.items[0].first, 300u);
+  EXPECT_EQ(after.items[1].first, 200u);
+  EXPECT_EQ(after.items[2].first, 100u);
+}
+
+TEST(StandingQueryOrdering, OrphanedDeltasAreCountedNotFolded) {
+  Testbed tb(1, 4);
+  SubscriptionManager manager(&tb.controller);
+  QueryDelta d;
+  d.subscription_id = 999;  // never subscribed
+  d.host = tb.hosts[0];
+  d.epoch = 1;
+  d.payload.items = {{FiveTuple{1, 2, 3, 80, kProtoTcp}, 42}};
+  ASSERT_TRUE(manager.SubmitDelta(std::move(d)));
+  manager.Flush();
+  EXPECT_EQ(manager.stats().deltas_orphaned, 1u);
+  EXPECT_EQ(manager.stats().deltas_folded, 0u);
+}
+
+// --- Periodic-driven epochs via the agent's own Tick ---
+
+TEST(StandingQueryPeriodic, AgentTickDrivesEpochs) {
+  Testbed tb(1, 4);
+  EdgeAgent& agent = *tb.agents[0];
+  SubscriptionManager manager(&tb.controller);
+  uint64_t sub =
+      SubscribeTopK(manager, tb.hosts, kTopK, TimeRange::All(), /*epoch_period=*/kNsPerSec);
+  EXPECT_EQ(agent.InstalledQueryCount(), 1u);
+
+  std::vector<TibRecord> records = MakeRecords(4000, 0x71C);
+  for (size_t i = 0; i < 2000; ++i) {
+    agent.tib().Insert(records[i]);
+  }
+  agent.Tick(2 * kNsPerSec);  // periodic epoch boundary fires
+  for (size_t i = 2000; i < records.size(); ++i) {
+    agent.tib().Insert(records[i]);
+  }
+  agent.Tick(4 * kNsPerSec);
+  manager.Flush();
+  EXPECT_EQ(manager.info(sub).deltas_folded, 2u);
+
+  auto [poll, stats] = tb.controller.Execute(tb.hosts, PollTopK());
+  EXPECT_EQ(manager.Materialize(sub), poll);
+
+  manager.Unsubscribe(sub);
+  EXPECT_EQ(agent.InstalledQueryCount(), 0u);  // periodic tick uninstalled too
+}
+
+}  // namespace
+}  // namespace pathdump
