@@ -7,7 +7,10 @@
 // ships/folds only the increment — O(delta).  This bench measures both
 // sides on the same fleet and checks, at every epoch boundary, that the
 // materialized standing result is byte-identical to a fresh poll
-// Execute (exit 1 on any mismatch).
+// Execute (exit 1 on any mismatch).  Covers all four standing kinds:
+// the per-flow pair (TopK, FlowSizeHistogram) in the main sections, the
+// per-record pair (FlowList, CountSummary) via the count identity check
+// per epoch plus a dedicated FlowList section at the end.
 //
 // Env knobs (reduced in CI quick-bench):
 //   PATHDUMP_STANDING_AGENTS   fleet size            (default 16)
@@ -69,12 +72,21 @@ int Main() {
   uint64_t topk_sub = SubscribeTopK(manager, tb->hosts, kTopK);
   uint64_t hist_sub =
       SubscribeFlowSizeDistribution(manager, tb->hosts, probe, TimeRange::All(), kBinWidth);
+  // The per-record kinds ride the same channel with RecordDelta payloads.
+  uint64_t list_sub = SubscribeFlowList(manager, tb->hosts, probe);
+  uint64_t count_sub = SubscribeCountSummary(manager, tb->hosts, probe);
 
   Controller::QueryFn poll_topk = [](EdgeAgent& agent) -> QueryResult {
     return agent.TopK(kTopK, TimeRange::All());
   };
   Controller::QueryFn poll_hist = [probe](EdgeAgent& agent) -> QueryResult {
     return agent.FlowSizeDistribution(probe, TimeRange::All(), kBinWidth);
+  };
+  Controller::QueryFn poll_list = [probe](EdgeAgent& agent) -> QueryResult {
+    return FlowList{agent.GetFlows(probe, TimeRange::All())};
+  };
+  Controller::QueryFn poll_count = [probe](EdgeAgent& agent) -> QueryResult {
+    return agent.CountOnLink(probe, TimeRange::All());
   };
 
   Rng rng(0x57D9);
@@ -102,12 +114,16 @@ int Main() {
     QueryResult standing_hist = manager.Materialize(hist_sub);
     m.mat_seconds = Seconds(t0);
 
+    QueryResult standing_count = manager.Materialize(count_sub);
+
     t0 = std::chrono::steady_clock::now();
     auto [topk_res, topk_stats] = tb->controller.Execute(tb->hosts, poll_topk);
     auto [hist_res, hist_stats] = tb->controller.Execute(tb->hosts, poll_hist);
+    auto [count_res, count_stats] = tb->controller.Execute(tb->hosts, poll_count);
     m.poll_seconds = Seconds(t0);
     m.poll_response_bytes = topk_stats.response_bytes + hist_stats.response_bytes;
-    m.identical = standing_topk == topk_res && standing_hist == hist_res;
+    m.identical =
+        standing_topk == topk_res && standing_hist == hist_res && standing_count == count_res;
     return m;
   };
   auto delta_bytes_this_epoch = [&]() {
@@ -164,6 +180,36 @@ int Main() {
     std::printf("%-14d %10.2f %10.2f %10.2f %12.1f %10s\n", next_entry, m.fold_seconds * 1e3,
                 m.mat_seconds * 1e3, m.poll_seconds * 1e3,
                 double(delta_bytes_this_epoch()) / 1e3, m.identical ? "yes" : "NO");
+  }
+
+  bench::Section("standing FlowList: per-record deltas vs poll as the TIB doubles");
+  // The per-record kinds ship the filtered records themselves (id, flow,
+  // path, counts), so the per-epoch delta tracks the *increment* while
+  // the getFlows poll re-scans and re-dedups the whole TIB.  Identity at
+  // every boundary gates the exit code like the per-flow kinds.
+  std::printf("%-14s %10s %10s %10s %12s %10s\n", "TIB/agent", "fold(ms)", "mat(ms)", "poll(ms)",
+              "delta(KB)", "identical");
+  uint64_t prev_list_bytes = manager.info(list_sub).delta_bytes;
+  for (int step = 0; step < 3; ++step) {
+    insert_per_agent(next_entry);  // double the TIB
+    auto t0 = std::chrono::steady_clock::now();
+    manager.TickEpoch();
+    manager.Flush();
+    double fold_s = Seconds(t0);
+    t0 = std::chrono::steady_clock::now();
+    QueryResult standing_list = manager.Materialize(list_sub);
+    double mat_s = Seconds(t0);
+    t0 = std::chrono::steady_clock::now();
+    auto [list_res, list_stats] = tb->controller.Execute(tb->hosts, poll_list);
+    double poll_s = Seconds(t0);
+    bool identical = standing_list == list_res;
+    all_identical = all_identical && identical;
+    uint64_t list_bytes = manager.info(list_sub).delta_bytes;
+    std::printf("%-14d %10.2f %10.2f %10.2f %12.1f %10s\n", next_entry, fold_s * 1e3, mat_s * 1e3,
+                poll_s * 1e3, double(list_bytes - prev_list_bytes) / 1e3,
+                identical ? "yes" : "NO");
+    prev_list_bytes = list_bytes;
+    delta_bytes_this_epoch();  // keep the per-flow accounting in step
   }
 
   bench::Section("channel + fold accounting");

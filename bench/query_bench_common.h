@@ -20,6 +20,7 @@
 #include "src/topology/fat_tree.h"
 #include "src/topology/link_labels.h"
 #include "src/topology/routing.h"
+#include "tests/test_util.h"
 
 namespace pathdump {
 namespace bench {
@@ -37,30 +38,10 @@ struct QueryTestbed {
 };
 
 // One synthetic TIB entry terminating at `host` (agent index `a` of the
-// tree order): random remote source, one of its ECMP paths, heavy-tailed
-// size.  Consumes a fixed number of rng draws so record streams are
-// reproducible wherever the same seed is used.
+// tree order) — the shared ECMP record fixture (tests/test_util.h),
+// bound to this testbed's topology/router.
 inline TibRecord MakeQueryRecord(const QueryTestbed& tb, size_t a, HostId host, int e, Rng& rng) {
-  const std::vector<HostId>& all_hosts = tb.topo.hosts();
-  HostId src = all_hosts[rng.UniformInt(uint32_t(all_hosts.size()))];
-  if (src == host) {
-    src = all_hosts[(a + 1) % all_hosts.size()];
-  }
-  std::vector<Path> paths = tb.router->EcmpPaths(src, host);
-  const Path& path = paths[rng.UniformInt(uint32_t(paths.size()))];
-
-  TibRecord rec;
-  rec.flow.src_ip = tb.topo.IpOfHost(src);
-  rec.flow.dst_ip = tb.topo.IpOfHost(host);
-  rec.flow.src_port = uint16_t(1024 + (e & 0xFFFF) % 60000);
-  rec.flow.dst_port = uint16_t(80 + (e >> 16));
-  rec.flow.protocol = kProtoTcp;
-  rec.path = CompactPath::FromPath(path);
-  rec.stime = SimTime(rng.UniformInt(3600)) * kNsPerSec;
-  rec.etime = rec.stime + SimTime(rng.UniformInt(5000)) * kNsPerMs;
-  rec.bytes = uint64_t(rng.Pareto(1000.0, 1.3));
-  rec.pkts = uint32_t(rec.bytes / 1460 + 1);
-  return rec;
+  return testutil::MakeEcmpRecord(tb.topo, *tb.router, a, host, e, rng);
 }
 
 // Builds the testbed.  entries_per_agent defaults to the paper's 240 K;

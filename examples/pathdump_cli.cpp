@@ -7,6 +7,8 @@
 //
 //   pathdump_cli topk [k]           top-k flows via the aggregation tree
 //   pathdump_cli flows <switch-id>  flows entering the given switch
+//   pathdump_cli flowlist <switch>  distinct (flow, path) pairs entering
+//                                   the switch, first-appearance order
 //   pathdump_cli paths <host-id>    paths of flows received by a host
 //   pathdump_cli matrix             ToR-to-ToR traffic matrix
 //   pathdump_cli hunt               inject a silent dropper and localize it
@@ -15,8 +17,9 @@
 // Options (before the command): --fat-tree <k>, --seed <n>,
 // --seconds <s>, --workers <n> (controller query fan-out threads;
 // results are byte-identical at any worker count), --standing (serve
-// topk from a standing subscription fed by epoch deltas during the run
-// instead of a full-scan poll; the result is byte-identical).
+// topk/flowlist from a standing subscription fed by epoch deltas during
+// the run instead of a full-scan poll; the result is byte-identical —
+// flowlist rides the per-record delta channel, topk the per-flow one).
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,7 +54,7 @@ struct Cli {
 void Usage() {
   std::printf(
       "usage: pathdump_cli [--fat-tree k] [--seed n] [--seconds s] [--workers n] [--standing] "
-      "<topk [k] | flows <switch> | paths <host> | matrix | hunt | rules>\n");
+      "<topk [k] | flows <switch> | flowlist <switch> | paths <host> | matrix | hunt | rules>\n");
 }
 
 }  // namespace
@@ -128,8 +131,24 @@ int main(int argc, char** argv) {
   SubscriptionManager subscriptions(&controller);
   size_t topk_k = cli.arg.empty() ? 10 : size_t(std::atoll(cli.arg.c_str()));
   uint64_t standing_sub = 0;
+  LinkId flowlist_link{kInvalidNode, kInvalidNode};
+  if (cli.command == "flowlist") {
+    if (cli.arg.empty()) {
+      Usage();
+      return 2;
+    }
+    SwitchId sw = SwitchId(std::atoll(cli.arg.c_str()));
+    if (sw >= topo.node_count() || topo.IsHost(sw)) {
+      std::printf("node %s is not a switch\n", cli.arg.c_str());
+      return 2;
+    }
+    flowlist_link = LinkId{kInvalidNode, sw};
+  }
   if (cli.standing && cli.command == "topk") {
     standing_sub = SubscribeTopK(subscriptions, controller.registered_hosts(), topk_k);
+  }
+  if (cli.standing && cli.command == "flowlist") {
+    standing_sub = SubscribeFlowList(subscriptions, controller.registered_hosts(), flowlist_link);
   }
 
   WebSearchFlowSizes sizes;
@@ -163,6 +182,33 @@ int main(int argc, char** argv) {
     std::printf("top-%zu flows:\n", topk_k);
     for (const auto& [bytes, flow] : top.items) {
       std::printf("  %10.3f MB  %s\n", double(bytes) / 1e6, FlowToString(flow).c_str());
+    }
+    return 0;
+  }
+  if (cli.command == "flowlist") {
+    FlowList list;
+    if (cli.standing) {
+      // Epoch boundary: agents ship the filtered records (with their TIB
+      // insertion ids); the materialized first-appearance list must equal
+      // a full-scan poll byte for byte.
+      subscriptions.TickEpoch();
+      list = FlowListStanding(subscriptions, standing_sub);
+      FlowList poll = FlowsOnLinkAcrossHosts(controller, controller.registered_hosts(),
+                                             flowlist_link, TimeRange::All());
+      SubscriptionInfo info = subscriptions.info(standing_sub);
+      std::printf("standing flowlist: %llu deltas folded, %.1f KB on the wire, "
+                  "poll-identical: %s\n",
+                  (unsigned long long)info.deltas_folded, double(info.delta_bytes) / 1e3,
+                  list == poll ? "yes" : "NO");
+    } else {
+      list = FlowsOnLinkAcrossHosts(controller, controller.registered_hosts(), flowlist_link,
+                                    TimeRange::All());
+    }
+    std::printf("%zu distinct (flow, path) pairs entering %s; first 10:\n", list.flows.size(),
+                topo.NameOf(flowlist_link.dst).c_str());
+    for (size_t j = 0; j < list.flows.size() && j < 10; ++j) {
+      std::printf("  %-36s %s\n", FlowToString(list.flows[j].id).c_str(),
+                  PathToString(list.flows[j].path).c_str());
     }
     return 0;
   }

@@ -39,6 +39,67 @@ TopKFlows TopKStanding(SubscriptionManager& manager, uint64_t subscription_id) {
   return TopKFlows{manager.info(subscription_id).spec.k, {}};
 }
 
+FlowList FlowsOnLinkAcrossHosts(Controller& controller, const std::vector<HostId>& hosts,
+                                LinkId link, TimeRange range, bool multi_level) {
+  Controller::QueryFn query = [link, range](EdgeAgent& agent) -> QueryResult {
+    return FlowList{agent.GetFlows(link, range)};
+  };
+  auto [result, stats] = multi_level ? controller.ExecuteMultiLevel(hosts, query)
+                                     : controller.Execute(hosts, query);
+  if (auto* f = std::get_if<FlowList>(&result)) {
+    return std::move(*f);
+  }
+  return FlowList{};
+}
+
+uint64_t SubscribeFlowList(SubscriptionManager& manager, const std::vector<HostId>& hosts,
+                           LinkId link, TimeRange range, SimTime epoch_period) {
+  StandingQuerySpec spec;
+  spec.kind = StandingQuerySpec::Kind::kFlowList;
+  spec.link = link;
+  spec.range = range;
+  return manager.Subscribe(hosts, spec, epoch_period);
+}
+
+FlowList FlowListStanding(SubscriptionManager& manager, uint64_t subscription_id) {
+  QueryResult result = manager.Materialize(subscription_id);
+  if (auto* f = std::get_if<FlowList>(&result)) {
+    return std::move(*f);
+  }
+  // No host has shipped anything yet (or the id is unknown).
+  return FlowList{};
+}
+
+CountSummary CountOnLinkAcrossHosts(Controller& controller, const std::vector<HostId>& hosts,
+                                    LinkId link, TimeRange range, bool multi_level) {
+  Controller::QueryFn query = [link, range](EdgeAgent& agent) -> QueryResult {
+    return agent.CountOnLink(link, range);
+  };
+  auto [result, stats] = multi_level ? controller.ExecuteMultiLevel(hosts, query)
+                                     : controller.Execute(hosts, query);
+  if (auto* c = std::get_if<CountSummary>(&result)) {
+    return *c;
+  }
+  return CountSummary{};
+}
+
+uint64_t SubscribeCountSummary(SubscriptionManager& manager, const std::vector<HostId>& hosts,
+                               LinkId link, TimeRange range, SimTime epoch_period) {
+  StandingQuerySpec spec;
+  spec.kind = StandingQuerySpec::Kind::kCountSummary;
+  spec.link = link;
+  spec.range = range;
+  return manager.Subscribe(hosts, spec, epoch_period);
+}
+
+CountSummary CountSummaryStanding(SubscriptionManager& manager, uint64_t subscription_id) {
+  QueryResult result = manager.Materialize(subscription_id);
+  if (auto* c = std::get_if<CountSummary>(&result)) {
+    return *c;
+  }
+  return CountSummary{};
+}
+
 std::map<std::pair<SwitchId, SwitchId>, uint64_t> TrafficMatrix(AgentFleet& fleet,
                                                                 TimeRange range) {
   std::map<std::pair<SwitchId, SwitchId>, uint64_t> matrix;

@@ -32,6 +32,38 @@ uint64_t SubscribeTopK(SubscriptionManager& manager, const std::vector<HostId>& 
 // The k (like every query parameter) is the subscription's own spec.
 TopKFlows TopKStanding(SubscriptionManager& manager, uint64_t subscription_id);
 
+// getFlows across hosts: distinct (flow, path) pairs traversing `link`,
+// per-host first-appearance order, hosts concatenated in host order —
+// the poll twin of a standing FlowList subscription.
+FlowList FlowsOnLinkAcrossHosts(Controller& controller, const std::vector<HostId>& hosts,
+                                LinkId link, TimeRange range, bool multi_level = false);
+
+// Standing variant: agents ship every filtered record (with its TIB
+// insertion id) per epoch; the controller replays the getFlows dedup
+// incrementally.  At any epoch boundary FlowListStanding is
+// byte-identical to FlowsOnLinkAcrossHosts over the same TIB contents.
+uint64_t SubscribeFlowList(SubscriptionManager& manager, const std::vector<HostId>& hosts,
+                           LinkId link, TimeRange range = TimeRange::All(),
+                           SimTime epoch_period = 0);
+
+// Materializes the standing flow list (flushes in-flight deltas first).
+FlowList FlowListStanding(SubscriptionManager& manager, uint64_t subscription_id);
+
+// getCount across hosts: byte/packet totals of records traversing
+// `link`, summed over hosts — the poll twin of a standing CountSummary
+// subscription.
+CountSummary CountOnLinkAcrossHosts(Controller& controller, const std::vector<HostId>& hosts,
+                                    LinkId link, TimeRange range, bool multi_level = false);
+
+// Standing variant of the link count; byte-identical to
+// CountOnLinkAcrossHosts at any epoch boundary.
+uint64_t SubscribeCountSummary(SubscriptionManager& manager, const std::vector<HostId>& hosts,
+                               LinkId link, TimeRange range = TimeRange::All(),
+                               SimTime epoch_period = 0);
+
+// Materializes the standing count (flushes in-flight deltas first).
+CountSummary CountSummaryStanding(SubscriptionManager& manager, uint64_t subscription_id);
+
 // Traffic matrix between ToR pairs: (src ToR, dst ToR) -> bytes, assembled
 // from every destination TIB (Table 2 "Traffic matrix").
 std::map<std::pair<SwitchId, SwitchId>, uint64_t> TrafficMatrix(AgentFleet& fleet,

@@ -1,0 +1,69 @@
+#include "src/common/record_delta.h"
+
+#include <algorithm>
+
+namespace pathdump {
+
+namespace {
+
+// Framing constants, matching src/edge/query.cc: 16-byte message header;
+// per item an 8-byte id, 13-byte packed 5-tuple, 8-byte byte count,
+// 4-byte packet count, and a length-prefixed path (4 bytes per switch).
+constexpr size_t kDeltaHeader = 16;
+constexpr size_t kPerItemFixed = 8 + 13 + 8 + 4;
+constexpr size_t kPerPathSwitch = 4;
+
+}  // namespace
+
+size_t RecordDelta::SerializedSize() const {
+  size_t s = kDeltaHeader;
+  for (const RecordDeltaItem& item : items) {
+    s += kPerItemFixed + 1 + item.path.size() * kPerPathSwitch;
+  }
+  return s;
+}
+
+RecordDelta RecordDelta::FromShardBuffers(std::vector<std::vector<RecordDeltaItem>>& buffers) {
+  RecordDelta out;
+  size_t total = 0;
+  for (const auto& b : buffers) {
+    total += b.size();
+  }
+  out.items.reserve(total);
+  std::vector<size_t> runs;  // start offset of each non-empty sorted run
+  for (auto& b : buffers) {
+    if (b.empty()) {
+      continue;
+    }
+    runs.push_back(out.items.size());
+    out.items.insert(out.items.end(), std::make_move_iterator(b.begin()),
+                     std::make_move_iterator(b.end()));
+    b.clear();
+  }
+  // Each per-shard buffer is already ascending by id (appended under its
+  // shard lock in insertion order), so canonicalizing is a k-way merge
+  // of k sorted runs — bottom-up pairwise inplace_merge, O(n log k) —
+  // not a full sort.  Ids are globally unique, so ascending id is a
+  // total order: the same delta bytes at any shard count.
+  const auto by_id = [](const RecordDeltaItem& a, const RecordDeltaItem& b) {
+    return a.id < b.id;
+  };
+  while (runs.size() > 1) {
+    std::vector<size_t> next;
+    for (size_t i = 0; i < runs.size(); i += 2) {
+      if (i + 1 == runs.size()) {
+        next.push_back(runs[i]);  // odd run out — carries to the next round
+        break;
+      }
+      const size_t end = (i + 2 < runs.size()) ? runs[i + 2] : out.items.size();
+      std::inplace_merge(out.items.begin() + std::ptrdiff_t(runs[i]),
+                         out.items.begin() + std::ptrdiff_t(runs[i + 1]),
+                         out.items.begin() + std::ptrdiff_t(end), by_id);
+      next.push_back(runs[i]);
+    }
+    runs = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace pathdump

@@ -6,60 +6,13 @@
 
 namespace pathdump {
 
-namespace {
-
-// True on the drain worker and on dispatch-pool threads while they are
-// running subscriber callbacks — lets Flush() detect reentrancy.
-thread_local bool tl_inside_pipeline = false;
-
-}  // namespace
-
-AlarmPipeline::AlarmPipeline(AlarmPipelineOptions options) : options_(options) {
+AlarmPipeline::AlarmPipeline(AlarmPipelineOptions options)
+    : options_(options),
+      channel_(MpscChannelOptions{options.queue_capacity, options.max_batch, options.overflow},
+               [this](std::vector<Alarm>& batch) { ProcessBatch(batch); }) {
   if (options_.dispatch_workers > 1) {
     dispatch_pool_ = std::make_unique<ThreadPool>(options_.dispatch_workers);
   }
-  drain_ = std::thread([this] { DrainLoop(); });
-}
-
-AlarmPipeline::~AlarmPipeline() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
-  drain_.join();  // DrainLoop empties the queue before exiting
-}
-
-bool AlarmPipeline::Submit(const Alarm& alarm) {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Once shutdown has begun the drain worker may already be gone; an
-  // enqueue now could sit in the queue forever.  Reject instead — the
-  // drain-everything guarantee covers alarms accepted before ~AlarmPipeline.
-  if (stop_) {
-    ++stats_.dropped;
-    return false;
-  }
-  if (queue_.size() >= options_.queue_capacity) {
-    if (options_.overflow == AlarmOverflowPolicy::kDropNewest) {
-      ++stats_.dropped;
-      return false;
-    }
-    ++stats_.blocked_enqueues;
-    space_cv_.wait(lock, [this] {
-      return queue_.size() < options_.queue_capacity || stop_;
-    });
-    if (stop_) {
-      ++stats_.dropped;
-      return false;
-    }
-  }
-  Alarm stamped = alarm;
-  stamped.seq = next_seq_++;
-  queue_.push_back(std::move(stamped));
-  ++stats_.submitted;
-  work_cv_.notify_one();
-  return true;
 }
 
 void AlarmPipeline::Subscribe(AlarmHandler handler) {
@@ -72,49 +25,17 @@ size_t AlarmPipeline::subscriber_count() const {
   return subscribers_.size();
 }
 
-void AlarmPipeline::Flush() {
-  if (tl_inside_pipeline) {
-    return;  // called from a subscriber: waiting would deadlock the drain
-  }
-  std::unique_lock<std::mutex> lock(mu_);
-  const uint64_t target = stats_.submitted;
-  flush_cv_.wait(lock, [this, target] { return processed_ >= target; });
-}
-
 AlarmPipelineStats AlarmPipeline::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
-
-void AlarmPipeline::DrainLoop() {
-  tl_inside_pipeline = true;
-  std::vector<Alarm> batch;
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) {
-        return;
-      }
-      continue;
-    }
-    const size_t take = std::min(queue_.size(), options_.max_batch);
-    batch.clear();
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    ++stats_.batches;
-    stats_.max_batch = std::max<uint64_t>(stats_.max_batch, take);
-    lock.unlock();
-    space_cv_.notify_all();
-
-    ProcessBatch(batch);
-
-    lock.lock();
-    processed_ += take;
-    flush_cv_.notify_all();
-  }
+  const MpscChannelStats ch = channel_.stats();
+  AlarmPipelineStats out;
+  out.submitted = ch.submitted;
+  out.dropped = ch.dropped;
+  out.blocked_enqueues = ch.blocked_enqueues;
+  out.batches = ch.batches;
+  out.max_batch = ch.max_batch;
+  out.suppressed = suppressed_.load(std::memory_order_acquire);
+  out.delivered = delivered_.load(std::memory_order_acquire);
+  return out;
 }
 
 void AlarmPipeline::ProcessBatch(std::vector<Alarm>& batch) {
@@ -149,11 +70,8 @@ void AlarmPipeline::ProcessBatch(std::vector<Alarm>& batch) {
       }
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.suppressed += suppressed;
-    stats_.delivered += survivors.size();
-  }
+  suppressed_.fetch_add(suppressed, std::memory_order_acq_rel);
+  delivered_.fetch_add(survivors.size(), std::memory_order_acq_rel);
   if (survivors.empty()) {
     return;
   }
@@ -175,8 +93,10 @@ void AlarmPipeline::ProcessBatch(std::vector<Alarm>& batch) {
   // only its own alarm — never other subscribers' deliveries or the drain
   // worker — and the behavior is identical at every worker count.
   auto dispatch_one = [&](size_t si) {
-    const bool prev = tl_inside_pipeline;
-    tl_inside_pipeline = true;
+    // Subscribers may call Flush() (e.g. via Controller::alarm_log);
+    // mark this thread as inside the channel so that returns immediately
+    // instead of deadlocking the drain.
+    MpscChannel<Alarm>::ReentrancyGuard inside(channel_);
     for (const Alarm& a : survivors) {
       try {
         subs[si](a);
@@ -188,7 +108,6 @@ void AlarmPipeline::ProcessBatch(std::vector<Alarm>& batch) {
              (unsigned long long)a.seq);
       }
     }
-    tl_inside_pipeline = prev;
   };
   if (dispatch_pool_ != nullptr && subs.size() > 1) {
     dispatch_pool_->ParallelFor(subs.size(), dispatch_one);

@@ -9,9 +9,12 @@
 //            (seq stamp)   (backpressure)        (batches,      └▶ subscribers
 //                                                 suppression)     (fan-out)
 //
-//  * Intake is a bounded MPSC queue.  Every accepted alarm is sequence-
-//    stamped (Alarm::seq) under the queue lock, so "arrival order" is a
-//    total order even with many producer threads.
+//  * Intake is a bounded MPSC queue — the shared channel template
+//    (src/common/mpsc_channel.h): sequence stamping under the queue
+//    lock, batched drain, kBlock/kDropNewest backpressure, reentrant
+//    Flush, drain-on-destruction.  This file owns only what is alarm-
+//    specific: the suppression window, the sequence-ordered log, and
+//    subscriber fan-out.
 //  * A dedicated drain worker pulls batches of up to `max_batch` alarms,
 //    applies the suppression window, appends survivors to the log, and
 //    dispatches them to subscribers.
@@ -40,27 +43,24 @@
 #ifndef PATHDUMP_SRC_CONTROLLER_ALARM_PIPELINE_H_
 #define PATHDUMP_SRC_CONTROLLER_ALARM_PIPELINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mpsc_channel.h"
 #include "src/common/thread_pool.h"
 #include "src/common/types.h"
 #include "src/edge/alarm.h"
 
 namespace pathdump {
 
-// What Submit() does when the intake queue is full.
-enum class AlarmOverflowPolicy : uint8_t {
-  kBlock,       // wait for the drain worker to make room (never drops)
-  kDropNewest,  // reject the incoming alarm, count it in stats().dropped
-};
+// What Submit() does when the intake queue is full.  (An alias of the
+// shared channel's policy, kept for source compatibility.)
+using AlarmOverflowPolicy = MpscOverflowPolicy;
 
 struct AlarmPipelineOptions {
   // Bound of the intake queue (alarms buffered between Submit and drain).
@@ -91,7 +91,7 @@ class AlarmPipeline {
   explicit AlarmPipeline(AlarmPipelineOptions options = {});
   // Drains everything already submitted (alarms are never lost on
   // shutdown under kBlock), then joins the drain worker.
-  ~AlarmPipeline();
+  ~AlarmPipeline() = default;
 
   AlarmPipeline(const AlarmPipeline&) = delete;
   AlarmPipeline& operator=(const AlarmPipeline&) = delete;
@@ -101,7 +101,7 @@ class AlarmPipeline {
   // policy) because shutdown already began; rejects count in
   // stats().dropped.  Every accepted alarm is delivered, even across
   // destruction.
-  bool Submit(const Alarm& alarm);
+  bool Submit(const Alarm& alarm) { return channel_.Submit(alarm); }
 
   // Registers a handler; it will see every subsequently delivered alarm,
   // in sequence order.  Thread-safe.
@@ -109,7 +109,7 @@ class AlarmPipeline {
 
   // Blocks until every alarm accepted so far has been logged and
   // dispatched to all subscribers.  No-op from inside the pipeline.
-  void Flush();
+  void Flush() { channel_.Flush(); }
 
   // The sequence-ordered intake log.  Stable only while the pipeline is
   // quiescent — call Flush() first (Controller::alarm_log does).
@@ -138,23 +138,17 @@ class AlarmPipeline {
     }
   };
 
-  void DrainLoop();
   // Suppression + log append + subscriber dispatch for one pulled batch.
+  // Runs on the channel's drain worker.
   void ProcessBatch(std::vector<Alarm>& batch);
 
   const AlarmPipelineOptions options_;
   // Non-null iff options_.dispatch_workers > 1.
   std::unique_ptr<ThreadPool> dispatch_pool_;
 
-  mutable std::mutex mu_;             // queue + counters
-  std::condition_variable work_cv_;   // queue non-empty / shutdown
-  std::condition_variable space_cv_;  // queue has room (kBlock producers)
-  std::condition_variable flush_cv_;  // progress for Flush() waiters
-  std::deque<Alarm> queue_;
-  bool stop_ = false;
-  uint64_t next_seq_ = 0;
-  uint64_t processed_ = 0;  // pulled out of the queue and fully handled
-  AlarmPipelineStats stats_;
+  // Pipeline-owned counters (the rest come from the channel).
+  std::atomic<uint64_t> suppressed_{0};
+  std::atomic<uint64_t> delivered_{0};
 
   // Drain-worker-only state (no lock needed).  last_admitted_ is pruned
   // of expired entries whenever it outgrows this bound, so suppression
@@ -169,7 +163,9 @@ class AlarmPipeline {
   mutable std::mutex subs_mu_;
   std::vector<AlarmHandler> subscribers_;
 
-  std::thread drain_;
+  // Declared last: its destructor drains the queue through ProcessBatch,
+  // which touches everything above.
+  MpscChannel<Alarm> channel_;
 };
 
 }  // namespace pathdump

@@ -8,23 +8,20 @@
 
 namespace pathdump {
 
-namespace {
-
-// True on the drain worker — lets Flush() detect reentrancy.
-thread_local bool tl_inside_subscription_drain = false;
-
-}  // namespace
-
 SubscriptionManager::SubscriptionManager(Controller* controller,
                                          SubscriptionManagerOptions options)
-    : controller_(controller), options_(options) {
-  drain_ = std::thread([this] { DrainLoop(); });
-}
+    : controller_(controller),
+      options_(options),
+      channel_(MpscChannelOptions{options.queue_capacity, options.max_batch,
+                                  MpscOverflowPolicy::kBlock},
+               [this](std::vector<QueryDelta>& batch) { FoldBatch(batch); }) {}
 
 SubscriptionManager::~SubscriptionManager() {
-  // Detach agent-side accumulators first so no new delta is produced,
-  // then drain what was already accepted.  Detaching happens outside
-  // state_mu_ (it takes agent registration + TIB shard locks).
+  // Detach agent-side accumulators first so no new delta is produced.
+  // Detaching happens outside state_mu_ (it takes agent registration +
+  // TIB shard locks).  The channel member is declared last, so its
+  // destructor then drains every delta already accepted before the
+  // registry below it goes away.
   std::vector<Subscription> detach;
   {
     std::lock_guard<std::mutex> state(state_mu_);
@@ -36,13 +33,6 @@ SubscriptionManager::~SubscriptionManager() {
   for (Subscription& sub : detach) {
     DetachAgents(sub);
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
-  drain_.join();  // DrainLoop empties the queue before exiting
 }
 
 uint64_t SubscriptionManager::Subscribe(const std::vector<HostId>& hosts,
@@ -154,74 +144,27 @@ void SubscriptionManager::TickEpoch() {
 }
 
 bool SubscriptionManager::SubmitDelta(QueryDelta delta) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (stop_) {
-    return false;
-  }
-  if (queue_.size() >= options_.queue_capacity) {
-    ++stats_.blocked_enqueues;
-    space_cv_.wait(lock, [this] { return queue_.size() < options_.queue_capacity || stop_; });
-    if (stop_) {
-      return false;
-    }
-  }
-  delta.seq = next_seq_++;
-  queue_.push_back(std::move(delta));
-  ++accepted_;
-  ++stats_.deltas_submitted;
-  work_cv_.notify_one();
-  return true;
+  return channel_.Submit(std::move(delta));
 }
 
-void SubscriptionManager::Flush() {
-  if (tl_inside_subscription_drain) {
-    return;
-  }
-  std::unique_lock<std::mutex> lock(mu_);
-  const uint64_t target = accepted_;
-  flush_cv_.wait(lock, [this, target] { return processed_ >= target; });
-}
-
-void SubscriptionManager::DrainLoop() {
-  tl_inside_subscription_drain = true;
-  std::vector<QueryDelta> batch;
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) {
-        return;
-      }
-      continue;
-    }
-    const size_t take = std::min(queue_.size(), options_.max_batch);
-    batch.clear();
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    ++stats_.batches;
-    lock.unlock();
-    space_cv_.notify_all();
-
-    FoldBatch(batch);
-
-    lock.lock();
-    processed_ += take;
-    flush_cv_.notify_all();
-  }
-}
+void SubscriptionManager::Flush() { channel_.Flush(); }
 
 void SubscriptionManager::FoldReady(Subscription& sub, HostState& hs,
-                                    const FlowBytesDelta& payload, size_t wire_bytes) {
-  payload.ApplyTo(hs.folded);
+                                    const PendingDelta& delta) {
+  uint64_t updates;
+  if (sub.spec.IsRecordKind()) {
+    hs.records.Fold(sub.spec, delta.records);
+    updates = delta.records.items.size();
+  } else {
+    delta.payload.ApplyTo(hs.folded);
+    updates = delta.payload.items.size();
+  }
   ++hs.next_epoch;
   ++sub.deltas_folded;
-  sub.delta_bytes += wire_bytes;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.deltas_folded;
-  stats_.flow_updates += payload.items.size();
-  stats_.delta_bytes += wire_bytes;
+  sub.delta_bytes += delta.wire_bytes;
+  deltas_folded_.fetch_add(1, std::memory_order_acq_rel);
+  flow_updates_.fetch_add(updates, std::memory_order_acq_rel);
+  delta_bytes_.fetch_add(delta.wire_bytes, std::memory_order_acq_rel);
 }
 
 void SubscriptionManager::FoldBatch(std::vector<QueryDelta>& batch) {
@@ -229,45 +172,44 @@ void SubscriptionManager::FoldBatch(std::vector<QueryDelta>& batch) {
   for (QueryDelta& d : batch) {
     auto it = subscriptions_.find(d.subscription_id);
     if (it == subscriptions_.end()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.deltas_orphaned;
+      deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
       continue;
     }
     Subscription& sub = it->second;
     auto hit = sub.host_state.find(d.host);
     if (hit == sub.host_state.end()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.deltas_orphaned;
+      deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
       continue;
     }
     HostState& hs = hit->second;
     if (d.epoch < hs.next_epoch) {
       // Duplicate (already folded) — fold-once means drop.
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.deltas_orphaned;
+      deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
       continue;
     }
+    const size_t wire_bytes = d.SerializedSize();
     if (d.epoch > hs.next_epoch) {
       // Gap: an earlier epoch is still in flight.  Buffer; folding out
       // of order would make intermediate materializations depend on
       // arrival order.  A duplicate of an already-buffered epoch is a
       // duplicate, not a reorder.
-      const size_t wire_bytes = d.SerializedSize();
       bool inserted =
-          hs.pending.emplace(d.epoch, PendingDelta{std::move(d.payload), wire_bytes}).second;
-      std::lock_guard<std::mutex> lock(mu_);
+          hs.pending
+              .emplace(d.epoch,
+                       PendingDelta{std::move(d.payload), std::move(d.records), wire_bytes})
+              .second;
       if (inserted) {
-        ++stats_.deltas_reordered;
+        deltas_reordered_.fetch_add(1, std::memory_order_acq_rel);
       } else {
-        ++stats_.deltas_orphaned;
+        deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
       }
       continue;
     }
-    FoldReady(sub, hs, d.payload, d.SerializedSize());
+    FoldReady(sub, hs, PendingDelta{std::move(d.payload), std::move(d.records), wire_bytes});
     // The arrival may have closed a gap — fold the now-contiguous run.
     for (auto pit = hs.pending.begin();
          pit != hs.pending.end() && pit->first == hs.next_epoch;) {
-      FoldReady(sub, hs, pit->second.payload, pit->second.wire_bytes);
+      FoldReady(sub, hs, pit->second);
       pit = hs.pending.erase(pit);
     }
   }
@@ -275,13 +217,14 @@ void SubscriptionManager::FoldBatch(std::vector<QueryDelta>& batch) {
 
 QueryResult SubscriptionManager::Materialize(uint64_t id) {
   Flush();
-  // Snapshot the folded maps under state_mu_, but materialize and merge
+  // Snapshot the folded state under state_mu_, but materialize and merge
   // outside it: the per-host sort/merge can take hundreds of ms at
   // large flow populations, and the drain worker needs state_mu_ to
   // keep folding (a stalled fold backs the bounded queue up into the
   // epoch tickers).
   StandingQuerySpec spec;
-  std::vector<FlowBytesMap> folded;  // in host (merge) order
+  std::vector<FlowBytesMap> folded;          // per-flow kinds, in host order
+  std::vector<RecordFoldState> rec_folded;   // record kinds, in host order
   {
     std::lock_guard<std::mutex> state(state_mu_);
     auto it = subscriptions_.find(id);
@@ -290,10 +233,20 @@ QueryResult SubscriptionManager::Materialize(uint64_t id) {
     }
     const Subscription& sub = it->second;
     spec = sub.spec;
-    folded.reserve(sub.hosts.size());
     for (HostId h : sub.hosts) {
       auto hit = sub.host_state.find(h);
-      if (hit != sub.host_state.end()) {
+      if (hit == sub.host_state.end()) {
+        continue;
+      }
+      if (spec.IsRecordKind()) {
+        // Copy only what materialization reads (items + count) — not
+        // the `seen` dedup index, which would roughly double the copy
+        // held under state_mu_.
+        RecordFoldState snap;
+        snap.flow_items = hit->second.records.flow_items;
+        snap.count = hit->second.records.count;
+        rec_folded.push_back(std::move(snap));
+      } else {
         folded.push_back(hit->second.folded);
       }
     }
@@ -301,16 +254,32 @@ QueryResult SubscriptionManager::Materialize(uint64_t id) {
   // The poll path's reduce, reproduced: per-host results merged
   // sequentially in host order (Controller::Execute phase 2).
   QueryResult merged;
-  for (const FlowBytesMap& per_flow : folded) {
-    QueryResult host_result = MaterializeStandingResult(spec, per_flow);
-    MergeQueryResult(merged, host_result);
+  if (spec.IsRecordKind()) {
+    for (const RecordFoldState& state : rec_folded) {
+      QueryResult host_result = MaterializeStandingRecords(spec, state);
+      MergeQueryResult(merged, host_result);
+    }
+  } else {
+    for (const FlowBytesMap& per_flow : folded) {
+      QueryResult host_result = MaterializeStandingResult(spec, per_flow);
+      MergeQueryResult(merged, host_result);
+    }
   }
   return merged;
 }
 
 SubscriptionManagerStats SubscriptionManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  const MpscChannelStats ch = channel_.stats();
+  SubscriptionManagerStats out;
+  out.deltas_submitted = ch.submitted;
+  out.blocked_enqueues = ch.blocked_enqueues;
+  out.batches = ch.batches;
+  out.deltas_folded = deltas_folded_.load(std::memory_order_acquire);
+  out.deltas_reordered = deltas_reordered_.load(std::memory_order_acquire);
+  out.deltas_orphaned = deltas_orphaned_.load(std::memory_order_acquire);
+  out.delta_bytes = delta_bytes_.load(std::memory_order_acquire);
+  out.flow_updates = flow_updates_.load(std::memory_order_acquire);
+  return out;
 }
 
 SubscriptionInfo SubscriptionManager::info(uint64_t id) const {

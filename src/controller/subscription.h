@@ -14,10 +14,12 @@
 //                Materialize(sub): per-host result ──▶ merge in host
 //                order — byte-identical to a fresh poll Execute
 //
-//  * Intake mirrors AlarmPipeline: a bounded MPSC queue, every accepted
-//    delta sequence-stamped (QueryDelta::seq) under the queue lock, a
-//    dedicated drain worker pulling batches, blocking backpressure (a
-//    delta is never dropped), and a reentrant-safe Flush.
+//  * Intake is the shared bounded MPSC channel template
+//    (src/common/mpsc_channel.h) — the same implementation AlarmPipeline
+//    drains: every accepted delta sequence-stamped (QueryDelta::seq)
+//    under the queue lock, a dedicated drain worker pulling batches,
+//    blocking backpressure (a delta is never dropped), and a
+//    reentrant-safe Flush.
 //  * Ordering: network arrival may reorder epochs.  The drain worker
 //    folds strictly in epoch order per (subscription, host), buffering
 //    gapped deltas until the missing epoch arrives — the materialized
@@ -36,17 +38,16 @@
 #ifndef PATHDUMP_SRC_CONTROLLER_SUBSCRIPTION_H_
 #define PATHDUMP_SRC_CONTROLLER_SUBSCRIPTION_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/flow_delta.h"
+#include "src/common/mpsc_channel.h"
 #include "src/common/types.h"
 #include "src/edge/query.h"
 #include "src/edge/standing_query.h"
@@ -137,12 +138,14 @@ class SubscriptionManager {
 
  private:
   struct PendingDelta {
-    FlowBytesDelta payload;
-    size_t wire_bytes = 0;  // the full QueryDelta's SerializedSize
+    FlowBytesDelta payload;  // per-flow kinds
+    RecordDelta records;     // record kinds
+    size_t wire_bytes = 0;   // the full QueryDelta's SerializedSize
   };
   struct HostState {
     uint64_t next_epoch = 1;  // next epoch to fold
-    FlowBytesMap folded;      // materialized per-flow state
+    FlowBytesMap folded;      // materialized per-flow state (per-flow kinds)
+    RecordFoldState records;  // materialized record state (record kinds)
     std::map<uint64_t, PendingDelta> pending;  // gapped arrivals by epoch
   };
   struct AgentAttachment {
@@ -159,11 +162,11 @@ class SubscriptionManager {
     uint64_t delta_bytes = 0;
   };
 
-  void DrainLoop();
+  // The channel's consumer: folds one pulled batch.  Runs on the
+  // channel's drain worker.
   void FoldBatch(std::vector<QueryDelta>& batch);
   // Applies one contiguous-epoch delta to `hs`; caller holds state_mu_.
-  void FoldReady(Subscription& sub, HostState& hs, const FlowBytesDelta& payload,
-                 size_t wire_bytes);
+  void FoldReady(Subscription& sub, HostState& hs, const PendingDelta& delta);
   // Uninstalls the periodic ticks and accumulators on every attached
   // agent; must be called WITHOUT state_mu_ held (takes agent locks).
   void DetachAgents(Subscription& sub);
@@ -171,27 +174,24 @@ class SubscriptionManager {
   Controller* const controller_;
   const SubscriptionManagerOptions options_;
 
-  // Queue lock (intake side) — mirrors AlarmPipeline.
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // queue non-empty / shutdown
-  std::condition_variable space_cv_;  // queue has room
-  std::condition_variable flush_cv_;  // progress for Flush() waiters
-  std::deque<QueryDelta> queue_;
-  bool stop_ = false;
-  uint64_t next_seq_ = 0;
-  uint64_t accepted_ = 0;
-  uint64_t processed_ = 0;
-  SubscriptionManagerStats stats_;
+  // Fold-side counters (intake-side ones come from the channel).
+  std::atomic<uint64_t> deltas_folded_{0};
+  std::atomic<uint64_t> deltas_reordered_{0};
+  std::atomic<uint64_t> deltas_orphaned_{0};
+  std::atomic<uint64_t> delta_bytes_{0};
+  std::atomic<uint64_t> flow_updates_{0};
 
-  // Subscription registry + materialized state.  Ordered after mu_ is
-  // never needed: the drain worker releases the queue lock before
-  // folding, and registry operations touch the queue lock only via
-  // Flush (never while holding state_mu_).
+  // Subscription registry + materialized state.  The channel's drain
+  // worker releases the queue lock before folding, and registry
+  // operations touch the channel only via Flush (never while holding
+  // state_mu_), so no ordering between the two ever forms.
   mutable std::mutex state_mu_;
   uint64_t next_subscription_id_ = 1;
   std::unordered_map<uint64_t, Subscription> subscriptions_;
 
-  std::thread drain_;
+  // Declared last: its destructor drains the queue through FoldBatch,
+  // which touches everything above.
+  MpscChannel<QueryDelta> channel_;
 };
 
 }  // namespace pathdump

@@ -164,6 +164,12 @@ class EdgeAgent {
                                          int64_t bin_width = 10000) const;
   // Top-k flows by bytes within `range`.
   TopKFlows TopK(size_t k, const TimeRange& range) const;
+  // Byte/packet totals over records whose path matches `link` within
+  // `range` — the per-host poll twin of a standing CountSummary
+  // subscription (Tib::CountOnLink; shard-parallel, deterministic).
+  CountSummary CountOnLink(const LinkId& link, const TimeRange& range) const {
+    return tib_.CountOnLink(link, range);
+  }
 
   // --- Wiring ---
 

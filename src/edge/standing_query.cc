@@ -1,8 +1,20 @@
 #include "src/edge/standing_query.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace pathdump {
+
+namespace {
+
+// The shared dedup key of Tib::FlowsOnLink — the one CompactPath::HashKey
+// definition, applied to the decoded path (lossless: delta paths come
+// from CompactPath::ToPath, so they round-trip within kMaxSwitches).
+uint64_t FlowPathHashKey(const FiveTuple& flow, const Path& path) {
+  return CompactPath::FromPath(path).HashKey(FiveTupleHash{}(flow));
+}
+
+}  // namespace
 
 QueryResult MaterializeStandingResult(const StandingQuerySpec& spec,
                                       const FlowBytesMap& per_flow) {
@@ -26,31 +38,99 @@ QueryResult MaterializeStandingResult(const StandingQuerySpec& spec,
   return h;
 }
 
+void RecordFoldState::Fold(const StandingQuerySpec& spec, const RecordDelta& delta) {
+  if (spec.kind == StandingQuerySpec::Kind::kCountSummary) {
+    // Every record is shipped exactly once (it lands in exactly one
+    // epoch snapshot), so folding is a plain commutative sum.
+    for (const RecordDeltaItem& item : delta.items) {
+      count.bytes += item.bytes;
+      count.pkts += item.pkts;
+    }
+    return;
+  }
+  // kFlowList: first-occurrence dedup of (flow, path), keeping the
+  // smallest insertion id — Tib::FlowsOnLink replayed incrementally.
+  for (const RecordDeltaItem& item : delta.items) {
+    uint64_t key = FlowPathHashKey(item.flow, item.path);
+    std::vector<size_t>& bucket = seen[key];
+    bool dup = false;
+    for (size_t idx : bucket) {
+      RecordDeltaItem& existing = flow_items[idx];
+      if (existing.flow == item.flow && existing.path == item.path) {
+        existing.id = std::min(existing.id, item.id);
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(flow_items.size());
+      flow_items.push_back(item);
+    }
+  }
+}
+
+QueryResult MaterializeStandingRecords(const StandingQuerySpec& spec,
+                                       const RecordFoldState& state) {
+  if (spec.kind == StandingQuerySpec::Kind::kCountSummary) {
+    return state.count;
+  }
+  // First-appearance order across the whole TIB = ascending first id —
+  // the exact ordering Tib::FlowsOnLink produces.
+  std::vector<const RecordDeltaItem*> ordered;
+  ordered.reserve(state.flow_items.size());
+  for (const RecordDeltaItem& item : state.flow_items) {
+    ordered.push_back(&item);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const RecordDeltaItem* a, const RecordDeltaItem* b) { return a->id < b->id; });
+  FlowList out;
+  out.flows.reserve(ordered.size());
+  for (const RecordDeltaItem* item : ordered) {
+    out.flows.push_back(Flow{item->flow, item->path});
+  }
+  return out;
+}
+
 StandingQueryAccumulator::StandingQueryAccumulator(uint64_t subscription_id, HostId host,
                                                    const StandingQuerySpec& spec, Tib* tib)
     : subscription_id_(subscription_id),
       host_(host),
       spec_(spec),
       match_all_links_(spec.link.src == kInvalidNode && spec.link.dst == kInvalidNode),
-      tib_(tib),
-      partial_(tib->shard_count()) {
-  hook_id_ = tib_->AddInsertHook(
-      [this](size_t shard_index, const TibRecord& rec) { OnInsert(shard_index, rec); });
+      tib_(tib) {
+  if (spec_.IsRecordKind()) {
+    record_partial_.resize(tib->shard_count());
+  } else {
+    partial_.resize(tib->shard_count());
+  }
+  hook_id_ = tib_->AddInsertHook([this](size_t shard_index, uint64_t record_id,
+                                        const TibRecord& rec) {
+    OnInsert(shard_index, record_id, rec);
+  });
 }
 
 StandingQueryAccumulator::~StandingQueryAccumulator() {
   // Synchronizes with every in-flight Insert (removal takes all shard
-  // locks), so after this no OnInsert call can touch partial_.
+  // locks), so after this no OnInsert call can touch the partials.
   tib_->RemoveInsertHook(hook_id_);
 }
 
-void StandingQueryAccumulator::OnInsert(size_t shard_index, const TibRecord& rec) {
-  // Same record filter as Tib::AggregateFlowBytes — including creating
-  // the key for a zero-byte record (the poll path does too).
+void StandingQueryAccumulator::OnInsert(size_t shard_index, uint64_t record_id,
+                                        const TibRecord& rec) {
+  // Same record filter as the poll twins (Tib::AggregateFlowBytes /
+  // FlowsOnLink / CountOnLink) — including creating the key for a
+  // zero-byte record (the poll path does too).
   if (!rec.Overlaps(spec_.range)) {
     return;
   }
   if (!match_all_links_ && !rec.path.MatchesLinkQuery(spec_.link)) {
+    return;
+  }
+  if (spec_.IsRecordKind()) {
+    // The path is buffered in its stored compact form — no decode and no
+    // per-path allocation while the exclusive shard lock is held.
+    record_partial_[shard_index].push_back(
+        CompactRecordEntry{record_id, rec.flow, rec.path, rec.bytes, rec.pkts});
     return;
   }
   partial_[shard_index][rec.flow] += rec.bytes;
@@ -58,17 +138,34 @@ void StandingQueryAccumulator::OnInsert(size_t shard_index, const TibRecord& rec
 
 std::optional<QueryDelta> StandingQueryAccumulator::TakeDelta() {
   std::lock_guard<std::mutex> tick(tick_mu_);
-  std::vector<FlowBytesMap> snapshot(partial_.size());
-  tib_->ForEachShardExclusive([&](size_t si) { snapshot[si].swap(partial_[si]); });
-  FlowBytesDelta payload = FlowBytesDelta::FromShardMaps(snapshot);
-  if (payload.empty()) {
-    return std::nullopt;
-  }
   QueryDelta delta;
+  if (spec_.IsRecordKind()) {
+    std::vector<std::vector<CompactRecordEntry>> snapshot(record_partial_.size());
+    tib_->ForEachShardExclusive([&](size_t si) { snapshot[si].swap(record_partial_[si]); });
+    // Decode paths here, on the ticking thread with no lock held —
+    // once per shipped record, never inside Insert.
+    std::vector<std::vector<RecordDeltaItem>> decoded(snapshot.size());
+    for (size_t si = 0; si < snapshot.size(); ++si) {
+      decoded[si].reserve(snapshot[si].size());
+      for (const CompactRecordEntry& e : snapshot[si]) {
+        decoded[si].push_back(RecordDeltaItem{e.id, e.flow, e.path.ToPath(), e.bytes, e.pkts});
+      }
+    }
+    delta.records = RecordDelta::FromShardBuffers(decoded);
+    if (delta.records.empty()) {
+      return std::nullopt;
+    }
+  } else {
+    std::vector<FlowBytesMap> snapshot(partial_.size());
+    tib_->ForEachShardExclusive([&](size_t si) { snapshot[si].swap(partial_[si]); });
+    delta.payload = FlowBytesDelta::FromShardMaps(snapshot);
+    if (delta.payload.empty()) {
+      return std::nullopt;
+    }
+  }
   delta.subscription_id = subscription_id_;
   delta.host = host_;
   delta.epoch = next_epoch_++;
-  delta.payload = std::move(payload);
   return delta;
 }
 

@@ -7,17 +7,27 @@
 // insert time and, on an epoch tick, ships only what changed.
 //
 //   Tib::Insert ──(insert hook, under the shard lock)──▶ per-shard
-//   FlowBytesMap partial ──(epoch tick: swap + reset, one shard lock at
-//   a time)──▶ deterministic ordered reduce (key-disjoint concat, sort
-//   by flow) ──▶ epoch-stamped QueryDelta ──▶ controller subscription
-//   channel (src/controller/subscription.h).
+//   partial ──(epoch tick: swap + reset, one shard lock at a time)──▶
+//   deterministic ordered reduce ──▶ epoch-stamped QueryDelta ──▶
+//   controller subscription channel (src/controller/subscription.h).
 //
-// Both canned aggregates reduce to per-flow byte totals, so the delta
-// payload is one shape (FlowBytesDelta) and materialization is a pure
-// function of the accumulated map: MaterializeStandingResult reproduces
-// EdgeAgent::TopK / FlowSizeDistribution byte for byte.  Determinism
-// contract: at any epoch boundary, folding every delta shipped so far
-// equals a fresh AggregateFlowBytes over the same records — at any
+// Two delta shapes serve the four standing kinds:
+//  * Per-flow sums (FlowBytesDelta, src/common/flow_delta.h): TopK and
+//    FlowSizeHistogram both reduce to per-flow byte totals, so their
+//    per-shard partial is a FlowBytesMap and materialization is a pure
+//    function of the accumulated map — MaterializeStandingResult
+//    reproduces EdgeAgent::TopK / FlowSizeDistribution byte for byte.
+//  * Per-record lists (RecordDelta, src/common/record_delta.h): FlowList
+//    and CountSummary need the records themselves, so their per-shard
+//    partial is an append buffer of (id, flow, path, bytes, pkts) items;
+//    the epoch tick swaps the buffers and canonicalizes by ascending
+//    insertion id.  The controller folds them through RecordFoldState
+//    and MaterializeStandingRecords reproduces FlowList{GetFlows} /
+//    Tib::CountOnLink byte for byte — the id-ordered first-appearance
+//    dedup of Tib::FlowsOnLink, replayed incrementally.
+//
+// Determinism contract: at any epoch boundary, folding every delta
+// shipped so far equals a fresh poll over the same records — at any
 // shard count and any scan-worker count (tests/standing_query_test.cc).
 //
 // Locking: partial updates ride the shard lock Tib::Insert already
@@ -32,9 +42,11 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/flow_delta.h"
+#include "src/common/record_delta.h"
 #include "src/common/types.h"
 #include "src/edge/query.h"
 #include "src/edge/tib.h"
@@ -45,7 +57,12 @@ namespace pathdump {
 // of the subscription; the controller materializes per host and merges
 // in host order — exactly the poll path's shape.
 struct StandingQuerySpec {
-  enum class Kind : uint8_t { kTopK = 0, kFlowSizeHistogram = 1 };
+  enum class Kind : uint8_t {
+    kTopK = 0,               // per-flow sums -> TopKFlows
+    kFlowSizeHistogram = 1,  // per-flow sums -> FlowSizeHistogram
+    kFlowList = 2,           // per-record   -> FlowList (getFlows)
+    kCountSummary = 3,       // per-record   -> CountSummary (getCount)
+  };
 
   Kind kind = Kind::kTopK;
   // kTopK: per-host truncation bound (the poll path's k).
@@ -58,6 +75,11 @@ struct StandingQuerySpec {
   // ... and a time range the record must overlap.  Records are filtered
   // once, at insert; a standing range is normally open-ended.
   TimeRange range = TimeRange::All();
+
+  // True for the kinds whose deltas carry records, not per-flow sums.
+  bool IsRecordKind() const {
+    return kind == Kind::kFlowList || kind == Kind::kCountSummary;
+  }
 
   friend bool operator==(const StandingQuerySpec&, const StandingQuerySpec&) = default;
 };
@@ -75,23 +97,56 @@ struct QueryDelta {
   // enqueue (0 until then) — arrival order, which may disagree with
   // epoch order; the manager folds in epoch order regardless.
   uint64_t seq = 0;
+  // Exactly one of these is populated, by the subscription's kind:
+  // per-flow sums for kTopK/kFlowSizeHistogram, records for the rest.
   FlowBytesDelta payload;
+  RecordDelta records;
 
-  // Bytes on the wire: the payload plus the subscription/host/epoch
-  // framing (8 + 4 + 8, padded to 24 like the fixed fields elsewhere).
-  size_t SerializedSize() const { return 24 + payload.SerializedSize(); }
+  // Bytes on the wire: the populated payload plus the subscription/host/
+  // epoch framing (8 + 4 + 8, padded to 24 like fixed fields elsewhere).
+  size_t SerializedSize() const {
+    return 24 + (records.empty() ? payload.SerializedSize() : records.SerializedSize());
+  }
 
   friend bool operator==(const QueryDelta&, const QueryDelta&) = default;
 };
 
 // Materializes the standing result for one host from its accumulated
-// per-flow byte totals — byte-identical to what the poll path computes
-// from Tib::AggregateFlowBytes (EdgeAgent::TopK / FlowSizeDistribution).
+// per-flow byte totals (kTopK / kFlowSizeHistogram) — byte-identical to
+// what the poll path computes from Tib::AggregateFlowBytes
+// (EdgeAgent::TopK / FlowSizeDistribution).
 QueryResult MaterializeStandingResult(const StandingQuerySpec& spec, const FlowBytesMap& per_flow);
 
-// The per-agent accumulator: one FlowBytesMap partial per TIB shard,
-// updated by a Tib insert hook under that shard's lock, drained by
-// TakeDelta on epoch ticks.  Construction installs the hook;
+// Controller-side fold state for the per-record kinds: the incremental
+// twin of Tib::FlowsOnLink's dedup (kFlowList) and Tib::CountOnLink's
+// sums (kCountSummary).  Fold() applies one epoch's RecordDelta; items
+// arrive id-sorted within a delta and deltas fold in epoch order, so the
+// first occurrence of a (flow, path) pair carries its minimum id (a
+// pair's duplicates always share a TIB shard, and per-shard ids ascend
+// across epochs) — Fold still keeps the minimum defensively.
+struct RecordFoldState {
+  // Distinct (flow, path) items, each holding the smallest id seen.
+  // Append-ordered; materialization sorts by id.
+  std::vector<RecordDeltaItem> flow_items;
+  // Dedup index: path-hash-seeded-by-flow -> indices into flow_items.
+  // The hash only buckets; equality is exact, so a 64-bit collision
+  // cannot change the answer (mirrors Tib::FlowsOnLink).
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  CountSummary count;
+
+  void Fold(const StandingQuerySpec& spec, const RecordDelta& delta);
+};
+
+// Materializes the standing result for one host from folded records
+// (kFlowList / kCountSummary) — byte-identical to what the poll path
+// computes (FlowList{EdgeAgent::GetFlows} / EdgeAgent::CountOnLink).
+QueryResult MaterializeStandingRecords(const StandingQuerySpec& spec,
+                                       const RecordFoldState& state);
+
+// The per-agent accumulator: one partial per TIB shard (a FlowBytesMap
+// for the per-flow kinds, an append buffer of RecordDeltaItems for the
+// record kinds), updated by a Tib insert hook under that shard's lock,
+// drained by TakeDelta on epoch ticks.  Construction installs the hook;
 // destruction removes it (after which no update is running — the Tib
 // guarantees removal synchronizes with every in-flight Insert).
 class StandingQueryAccumulator {
@@ -115,7 +170,7 @@ class StandingQueryAccumulator {
 
  private:
   // Runs under the owning shard's lock, inside Tib::Insert.
-  void OnInsert(size_t shard_index, const TibRecord& rec);
+  void OnInsert(size_t shard_index, uint64_t record_id, const TibRecord& rec);
 
   const uint64_t subscription_id_;
   const HostId host_;
@@ -123,9 +178,23 @@ class StandingQueryAccumulator {
   const bool match_all_links_;
   Tib* const tib_;
   int hook_id_ = -1;
-  // partial_[s] is guarded by TIB shard s's lock (writes from OnInsert
-  // and swaps from TakeDelta both hold it).
+  // Per-shard buffer entry for the record kinds: the path stays in its
+  // stored CompactPath form so the insert hook does no decoding (and no
+  // per-path allocation) under the shard lock; TakeDelta decodes once
+  // per shipped record, outside the insert path.
+  struct CompactRecordEntry {
+    uint64_t id;
+    FiveTuple flow;
+    CompactPath path;
+    uint64_t bytes;
+    uint32_t pkts;
+  };
+
+  // partial_[s] / record_partial_[s] are guarded by TIB shard s's lock
+  // (writes from OnInsert and swaps from TakeDelta both hold it).  Only
+  // the shape matching spec_.kind is ever touched.
   std::vector<FlowBytesMap> partial_;
+  std::vector<std::vector<CompactRecordEntry>> record_partial_;
   // Serializes concurrent epoch ticks; ordered before shard locks.
   std::mutex tick_mu_;
   uint64_t next_epoch_ = 1;  // guarded by tick_mu_

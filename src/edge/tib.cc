@@ -188,8 +188,8 @@ void Tib::Insert(const TibRecord& rec) {
   // Standing-query accumulators ride the shard lock already held here:
   // the hook table is only ever swapped under all shard locks, so this
   // read is race-free, and per-shard partials need no lock of their own.
-  for (const auto& [id, hook] : insert_hooks_) {
-    hook(si, rec);
+  for (const auto& [hook_id, hook] : insert_hooks_) {
+    hook(si, id, rec);
   }
 }
 
@@ -351,6 +351,24 @@ FlowBytesMap Tib::AggregateFlowBytes(const LinkId& link, const TimeRange& range)
     for (const auto& [flow, bytes] : m) {
       out.emplace(flow, bytes);
     }
+  }
+  return out;
+}
+
+CountSummary Tib::CountOnLink(const LinkId& link, const TimeRange& range) const {
+  const bool match_all = link.src == kInvalidNode && link.dst == kInvalidNode;
+  auto partial = CollectShardPartials<CountSummary>([&](CountSummary& c, const Shard& s) {
+    for (const TibRecord& rec : s.records) {
+      if (rec.Overlaps(range) && (match_all || rec.path.MatchesLinkQuery(link))) {
+        c.bytes += rec.bytes;
+        c.pkts += rec.pkts;
+      }
+    }
+  });
+  CountSummary out;
+  for (const CountSummary& c : partial) {
+    out.bytes += c.bytes;
+    out.pkts += c.pkts;
   }
   return out;
 }

@@ -43,6 +43,7 @@
 
 #include "src/common/flow_delta.h"
 #include "src/common/types.h"
+#include "src/edge/query.h"
 
 namespace pathdump {
 
@@ -175,6 +176,13 @@ class Tib {
   // deterministic at any shard/worker count.
   FlowBytesMap AggregateFlowBytes(const LinkId& link, const TimeRange& range) const;
 
+  // Byte/packet totals over records overlapping `range` whose path
+  // matches `link` ((<*, *>) counts every record) — the per-host getCount
+  // aggregate behind standing CountSummary subscriptions.  Shard-parallel;
+  // commutative integer sums, so totals are deterministic at any
+  // shard/worker count.
+  CountSummary CountOnLink(const LinkId& link, const TimeRange& range) const;
+
   // Distinct (flow, path) pairs on a link (the getFlows scan), in order of
   // first appearance.  Shard-parallel with an ordered reduce by first id.
   std::vector<Flow> FlowsOnLink(const LinkId& link, const TimeRange& range) const;
@@ -189,9 +197,11 @@ class Tib {
   // lock, after the record is stored.  That placement is the whole point:
   // a per-shard incremental accumulator updated here needs no lock of its
   // own — the shard lock that already serializes inserts to the shard
-  // also serializes updates to that shard's partial.  Hooks must be cheap
-  // and must not call back into this Tib (the shard lock is held) nor
-  // take any lock ordered before shard locks.
+  // also serializes updates to that shard's partial.  The hook receives
+  // the record's global insertion id (the determinism anchor per-record
+  // standing deltas ship — see src/common/record_delta.h).  Hooks must be
+  // cheap and must not call back into this Tib (the shard lock is held)
+  // nor take any lock ordered before shard locks.
   //
   // Registration swaps the hook table while holding EVERY shard lock
   // exclusively, so (a) Insert reads the table under its shard lock with
@@ -199,7 +209,8 @@ class Tib {
   // invocation of the removed hook is running or will run — the
   // unsubscribe-mid-epoch guarantee.  Bulk mutations (LoadFrom, Clear)
   // bypass hooks; attach standing state after loading, not before.
-  using InsertHook = std::function<void(size_t shard_index, const TibRecord& rec)>;
+  using InsertHook =
+      std::function<void(size_t shard_index, uint64_t record_id, const TibRecord& rec)>;
   int AddInsertHook(InsertHook hook);
   void RemoveInsertHook(int id);
   size_t insert_hook_count() const;

@@ -125,6 +125,44 @@ TEST(SerializationConsistency, QueryDeltaFramingAndMaterialization) {
   EXPECT_EQ(SerializedBytes(h), 16u + 8u + 1u * 12u);
 }
 
+TEST(SerializationConsistency, RecordDeltaFramingFoldAndMaterialization) {
+  // Per-record framing: 16 header + (8 id + 13 tuple + 8 bytes + 4 pkts
+  // + 1 + 4*path_len)/item.
+  RecordDelta rd;
+  rd.items.push_back(RecordDeltaItem{5, FiveTuple{1, 2, 10, 80, kProtoTcp}, {1, 2}, 500, 3});
+  rd.items.push_back(RecordDeltaItem{9, FiveTuple{1, 2, 20, 80, kProtoTcp}, {1, 2, 3}, 900, 4});
+  EXPECT_EQ(rd.SerializedSize(), 16u + (33u + 1u + 8u) + (33u + 1u + 12u));
+
+  // A QueryDelta carries the record payload's size under the same 24-byte
+  // framing as the per-flow shape.
+  QueryDelta d;
+  d.records = rd;
+  EXPECT_EQ(d.SerializedSize(), 24u + rd.SerializedSize());
+
+  // Folding dedups (flow, path) by minimum id and materializes in
+  // first-appearance (ascending id) order; CountSummary sums every item.
+  StandingQuerySpec list_spec;
+  list_spec.kind = StandingQuerySpec::Kind::kFlowList;
+  RecordFoldState state;
+  state.Fold(list_spec, rd);
+  RecordDelta dup;  // same (flow, path) as item 1 but a later id
+  dup.items.push_back(RecordDeltaItem{12, FiveTuple{1, 2, 10, 80, kProtoTcp}, {1, 2}, 100, 1});
+  state.Fold(list_spec, dup);
+  QueryResult list = MaterializeStandingRecords(list_spec, state);
+  const auto& fl = std::get<FlowList>(list);
+  ASSERT_EQ(fl.flows.size(), 2u);
+  EXPECT_EQ(fl.flows[0].id.src_port, 10);  // id 5 before id 9
+  EXPECT_EQ(fl.flows[1].id.src_port, 20);
+
+  StandingQuerySpec count_spec;
+  count_spec.kind = StandingQuerySpec::Kind::kCountSummary;
+  RecordFoldState cstate;
+  cstate.Fold(count_spec, rd);
+  cstate.Fold(count_spec, dup);
+  QueryResult count = MaterializeStandingRecords(count_spec, cstate);
+  EXPECT_EQ(std::get<CountSummary>(count), (CountSummary{1500, 8}));
+}
+
 TEST(SerializationConsistency, MergedResultSizesTrackContent) {
   // Audit of the existing result types: after a merge, SerializedBytes
   // must equal the golden framing recomputed from the merged content.

@@ -11,6 +11,9 @@
 //     discards late deltas without corrupting other subscriptions.
 //  4. Ordering — deltas arriving out of epoch order (simulated network
 //     reordering) still fold to a deterministic materialized state.
+//  5. Property — randomized arrival interleavings (out-of-order,
+//     duplicate, orphan, gapped) across all four standing kinds fold to
+//     poll identity; the failing seed is logged on mismatch.
 
 #include <gtest/gtest.h>
 
@@ -28,34 +31,15 @@
 #include "src/edge/standing_query.h"
 #include "src/topology/fat_tree.h"
 #include "src/topology/link_labels.h"
+#include "tests/test_util.h"
 
 namespace pathdump {
 namespace {
 
+// The shared synthetic fixture (tests/test_util.h) at this file's
+// historical distribution (2048-address IP space).
 std::vector<TibRecord> MakeRecords(int n, uint32_t seed) {
-  Rng rng(seed);
-  std::vector<TibRecord> out;
-  out.reserve(size_t(n));
-  for (int i = 0; i < n; ++i) {
-    TibRecord rec;
-    rec.flow.src_ip = kHostIpBase | rng.UniformInt(2048);
-    rec.flow.dst_ip = kHostIpBase | rng.UniformInt(2048);
-    rec.flow.src_port = uint16_t(1024 + rng.UniformInt(20000));
-    rec.flow.dst_port = uint16_t(80 + rng.UniformInt(8));
-    rec.flow.protocol = kProtoTcp;
-    Path p;
-    int len = 3 + int(rng.UniformInt(3));
-    for (int j = 0; j < len; ++j) {
-      p.push_back(SwitchId(rng.UniformInt(24)));
-    }
-    rec.path = CompactPath::FromPath(p);
-    rec.stime = SimTime(rng.UniformInt(3600)) * kNsPerSec;
-    rec.etime = rec.stime + SimTime(rng.UniformInt(5000)) * kNsPerMs;
-    rec.bytes = 100 + rng.UniformInt(1000000);
-    rec.pkts = uint32_t(rec.bytes / 1460 + 1);
-    out.push_back(rec);
-  }
-  return out;
+  return testutil::MakeSyntheticRecords(n, seed, {.ip_space = 2048, .switch_space = 24});
 }
 
 constexpr size_t kTopK = 500;
@@ -70,6 +54,16 @@ Controller::QueryFn PollHistogram() {
   return [](EdgeAgent& a) -> QueryResult {
     return a.FlowSizeDistribution(kProbeLink, TimeRange::All(), kBinWidth);
   };
+}
+
+Controller::QueryFn PollFlowList() {
+  return [](EdgeAgent& a) -> QueryResult {
+    return FlowList{a.GetFlows(kProbeLink, TimeRange::All())};
+  };
+}
+
+Controller::QueryFn PollCount() {
+  return [](EdgeAgent& a) -> QueryResult { return a.CountOnLink(kProbeLink, TimeRange::All()); };
 }
 
 // A small fleet sharing one topology/codec, owned per test.
@@ -111,6 +105,8 @@ TEST(StandingQueryDeterminism, MatchesPollAcrossShardWorkerMatrix) {
     uint64_t topk_sub = SubscribeTopK(manager, tb.hosts, kTopK);
     uint64_t hist_sub =
         SubscribeFlowSizeDistribution(manager, tb.hosts, kProbeLink, TimeRange::All(), kBinWidth);
+    uint64_t list_sub = SubscribeFlowList(manager, tb.hosts, kProbeLink);
+    uint64_t count_sub = SubscribeCountSummary(manager, tb.hosts, kProbeLink);
 
     for (int epoch = 0; epoch < kEpochs; ++epoch) {
       // One epoch's worth of inserts on every agent...
@@ -124,7 +120,8 @@ TEST(StandingQueryDeterminism, MatchesPollAcrossShardWorkerMatrix) {
       manager.Flush();
 
       // At the boundary, the materialized standing result must equal a
-      // fresh poll over the same records — at every worker count.
+      // fresh poll over the same records — at every worker count, for
+      // all four kinds (the per-flow pair and the per-record pair).
       for (size_t workers : {size_t(1), size_t(4), size_t(16)}) {
         tb.controller.SetWorkerThreads(workers);
         ThreadPool scan_pool(workers);
@@ -133,13 +130,22 @@ TEST(StandingQueryDeterminism, MatchesPollAcrossShardWorkerMatrix) {
         }
         auto [poll_topk, tstats] = tb.controller.Execute(tb.hosts, PollTopK());
         auto [poll_hist, hstats] = tb.controller.Execute(tb.hosts, PollHistogram());
+        auto [poll_list, lstats] = tb.controller.Execute(tb.hosts, PollFlowList());
+        auto [poll_count, cstats] = tb.controller.Execute(tb.hosts, PollCount());
         QueryResult standing_topk = manager.Materialize(topk_sub);
         QueryResult standing_hist = manager.Materialize(hist_sub);
+        QueryResult standing_list = manager.Materialize(list_sub);
+        QueryResult standing_count = manager.Materialize(count_sub);
         EXPECT_EQ(standing_topk, poll_topk)
             << shards << " shards, " << workers << " workers, epoch " << epoch;
         EXPECT_EQ(standing_hist, poll_hist)
             << shards << " shards, " << workers << " workers, epoch " << epoch;
+        EXPECT_EQ(standing_list, poll_list)
+            << shards << " shards, " << workers << " workers, epoch " << epoch;
+        EXPECT_EQ(standing_count, poll_count)
+            << shards << " shards, " << workers << " workers, epoch " << epoch;
         EXPECT_EQ(SerializedBytes(standing_topk), SerializedBytes(poll_topk));
+        EXPECT_EQ(SerializedBytes(standing_list), SerializedBytes(poll_list));
         for (auto& agent : tb.agents) {
           agent->SetQueryThreadPool(nullptr);
         }
@@ -152,6 +158,8 @@ TEST(StandingQueryDeterminism, MatchesPollAcrossShardWorkerMatrix) {
     EXPECT_EQ(info.hosts, kAgents);
     EXPECT_GE(info.deltas_folded, uint64_t(kEpochs));
     EXPECT_EQ(info.pending_gaps, 0u);
+    EXPECT_GT(manager.info(list_sub).delta_bytes, 0u);
+    EXPECT_GT(manager.info(count_sub).deltas_folded, 0u);
   }
 }
 
@@ -412,6 +420,124 @@ TEST(StandingQueryPeriodic, AgentTickDrivesEpochs) {
 
   manager.Unsubscribe(sub);
   EXPECT_EQ(agent.InstalledQueryCount(), 0u);  // periodic tick uninstalled too
+}
+
+// --- 5. Property: randomized arrival interleavings fold to poll identity ---
+//
+// The channel contract says arrival order can never leak into results:
+// the manager folds strictly in epoch order per (subscription, host),
+// buffering gaps and dropping duplicates/orphans.  This fuzz-style case
+// attacks that with seeded randomized schedules across ALL FOUR standing
+// kinds at once: epoch deltas are captured at the agent (a second
+// accumulator registered with the subscription's own id and a capturing
+// sink — the manager's accumulators are never ticked), then replayed
+// into SubmitDelta in a shuffled order with random duplicates and
+// orphans injected.  After the full fold every kind must equal its poll
+// twin.  On mismatch the failing seed is in the assertion message —
+// rerun with it to reproduce.
+
+TEST(StandingQueryProperty, RandomizedArrivalsFoldToPollIdentityAllKinds) {
+  const int kEpochs = 6;
+  const int kPerEpoch = 700;
+  for (uint32_t seed : {0xF00Du, 0xBEEFu, 0x5EED1u, 0x5EED2u}) {
+    Rng rng(seed);
+    Testbed tb(1, 4);
+    EdgeAgent& agent = *tb.agents[0];
+    SubscriptionManager manager(&tb.controller);
+
+    StandingQuerySpec topk_spec;
+    topk_spec.kind = StandingQuerySpec::Kind::kTopK;
+    topk_spec.k = kTopK;
+    StandingQuerySpec hist_spec;
+    hist_spec.kind = StandingQuerySpec::Kind::kFlowSizeHistogram;
+    hist_spec.bin_width = kBinWidth;
+    hist_spec.link = kProbeLink;
+    StandingQuerySpec list_spec;
+    list_spec.kind = StandingQuerySpec::Kind::kFlowList;
+    list_spec.link = kProbeLink;
+    StandingQuerySpec count_spec;
+    count_spec.kind = StandingQuerySpec::Kind::kCountSummary;
+    count_spec.link = kProbeLink;
+
+    struct KindUnderTest {
+      uint64_t sub = 0;
+      int capture_id = -1;
+      Controller::QueryFn poll;
+    };
+    std::vector<QueryDelta> captured;
+    std::vector<KindUnderTest> kinds;
+    const std::vector<std::pair<StandingQuerySpec, Controller::QueryFn>> kind_specs = {
+        {topk_spec, PollTopK()},
+        {hist_spec, PollHistogram()},
+        {list_spec, PollFlowList()},
+        {count_spec, PollCount()}};
+    for (const auto& [spec, poll] : kind_specs) {
+      KindUnderTest k;
+      k.sub = manager.Subscribe(tb.hosts, spec);
+      k.capture_id = agent.RegisterStandingQuery(
+          k.sub, spec, [&captured](QueryDelta&& d) { captured.push_back(std::move(d)); });
+      k.poll = poll;
+      kinds.push_back(std::move(k));
+    }
+
+    std::vector<TibRecord> records =
+        MakeRecords(kEpochs * kPerEpoch, 0xAB00 + seed);
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      for (int i = epoch * kPerEpoch; i < (epoch + 1) * kPerEpoch; ++i) {
+        agent.tib().Insert(records[size_t(i)]);
+      }
+      for (const KindUnderTest& k : kinds) {
+        agent.EpochTickOne(k.capture_id);
+      }
+    }
+    for (const KindUnderTest& k : kinds) {
+      agent.UnregisterStandingQuery(k.capture_id);
+    }
+
+    // Build the adversarial schedule: every captured delta exactly once,
+    // plus random duplicates and orphans, in a seeded random order.
+    // Shuffling alone yields gapped + out-of-order arrivals (a later
+    // epoch drawn before an earlier one must buffer).
+    std::vector<QueryDelta> schedule = captured;
+    uint64_t injected_junk = 0;
+    for (const QueryDelta& d : captured) {
+      if (rng.Bernoulli(0.3)) {
+        schedule.push_back(d);  // duplicate: must fold at most once
+        ++injected_junk;
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      QueryDelta orphan = captured[rng.UniformInt(uint32_t(captured.size()))];
+      orphan.subscription_id = 424242 + uint64_t(i);  // never subscribed
+      schedule.push_back(std::move(orphan));
+      ++injected_junk;
+    }
+    {
+      QueryDelta stray = captured[rng.UniformInt(uint32_t(captured.size()))];
+      stray.host = HostId(9999);  // subscribed id, unknown host
+      schedule.push_back(std::move(stray));
+      ++injected_junk;
+    }
+    for (size_t i = schedule.size(); i > 1; --i) {  // Fisher-Yates
+      std::swap(schedule[i - 1], schedule[rng.UniformInt(uint32_t(i))]);
+    }
+
+    for (QueryDelta& d : schedule) {
+      ASSERT_TRUE(manager.SubmitDelta(std::move(d)));
+    }
+    manager.Flush();
+
+    SubscriptionManagerStats stats = manager.stats();
+    EXPECT_EQ(stats.deltas_folded, captured.size()) << "seed=" << seed;
+    EXPECT_EQ(stats.deltas_orphaned, injected_junk) << "seed=" << seed;
+    for (const KindUnderTest& k : kinds) {
+      EXPECT_EQ(manager.info(k.sub).pending_gaps, 0u) << "seed=" << seed;
+      auto [poll, pstats] = tb.controller.Execute(tb.hosts, k.poll);
+      EXPECT_EQ(manager.Materialize(k.sub), poll)
+          << "seed=" << seed << " kind="
+          << int(manager.info(k.sub).spec.kind);
+    }
+  }
 }
 
 }  // namespace

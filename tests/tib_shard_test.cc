@@ -24,6 +24,7 @@
 #include "src/edge/tib.h"
 #include "src/topology/fat_tree.h"
 #include "src/topology/link_labels.h"
+#include "tests/test_util.h"
 
 namespace pathdump {
 namespace {
@@ -31,30 +32,10 @@ namespace {
 // The paper's per-host TIB population (§5.1).
 constexpr int kEntries = 240000;
 
+// The shared synthetic fixture (tests/test_util.h) at this file's
+// historical distribution (4096-address IP space).
 std::vector<TibRecord> MakeRecords(int n, uint32_t seed) {
-  Rng rng(seed);
-  std::vector<TibRecord> out;
-  out.reserve(size_t(n));
-  for (int i = 0; i < n; ++i) {
-    TibRecord rec;
-    rec.flow.src_ip = kHostIpBase | rng.UniformInt(4096);
-    rec.flow.dst_ip = kHostIpBase | rng.UniformInt(4096);
-    rec.flow.src_port = uint16_t(1024 + rng.UniformInt(20000));
-    rec.flow.dst_port = uint16_t(80 + rng.UniformInt(8));
-    rec.flow.protocol = kProtoTcp;
-    Path p;
-    int len = 3 + int(rng.UniformInt(3));  // 3..5 switches
-    for (int j = 0; j < len; ++j) {
-      p.push_back(SwitchId(rng.UniformInt(24)));
-    }
-    rec.path = CompactPath::FromPath(p);
-    rec.stime = SimTime(rng.UniformInt(3600)) * kNsPerSec;
-    rec.etime = rec.stime + SimTime(rng.UniformInt(5000)) * kNsPerMs;
-    rec.bytes = 100 + rng.UniformInt(1000000);
-    rec.pkts = uint32_t(rec.bytes / 1460 + 1);
-    out.push_back(rec);
-  }
-  return out;
+  return testutil::MakeSyntheticRecords(n, seed, {.ip_space = 4096, .switch_space = 24});
 }
 
 std::string ReadFileBytes(const std::string& path) {
