@@ -33,9 +33,8 @@ constexpr int kProducers = 4;
 constexpr int kSubscribers = 4;
 
 size_t TotalAlarms() {
-  const char* env = getenv("PATHDUMP_STORM_ALARMS");
-  size_t n = env != nullptr ? size_t(atoll(env)) : 60000;
-  return std::max<size_t>(n, size_t(kProducers));
+  return std::max<size_t>(size_t(bench::IntFromEnv("PATHDUMP_STORM_ALARMS", 60000)),
+                          size_t(kProducers));
 }
 
 Alarm StormAlarm(int producer, int i) {
@@ -57,14 +56,7 @@ uint64_t BurnWork(const Alarm& a) {
   return h;
 }
 
-double Percentile(std::vector<double>& v, double p) {
-  if (v.empty()) {
-    return 0;
-  }
-  std::sort(v.begin(), v.end());
-  size_t idx = size_t(p * double(v.size() - 1));
-  return v[idx];
-}
+using bench::Percentile;
 
 void StormSweep() {
   const size_t total = TotalAlarms();

@@ -32,20 +32,8 @@ namespace {
 constexpr size_t kTopK = 1000;
 constexpr int64_t kBinWidth = 10000;
 
-int IntFromEnv(const char* name, int fallback) {
-  const char* env = getenv(name);
-  if (env != nullptr) {
-    int v = atoi(env);
-    if (v > 0) {
-      return v;
-    }
-  }
-  return fallback;
-}
-
-double Seconds(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
+using bench::IntFromEnv;
+using bench::Seconds;
 
 struct EpochMeasurement {
   double fold_seconds = 0;  // tick + flush: the per-epoch pipeline, O(delta)

@@ -1,12 +1,24 @@
-// Shared formatting helpers for the reproduction benches.  Every bench
-// prints (a) the paper's expectation and (b) the measured series, in plain
+// Shared helpers for the reproduction benches.  Every bench prints
+// (a) the paper's expectation and (b) the measured series, in plain
 // rows that EXPERIMENTS.md records.
+//
+// Also home to the knobs shared across drivers: env-int parsing,
+// steady-clock timing, percentile math, and the transport backend
+// selector (PATHDUMP_TRANSPORT=inproc|shm|both) that bench_transport
+// and the quickbench gates use to pick which side of the
+// TransportOptions::Backend matrix to run.
 
 #ifndef PATHDUMP_BENCH_BENCH_UTIL_H_
 #define PATHDUMP_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
+
+#include "src/transport/transport.h"
 
 namespace pathdump {
 namespace bench {
@@ -19,6 +31,52 @@ inline void Banner(const char* experiment, const char* paper_claim) {
 }
 
 inline void Section(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+// Positive integer knob from the environment, else the fallback.
+inline int IntFromEnv(const char* name, int fallback) {
+  const char* env = getenv(name);
+  if (env != nullptr) {
+    int v = atoi(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+// Seconds elapsed since `t0`.
+inline double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// p-th percentile (p in [0,1]) by sorting in place.
+inline double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) {
+    return 0;
+  }
+  std::sort(v.begin(), v.end());
+  size_t idx = size_t(p * double(v.size() - 1));
+  return v[idx];
+}
+
+// Which transport backends a bench should exercise, from
+// PATHDUMP_TRANSPORT: "inproc", "shm", or anything else / unset = both.
+inline std::vector<transport::TransportOptions::Backend> BackendsFromEnv() {
+  using Backend = transport::TransportOptions::Backend;
+  const char* env = getenv("PATHDUMP_TRANSPORT");
+  const std::string v = env != nullptr ? env : "";
+  if (v == "inproc") {
+    return {Backend::kInProcess};
+  }
+  if (v == "shm") {
+    return {Backend::kSharedMemory};
+  }
+  return {Backend::kInProcess, Backend::kSharedMemory};
+}
+
+inline const char* BackendName(transport::TransportOptions::Backend b) {
+  return b == transport::TransportOptions::Backend::kInProcess ? "inproc" : "shm";
+}
 
 }  // namespace bench
 }  // namespace pathdump

@@ -1,0 +1,118 @@
+// agent_worker: one EdgeAgent as its own process.
+//
+//   agent_worker <shm_name> <host_id> <tib_shards>
+//
+// Maps the shared-memory segment the controller created (AddShmPeer),
+// says Hello, and then serves the command ring until Shutdown:
+//
+//   Subscribe  -> register the standing query; deltas flow back over
+//                 the data ring via the client's delta sink
+//   Ingest     -> insert synthetic TIB records (tests/test_util.h) —
+//                 both sides of the cross-process harness generate
+//                 records from the same (seed, options), so the
+//                 controller can poll an identical in-process twin and
+//                 assert byte-identity without shipping records around
+//   EpochTick  -> tick every standing query, then Ack with the token
+//   Shutdown   -> Bye, drain, exit 0
+//
+// The worker also watches the controller's pid (segment header): if the
+// controller dies, the worker exits instead of lingering as an orphan
+// holding the mapping.  tests/transport_multiproc_test.cc forks a fleet
+// of these and SIGKILLs one mid-epoch to exercise crash semantics.
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "src/cherrypick/codec.h"
+#include "src/edge/edge_agent.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/link_labels.h"
+#include "src/transport/transport.h"
+#include "src/transport/wire.h"
+#include "tests/test_util.h"
+
+namespace {
+
+bool ControllerAlive(pathdump::transport::ShmSegment& segment) {
+  const uint32_t pid = segment.header()->controller_pid.load(std::memory_order_acquire);
+  if (pid == 0) {
+    return true;
+  }
+  return kill(pid_t(pid), 0) == 0 || errno != ESRCH;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pathdump;
+  using namespace pathdump::transport;
+
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: %s <shm_name> <host_id> <tib_shards>\n", argv[0]);
+    return 1;
+  }
+  const std::string shm_name = argv[1];
+  const HostId host = HostId(std::strtoul(argv[2], nullptr, 10));
+  const size_t shards = std::strtoul(argv[3], nullptr, 10);
+
+  auto client = ShmAgentClient::Open(shm_name);
+  if (client == nullptr) {
+    std::fprintf(stderr, "agent_worker: cannot map %s\n", shm_name.c_str());
+    return 2;
+  }
+
+  Topology topo = BuildFatTree(4);
+  LinkLabelMap labels(&topo);
+  CherryPickCodec codec(&topo, &labels);
+  EdgeAgentConfig cfg;
+  cfg.tib_options.num_shards = shards;
+  EdgeAgent agent(host, &topo, &codec, cfg);
+  agent.SetAlarmHandler(client->MakeAlarmSink());
+
+  if (!client->SendHello(host)) {
+    return 3;
+  }
+
+  for (;;) {
+    DecodedFrame cmd;
+    if (!client->PollCommand(&cmd, 200'000)) {
+      if (!ControllerAlive(client->segment())) {
+        return 0;  // controller died; don't linger as an orphan
+      }
+      continue;
+    }
+    switch (cmd.type) {
+      case FrameType::kSubscribe:
+        agent.RegisterStandingQuery(cmd.subscription_id, cmd.spec, client->MakeDeltaSink());
+        break;
+      case FrameType::kIngest: {
+        testutil::SyntheticRecordOptions opt;
+        opt.ip_space = cmd.ingest_ip_space;
+        opt.switch_space = cmd.ingest_switch_space;
+        // Convention shared with the controller-side twins: each agent
+        // derives its stream as seed + host, so one broadcast Ingest
+        // gives every host distinct-but-reproducible records.
+        for (const TibRecord& rec : testutil::MakeSyntheticRecords(
+                 int(cmd.ingest_count), cmd.ingest_seed + uint32_t(host), opt)) {
+          agent.tib().Insert(rec);
+        }
+        break;
+      }
+      case FrameType::kEpochTick:
+        agent.EpochTick();
+        client->SendAck(host, cmd.token);
+        break;
+      case FrameType::kShutdown:
+        client->SendBye(host);
+        return 0;
+      default:
+        break;  // data-plane frame types never arrive on the cmd ring
+    }
+  }
+}

@@ -6,6 +6,13 @@
 // are *measured* (real work on real data) while the wire is *modeled* with
 // the testbed's constants: per-message RTT plus size/bandwidth transfer
 // time.  DESIGN.md documents this substitution.
+//
+// The shared-memory transport (src/transport/) narrows the substitution
+// for the standing-query and alarm paths: with the kSharedMemory backend
+// those frames are really encoded (src/transport/wire.h — a QueryDelta
+// frame is exactly QueryDelta::SerializedSize() bytes) and really cross
+// a process boundary, so their byte counts are measured on the wire.
+// This model still prices the poll RPCs, whose agents remain in-process.
 
 #ifndef PATHDUMP_SRC_CONTROLLER_RPC_MODEL_H_
 #define PATHDUMP_SRC_CONTROLLER_RPC_MODEL_H_

@@ -96,6 +96,24 @@ uint64_t SubscriptionManager::Subscribe(const std::vector<HostId>& hosts,
   return id;
 }
 
+uint64_t SubscriptionManager::SubscribeRemote(const std::vector<HostId>& hosts,
+                                              const StandingQuerySpec& spec) {
+  // Remote hosts have no registry entry to check against — the caller
+  // (the transport hub) owns the peer set, so every listed host gets
+  // fold state.  Published before the caller broadcasts the Subscribe
+  // frame, so the first remote delta always finds its subscription.
+  Subscription sub;
+  sub.spec = spec;
+  for (HostId h : hosts) {
+    sub.hosts.push_back(h);
+    sub.host_state.emplace(h, HostState{});
+  }
+  std::lock_guard<std::mutex> state(state_mu_);
+  const uint64_t id = next_subscription_id_++;
+  subscriptions_.emplace(id, std::move(sub));
+  return id;
+}
+
 void SubscriptionManager::DetachAgents(Subscription& sub) {
   for (AgentAttachment& att : sub.attachments) {
     if (att.agent == nullptr) {

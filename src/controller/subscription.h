@@ -105,6 +105,14 @@ class SubscriptionManager {
   uint64_t Subscribe(const std::vector<HostId>& hosts, const StandingQuerySpec& spec,
                      SimTime epoch_period = 0);
 
+  // Transport variant: creates the subscription and the per-host fold
+  // state for every listed host without attaching any in-process
+  // accumulator.  Deltas arrive through SubmitDelta from a transport
+  // reactor (src/transport/transport.h) that installed the spec on the
+  // remote agent processes itself; folding, ordering, and Materialize
+  // behave identically to an in-process subscription.
+  uint64_t SubscribeRemote(const std::vector<HostId>& hosts, const StandingQuerySpec& spec);
+
   // Detaches the subscription everywhere and drops its state.  Safe
   // mid-epoch: agent-side hook removal synchronizes with in-flight
   // inserts, and deltas still queued for this id are counted orphaned

@@ -165,6 +165,7 @@ std::optional<QueryDelta> StandingQueryAccumulator::TakeDelta() {
   }
   delta.subscription_id = subscription_id_;
   delta.host = host_;
+  delta.kind = spec_.kind;
   delta.epoch = next_epoch_++;
   return delta;
 }

@@ -91,6 +91,11 @@ struct StandingQuerySpec {
 struct QueryDelta {
   uint64_t subscription_id = 0;
   HostId host = kInvalidNode;
+  // The subscription's kind, stamped by the accumulator.  Redundant with
+  // the manager's own spec for in-process delivery, but load-bearing on
+  // the wire (src/transport/wire.cc): the frame decoder picks the payload
+  // shape from this byte instead of guessing from content.
+  StandingQuerySpec::Kind kind = StandingQuerySpec::Kind::kTopK;
   // Per-(subscription, host) epoch number, stamped by the accumulator.
   uint64_t epoch = 0;
   // Channel intake sequence, stamped by the SubscriptionManager at

@@ -1,0 +1,473 @@
+#include "src/transport/transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <utility>
+
+#include <unistd.h>
+
+#include "src/controller/controller.h"
+#include "src/controller/subscription.h"
+
+namespace pathdump {
+namespace transport {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void NapUs(int64_t us) {
+  timespec ts;
+  ts.tv_sec = us / 1000000;
+  ts.tv_nsec = (us % 1000000) * 1000;
+  nanosleep(&ts, nullptr);
+}
+
+bool PidAlive(uint32_t pid) {
+  if (pid == 0) {
+    return true;  // unknown yet — assume alive until Hello names it
+  }
+  return kill(pid_t(pid), 0) == 0 || errno != ESRCH;
+}
+
+}  // namespace
+
+TransportHub::TransportHub(Controller* controller, SubscriptionManager* manager,
+                           TransportOptions options)
+    : controller_(controller),
+      manager_(manager),
+      options_(std::move(options)),
+      prefix_(options_.shm_prefix.empty()
+                  ? "/pathdump." + std::to_string(getpid()) + "."
+                  : options_.shm_prefix),
+      alarm_sink_(controller->MakeAlarmSink()) {
+  if (options_.backend == TransportOptions::Backend::kSharedMemory) {
+    reactor_ = std::thread([this] { ReactorLoop(); });
+  }
+}
+
+TransportHub::~TransportHub() {
+  stop_.store(true, std::memory_order_release);
+  if (reactor_.joinable()) {
+    reactor_.join();
+  }
+  // Segments unlink themselves (owner destructor), but be explicit so a
+  // throwing member destructor can never leak a /dev/shm entry.
+  for (Peer& peer : peers_) {
+    if (peer.segment != nullptr) {
+      peer.segment->Unlink();
+    }
+  }
+}
+
+std::string TransportHub::AddShmPeer(HostId host) {
+  if (options_.backend != TransportOptions::Backend::kSharedMemory) {
+    return "";
+  }
+  const std::string name = prefix_ + std::to_string(host);
+  auto segment = ShmSegment::Create(name, options_.geometry);
+  if (segment == nullptr) {
+    return "";
+  }
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  peers_.emplace_back();
+  Peer& peer = peers_.back();
+  peer.host = host;
+  peer.segment = std::move(segment);
+  return name;
+}
+
+void TransportHub::AddLocalAgent(EdgeAgent* agent) {
+  controller_->RegisterAgent(agent);
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  peers_.emplace_back();
+  Peer& peer = peers_.back();
+  peer.host = agent->host();
+  peer.hello.store(true, std::memory_order_release);
+}
+
+std::vector<HostId> TransportHub::hosts() const {
+  std::vector<HostId> out;
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  out.reserve(peers_.size());
+  for (const Peer& peer : peers_) {
+    out.push_back(peer.host);
+  }
+  return out;
+}
+
+std::vector<TransportHub::Peer*> TransportHub::SnapshotPeers() const {
+  std::vector<Peer*> out;
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  out.reserve(peers_.size());
+  for (const Peer& peer : peers_) {
+    out.push_back(const_cast<Peer*>(&peer));
+  }
+  return out;
+}
+
+void TransportHub::BroadcastCommand(const std::vector<uint8_t>& frame) {
+  for (Peer* peer : SnapshotPeers()) {
+    if (peer->segment == nullptr || peer->dead.load(std::memory_order_acquire) ||
+        peer->bye.load(std::memory_order_acquire)) {
+      continue;
+    }
+    // A dead-but-undetected peer never pops its command ring; the
+    // bounded push keeps this loop from hanging on it.
+    peer->segment->cmd_ring().Push(frame.data(), frame.size(), options_.push_timeout_us);
+  }
+}
+
+uint64_t TransportHub::Subscribe(const std::vector<HostId>& hosts,
+                                 const StandingQuerySpec& spec) {
+  if (options_.backend == TransportOptions::Backend::kInProcess) {
+    return manager_->Subscribe(hosts, spec);
+  }
+  const uint64_t id = manager_->SubscribeRemote(hosts, spec);
+  std::vector<uint8_t> frame;
+  EncodeSubscribeFrame(id, spec, frame);
+  BroadcastCommand(frame);
+  return id;
+}
+
+uint64_t TransportHub::SendEpochTick() {
+  const uint64_t token = next_token_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (options_.backend == TransportOptions::Backend::kInProcess) {
+    manager_->TickEpoch();
+    return token;  // synchronous: already "acked"
+  }
+  std::vector<uint8_t> frame;
+  EncodeEpochTickFrame(token, frame);
+  BroadcastCommand(frame);
+  return token;
+}
+
+void TransportHub::SendIngest(uint32_t count, uint32_t seed, uint32_t ip_space,
+                              uint32_t switch_space) {
+  if (options_.backend == TransportOptions::Backend::kInProcess) {
+    if (local_ingest_) {
+      local_ingest_(count, seed, ip_space, switch_space);
+    }
+    return;
+  }
+  std::vector<uint8_t> frame;
+  EncodeIngestFrame(count, seed, ip_space, switch_space, frame);
+  BroadcastCommand(frame);
+}
+
+void TransportHub::SetLocalIngest(
+    std::function<void(uint32_t, uint32_t, uint32_t, uint32_t)> fn) {
+  local_ingest_ = std::move(fn);
+}
+
+void TransportHub::SendShutdown() {
+  if (options_.backend == TransportOptions::Backend::kInProcess) {
+    return;
+  }
+  std::vector<uint8_t> frame;
+  EncodeShutdownFrame(frame);
+  BroadcastCommand(frame);
+}
+
+bool TransportHub::WaitForHellos(int64_t timeout_us) {
+  const int64_t deadline = NowUs() + timeout_us;
+  for (;;) {
+    bool all = true;
+    for (Peer* peer : SnapshotPeers()) {
+      if (!peer->hello.load(std::memory_order_acquire) &&
+          !peer->dead.load(std::memory_order_acquire)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return true;
+    }
+    if (NowUs() >= deadline) {
+      return false;
+    }
+    NapUs(500);
+  }
+}
+
+bool TransportHub::WaitForAcks(uint64_t token, int64_t timeout_us) {
+  if (options_.backend == TransportOptions::Backend::kInProcess) {
+    return true;
+  }
+  const int64_t deadline = NowUs() + timeout_us;
+  for (;;) {
+    bool all = true;
+    for (Peer* peer : SnapshotPeers()) {
+      if (peer->dead.load(std::memory_order_acquire) ||
+          peer->bye.load(std::memory_order_acquire)) {
+        continue;  // excused — a killed agent never wedges the epoch
+      }
+      if (peer->last_ack.load(std::memory_order_acquire) < token) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return true;
+    }
+    if (NowUs() >= deadline) {
+      return false;
+    }
+    NapUs(500);
+  }
+}
+
+void TransportHub::Flush() {
+  if (options_.backend == TransportOptions::Backend::kSharedMemory) {
+    // Rings empty AND the reactor not mid-dispatch ⇒ every published
+    // frame has reached its downstream consumer.
+    for (;;) {
+      bool quiescent = !dispatching_.load(std::memory_order_acquire);
+      for (Peer* peer : SnapshotPeers()) {
+        if (peer->segment != nullptr && !peer->dead.load(std::memory_order_acquire) &&
+            !peer->segment->data_ring().empty() && !peer->segment->data_ring().corrupt()) {
+          quiescent = false;
+          break;
+        }
+      }
+      if (quiescent) {
+        break;
+      }
+      NapUs(200);
+    }
+  }
+  manager_->Flush();
+}
+
+TransportStats TransportHub::stats() const {
+  TransportStats out;
+  out.frames = frames_.load(std::memory_order_acquire);
+  out.bytes = bytes_.load(std::memory_order_acquire);
+  out.deltas = deltas_.load(std::memory_order_acquire);
+  out.alarms = alarms_.load(std::memory_order_acquire);
+  out.acks = acks_.load(std::memory_order_acquire);
+  out.truncated = err_by_kind_[size_t(WireError::kTruncated)].load(std::memory_order_acquire);
+  out.bad_magic = err_by_kind_[size_t(WireError::kBadMagic)].load(std::memory_order_acquire);
+  out.bad_version = err_by_kind_[size_t(WireError::kBadVersion)].load(std::memory_order_acquire);
+  out.bad_type = err_by_kind_[size_t(WireError::kBadType)].load(std::memory_order_acquire);
+  out.oversized = err_by_kind_[size_t(WireError::kOversized)].load(std::memory_order_acquire);
+  out.bad_checksum =
+      err_by_kind_[size_t(WireError::kBadChecksum)].load(std::memory_order_acquire);
+  out.bad_payload = err_by_kind_[size_t(WireError::kBadPayload)].load(std::memory_order_acquire);
+  out.decode_errors = out.truncated + out.bad_magic + out.bad_version + out.bad_type +
+                      out.oversized + out.bad_checksum + out.bad_payload;
+  for (Peer* peer : SnapshotPeers()) {
+    ++out.peers;
+    if (peer->hello.load(std::memory_order_acquire)) {
+      ++out.peers_hello;
+    }
+    if (peer->bye.load(std::memory_order_acquire)) {
+      ++out.peers_bye;
+    }
+    if (peer->dead.load(std::memory_order_acquire)) {
+      ++out.peers_dead;
+    }
+    if (peer->segment != nullptr) {
+      out.seq_gaps += peer->segment->data_ring().seq_gaps();
+      out.blocked_pushes += peer->segment->data_ring().blocked_pushes();
+    }
+  }
+  return out;
+}
+
+std::vector<HostId> TransportHub::dead_hosts() const {
+  std::vector<HostId> out;
+  for (Peer* peer : SnapshotPeers()) {
+    if (peer->dead.load(std::memory_order_acquire)) {
+      out.push_back(peer->host);
+    }
+  }
+  return out;
+}
+
+void TransportHub::CountError(WireError err) {
+  const size_t idx = size_t(err);
+  if (idx < 8) {
+    err_by_kind_[idx].fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void TransportHub::Dispatch(Peer& peer, DecodedFrame&& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      peer.pid.store(frame.pid, std::memory_order_release);
+      peer.hello.store(true, std::memory_order_release);
+      break;
+    case FrameType::kQueryDelta:
+      deltas_.fetch_add(1, std::memory_order_acq_rel);
+      manager_->SubmitDelta(std::move(frame.delta));
+      break;
+    case FrameType::kAlarm:
+      alarms_.fetch_add(1, std::memory_order_acq_rel);
+      alarm_sink_(frame.alarm);
+      break;
+    case FrameType::kAck: {
+      acks_.fetch_add(1, std::memory_order_acq_rel);
+      // Tokens ascend; keep the max in case acks arrive reordered
+      // across a restart.
+      uint64_t prev = peer.last_ack.load(std::memory_order_relaxed);
+      while (frame.token > prev &&
+             !peer.last_ack.compare_exchange_weak(prev, frame.token,
+                                                  std::memory_order_acq_rel)) {
+      }
+      break;
+    }
+    case FrameType::kBye:
+      peer.bye.store(true, std::memory_order_release);
+      break;
+    default:
+      // Control-plane frame types never appear on a data ring; a decoded
+      // one means an agent bug, counted as a payload-level violation.
+      CountError(WireError::kBadPayload);
+      break;
+  }
+}
+
+size_t TransportHub::DrainPeer(Peer& peer, std::vector<uint8_t>& buf) {
+  ShmSpscRing& ring = peer.segment->data_ring();
+  size_t dispatched = 0;
+  while (ring.Pop(buf)) {
+    bytes_.fetch_add(buf.size(), std::memory_order_acq_rel);
+    DecodedFrame frame;
+    const WireError err = DecodeFrame(buf.data(), buf.size(), &frame);
+    if (err != WireError::kOk) {
+      CountError(err);
+      continue;
+    }
+    frames_.fetch_add(1, std::memory_order_acq_rel);
+    Dispatch(peer, std::move(frame));
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void TransportHub::ReactorLoop() {
+  std::vector<uint8_t> buf;
+  while (!stop_.load(std::memory_order_acquire)) {
+    size_t dispatched = 0;
+    for (Peer* peer : SnapshotPeers()) {
+      if (peer->segment == nullptr) {
+        continue;
+      }
+      dispatching_.store(true, std::memory_order_release);
+      dispatched += DrainPeer(*peer, buf);
+      dispatching_.store(false, std::memory_order_release);
+      // Death check only after a full drain: everything the agent
+      // published before dying is dispatched first, then the gap is
+      // recorded — ordering the multiproc test relies on.
+      if (!peer->dead.load(std::memory_order_acquire) &&
+          !peer->bye.load(std::memory_order_acquire)) {
+        const uint32_t pid = peer->pid.load(std::memory_order_acquire);
+        const bool corrupt = peer->segment->data_ring().corrupt();
+        if (corrupt || (pid != 0 && !PidAlive(pid) && peer->segment->data_ring().empty())) {
+          peer->dead.store(true, std::memory_order_release);
+        }
+      }
+    }
+    if (dispatched == 0) {
+      // Idle: park briefly.  Bounded sleep rather than a multi-ring
+      // futex wait — one wakeup per millisecond is noise, and no peer
+      // can be starved by another's doorbell.
+      NapUs(500);
+    }
+  }
+  // Final sweep so frames published just before stop are not lost.
+  for (Peer* peer : SnapshotPeers()) {
+    if (peer->segment != nullptr) {
+      DrainPeer(*peer, buf);
+    }
+  }
+}
+
+// --- ShmAgentClient ---
+
+std::unique_ptr<ShmAgentClient> ShmAgentClient::Open(const std::string& name,
+                                                     int64_t push_timeout_us) {
+  auto segment = ShmSegment::Open(name);
+  if (segment == nullptr) {
+    return nullptr;
+  }
+  return std::unique_ptr<ShmAgentClient>(
+      new ShmAgentClient(std::move(segment), push_timeout_us));
+}
+
+bool ShmAgentClient::PushFrame() {
+  return segment_->data_ring().Push(scratch_.data(), scratch_.size(), push_timeout_us_);
+}
+
+bool ShmAgentClient::SendHello(HostId host) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  segment_->header()->agent_pid.store(uint32_t(getpid()), std::memory_order_release);
+  scratch_.clear();
+  EncodeHelloFrame(host, uint32_t(getpid()), scratch_);
+  return PushFrame();
+}
+
+bool ShmAgentClient::SendDelta(const QueryDelta& delta) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  scratch_.clear();
+  EncodeQueryDeltaFrame(delta, scratch_);
+  return PushFrame();
+}
+
+bool ShmAgentClient::SendAlarm(const Alarm& alarm) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  scratch_.clear();
+  EncodeAlarmFrame(alarm, scratch_);
+  return PushFrame();
+}
+
+bool ShmAgentClient::SendAck(HostId host, uint64_t token) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  scratch_.clear();
+  EncodeAckFrame(host, token, scratch_);
+  return PushFrame();
+}
+
+bool ShmAgentClient::SendBye(HostId host) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  scratch_.clear();
+  EncodeByeFrame(host, scratch_);
+  return PushFrame();
+}
+
+bool ShmAgentClient::PollCommand(DecodedFrame* out, int64_t timeout_us) {
+  ShmSpscRing& ring = segment_->cmd_ring();
+  const int64_t deadline = NowUs() + timeout_us;
+  std::vector<uint8_t> buf;
+  for (;;) {
+    while (ring.Pop(buf)) {
+      const WireError err = DecodeFrame(buf.data(), buf.size(), out);
+      if (err == WireError::kOk) {
+        return true;
+      }
+      ++cmd_decode_errors_;
+    }
+    const int64_t left = deadline - NowUs();
+    if (left <= 0) {
+      return false;
+    }
+    ring.WaitForData(left);
+  }
+}
+
+EdgeAgent::DeltaSink ShmAgentClient::MakeDeltaSink() {
+  return [this](QueryDelta&& delta) { SendDelta(delta); };
+}
+
+AlarmHandler ShmAgentClient::MakeAlarmSink() {
+  return [this](const Alarm& alarm) { SendAlarm(alarm); };
+}
+
+}  // namespace transport
+}  // namespace pathdump

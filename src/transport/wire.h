@@ -1,0 +1,146 @@
+// Real byte framing for the agent ↔ controller transport.
+//
+// Until this layer existed, QueryDelta/RecordDelta/QueryResult carried
+// *size accounting only* (SerializedSize() returns what the bytes would
+// cost; nothing ever produced the bytes) — fine while every agent lived
+// in the controller's process, useless the moment a delta must cross a
+// shared-memory ring between processes.  This header supplies the real
+// encoders/decoders, with one invariant that keeps the repo's byte
+// accounting honest: for a QueryDelta, the encoded frame is exactly
+// QueryDelta::SerializedSize() bytes — the 16-byte frame header below IS
+// the "16-byte message header" the size model already charges, and the
+// 24-byte subscription/host/epoch framing and per-item layouts match the
+// model field for field (packed 13-byte 5-tuple, 21-byte flow items,
+// 33+1+4·len record items).  The modeled wire cost becomes the measured
+// wire cost.
+//
+// Frame layout (little-endian, fixed offsets):
+//
+//   0  u32  magic       'PDTP'
+//   4  u8   version
+//   5  u8   type        FrameType
+//   6  u16  reserved    (zero; covered by the checksum)
+//   8  u32  payload_len bytes after the 16-byte header
+//   12 u32  crc32       IEEE CRC-32 over the header (crc field zeroed)
+//                       and the payload — any single bit flip anywhere
+//                       in the frame is detected
+//   16 ...  payload     per-type layout (see wire.cc)
+//
+// Decoding is total: any truncated, oversized, bit-flipped, or
+// semantically invalid frame yields a WireError (never a crash, never a
+// silently wrong object).  The transport reactor counts each category
+// (TransportStats); tests/query_serialization_test.cc fuzzes random
+// corruption offsets against this contract.
+
+#ifndef PATHDUMP_SRC_TRANSPORT_WIRE_H_
+#define PATHDUMP_SRC_TRANSPORT_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/edge/alarm.h"
+#include "src/edge/standing_query.h"
+
+namespace pathdump {
+namespace transport {
+
+inline constexpr uint32_t kFrameMagic = 0x50445450u;  // 'PDTP'
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+// Upper bound on a frame payload: larger declared lengths are rejected
+// before any allocation, so a corrupt length can never OOM the reactor.
+inline constexpr size_t kMaxFramePayload = 64u << 20;
+
+// Everything that crosses a ring.  Data plane: kQueryDelta / kAlarm
+// (agent → controller).  Control plane (controller → agent) plus the
+// handshake frames the multi-process harness uses.
+enum class FrameType : uint8_t {
+  kHello = 1,       // agent announces (host, pid) after mapping its rings
+  kQueryDelta = 2,  // one epoch increment (either payload shape)
+  kAlarm = 3,       // one Alarm
+  kSubscribe = 4,   // install a standing query: (subscription id, spec)
+  kEpochTick = 5,   // tick every standing query, then ack with the token
+  kAck = 6,         // agent acked (host, token)
+  kIngest = 7,      // test harness: insert synthetic records; agents
+                    // derive their stream as (seed + host) so one
+                    // broadcast yields distinct reproducible TIBs
+
+  kShutdown = 8,    // drain and exit
+  kBye = 9,         // agent's graceful goodbye
+};
+
+enum class WireError : uint8_t {
+  kOk = 0,
+  kTruncated,    // buffer ends before the declared frame does
+  kBadMagic,     // not a frame at all
+  kBadVersion,   // incompatible framing
+  kBadType,      // unknown FrameType
+  kOversized,    // declared length exceeds the cap, or trailing junk
+  kBadChecksum,  // CRC mismatch (bit corruption)
+  kBadPayload,   // per-type layout violated (counts, path lengths, ...)
+};
+
+const char* WireErrorName(WireError err);
+
+// IEEE CRC-32 (the zlib polynomial), table-driven.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+// --- Encoders ---
+//
+// Each appends exactly one complete frame to `out` and returns the
+// frame's total size in bytes.  EncodeQueryDeltaFrame's return value
+// equals delta.SerializedSize() by construction (asserted in tests).
+
+size_t EncodeQueryDeltaFrame(const QueryDelta& delta, std::vector<uint8_t>& out);
+size_t EncodeAlarmFrame(const Alarm& alarm, std::vector<uint8_t>& out);
+size_t EncodeHelloFrame(HostId host, uint32_t pid, std::vector<uint8_t>& out);
+size_t EncodeSubscribeFrame(uint64_t subscription_id, const StandingQuerySpec& spec,
+                            std::vector<uint8_t>& out);
+size_t EncodeEpochTickFrame(uint64_t token, std::vector<uint8_t>& out);
+size_t EncodeAckFrame(HostId host, uint64_t token, std::vector<uint8_t>& out);
+size_t EncodeIngestFrame(uint32_t count, uint32_t seed, uint32_t ip_space, uint32_t switch_space,
+                         std::vector<uint8_t>& out);
+size_t EncodeShutdownFrame(std::vector<uint8_t>& out);
+size_t EncodeByeFrame(HostId host, std::vector<uint8_t>& out);
+
+// Wire bytes of an alarm frame (header + payload) — the alarm twin of
+// QueryDelta::SerializedSize, used by benches for byte accounting.
+size_t AlarmWireBytes(const Alarm& alarm);
+
+// --- Decoder ---
+
+// One decoded frame, discriminated by `type`.  Only the fields of the
+// decoded type are meaningful.
+struct DecodedFrame {
+  FrameType type = FrameType::kHello;
+  // kHello / kAck / kBye
+  HostId host = kInvalidNode;
+  uint32_t pid = 0;
+  // kQueryDelta (seq is transport-local, left 0 — the controller's
+  // channel stamps its own intake seq)
+  QueryDelta delta;
+  // kAlarm (seq likewise left 0 for the alarm pipeline to stamp)
+  Alarm alarm;
+  // kSubscribe
+  uint64_t subscription_id = 0;
+  StandingQuerySpec spec;
+  // kEpochTick / kAck
+  uint64_t token = 0;
+  // kIngest
+  uint32_t ingest_count = 0;
+  uint32_t ingest_seed = 0;
+  uint32_t ingest_ip_space = 0;
+  uint32_t ingest_switch_space = 0;
+};
+
+// Decodes exactly one frame occupying exactly [data, data+size).  A
+// frame shorter than `size` (trailing bytes) is rejected as kOversized:
+// ring messages carry one frame each, so trailing bytes mean corruption.
+WireError DecodeFrame(const uint8_t* data, size_t size, DecodedFrame* out);
+
+}  // namespace transport
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_TRANSPORT_WIRE_H_
