@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -113,6 +114,9 @@ void StormSweep() {
                 log.size(), double(log.size()) / secs / 1e6, Percentile(all, 0.50),
                 Percentile(all, 0.99), (unsigned long long)st.batches,
                 (unsigned long long)st.max_batch, ok ? "yes" : "NO");
+    const std::string section = "storm.workers_" + std::to_string(workers);
+    bench::BenchReport::Global().Add(section, "alarms_per_sec", double(log.size()) / secs, "1/s");
+    bench::BenchReport::Global().Add(section, "submit_p99", Percentile(all, 0.99), "us");
   }
 }
 
@@ -167,6 +171,7 @@ int Main() {
   StormSweep();
   SuppressionSection();
   BackpressureSection();
+  bench::BenchReport::Global().WriteIfRequested();
   return 0;
 }
 

@@ -65,6 +65,9 @@ int Main(int argc, char** argv) {
   std::printf("trajectory cache capacity: %zu entries (paper: ~10MB RAM envelope for "
               "decode state)\n",
               sample.cache_stats().capacity);
+  bench::BenchReport::Global().Add("storage", "tib_mb",
+                                   double(sample.tib().ApproxBytes()) / 1e6, "MB");
+  bench::BenchReport::Global().WriteIfRequested();
   return 0;
 }
 

@@ -80,6 +80,10 @@ int Main(int argc, char** argv) {
               multi_at_112 / std::max(multi_at_28, 1e-9));
   std::printf("multi-level beats direct at 112 hosts: %s (paper: yes, ~2s vs ~7s)\n",
               multi_at_112 < direct_at_112 ? "YES" : "NO");
+  bench::BenchReport& report = bench::BenchReport::Global();
+  report.Add("fig12", "direct_at_112", direct_at_112, "s");
+  report.Add("fig12", "multi_at_112", multi_at_112, "s");
+  report.WriteIfRequested();
   return 0;
 }
 

@@ -212,6 +212,13 @@ int Main() {
   bench::Section("shape check");
   std::printf("standing results byte-identical to fresh polls at every boundary: %s\n",
               all_identical ? "YES" : "NO");
+  bench::BenchReport& report = bench::BenchReport::Global();
+  report.Add("accounting", "deltas_folded", double(stats.deltas_folded), "count");
+  report.Add("accounting", "deltas_reordered", double(stats.deltas_reordered), "count");
+  report.Add("accounting", "deltas_orphaned", double(stats.deltas_orphaned), "count");
+  report.Add("accounting", "delta_kb", double(stats.delta_bytes) / 1e3, "KB");
+  report.Add("accounting", "identical", all_identical ? 1 : 0, "bool");
+  report.WriteIfRequested();
   return all_identical ? 0 : 1;
 }
 

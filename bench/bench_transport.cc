@@ -24,6 +24,9 @@
 //   PATHDUMP_TRANSPORT_AGENTS   fleet size                 (4)
 //   PATHDUMP_TRANSPORT_EPOCHS   epoch boundaries measured  (8)
 //   PATHDUMP_TRANSPORT_RECORDS  records/agent/epoch        (2000)
+//   PATHDUMP_OVERHEAD_MAX_PCT   instrumentation-overhead gate in percent
+//                               (unset/0 = report only; CI sets 3)
+//   PATHDUMP_BENCH_JSON         append machine-readable rows to this path
 
 #include <atomic>
 #include <chrono>
@@ -38,6 +41,8 @@
 
 #include "bench/bench_util.h"
 #include "src/cherrypick/codec.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/controller/controller.h"
 #include "src/controller/subscription.h"
 #include "src/topology/fat_tree.h"
@@ -186,7 +191,8 @@ class ShmAgentThread {
 };
 
 bool PipelineSection(TransportOptions::Backend backend, int num_agents, int epochs,
-                     int records_per_epoch) {
+                     int records_per_epoch, double* p50_ms_out = nullptr,
+                     bool quiet = false) {
   Topology topo = BuildFatTree(4);
   LinkLabelMap labels(&topo);
   CherryPickCodec codec(&topo, &labels);
@@ -269,11 +275,24 @@ bool PipelineSection(TransportOptions::Backend backend, int num_agents, int epoc
 
   const TransportStats st = hub.stats();
   const SubscriptionManagerStats ms = manager.stats();
-  std::printf("%-8s %7d %7d %10.2f %10.2f %12.0f %12.1f %10s\n", bench::BackendName(backend),
-              num_agents, epochs, Percentile(epoch_us, 0.50) / 1e3,
-              Percentile(epoch_us, 0.99) / 1e3, double(ms.deltas_folded) / total_s,
-              double(ms.delta_bytes) / 1e3, identical ? "yes" : "NO");
-  if (shm) {
+  const double p50_ms = Percentile(epoch_us, 0.50) / 1e3;
+  const double p99_ms = Percentile(epoch_us, 0.99) / 1e3;
+  if (p50_ms_out != nullptr) {
+    *p50_ms_out = p50_ms;
+  }
+  if (!quiet) {
+    std::printf("%-8s %7d %7d %10.2f %10.2f %12.0f %12.1f %10s\n", bench::BackendName(backend),
+                num_agents, epochs, p50_ms, p99_ms, double(ms.deltas_folded) / total_s,
+                double(ms.delta_bytes) / 1e3, identical ? "yes" : "NO");
+    const std::string section = std::string("pipeline.") + bench::BackendName(backend);
+    bench::BenchReport& report = bench::BenchReport::Global();
+    report.Add(section, "epoch_p50", p50_ms, "ms");
+    report.Add(section, "epoch_p99", p99_ms, "ms");
+    report.Add(section, "deltas_per_sec", double(ms.deltas_folded) / total_s, "1/s");
+    report.Add(section, "delta_kb", double(ms.delta_bytes) / 1e3, "KB");
+    report.Add(section, "identical", identical ? 1 : 0, "bool");
+  }
+  if (shm && !quiet) {
     std::printf("         shm detail: frames %llu, wire %.1f KB, blocked pushes %llu, "
                 "seq gaps %llu, decode errors %llu\n",
                 (unsigned long long)st.frames, double(st.bytes) / 1e3,
@@ -283,6 +302,52 @@ bool PipelineSection(TransportOptions::Backend backend, int num_agents, int epoc
   hub.SendShutdown();
   threads.clear();
   return identical;
+}
+
+// Instrumentation-overhead gate: the same inproc epoch pipeline with the
+// registry + tracer on vs off.  Exits non-zero (gates CI) when the
+// overhead exceeds PATHDUMP_OVERHEAD_MAX_PCT AND the absolute p50 delta
+// is above a noise floor — tiny absolute regressions on a fast pipeline
+// are scheduler noise, not instrumentation cost.
+bool OverheadSection(int num_agents, int epochs, int records_per_epoch) {
+  bench::Section("instrumentation overhead: metrics+trace on vs off (inproc epoch pipeline)");
+  constexpr double kNoiseFloorMs = 0.2;
+  const int max_pct = IntFromEnv("PATHDUMP_OVERHEAD_MAX_PCT", 0);  // 0 = report only
+
+  double warm_ms = 0, on_ms = 0, off_ms = 0;
+  // Warmup run (populates registry handles, page-faults the rings).
+  bool ok = PipelineSection(TransportOptions::Backend::kInProcess, num_agents, epochs,
+                            records_per_epoch, &warm_ms, /*quiet=*/true);
+  MetricsRegistry::SetEnabled(false);
+  Tracer::Global().SetEnabled(false);
+  ok = PipelineSection(TransportOptions::Backend::kInProcess, num_agents, epochs,
+                       records_per_epoch, &off_ms, /*quiet=*/true) &&
+       ok;
+  MetricsRegistry::SetEnabled(true);
+  Tracer::Global().SetEnabled(true);
+  ok = PipelineSection(TransportOptions::Backend::kInProcess, num_agents, epochs,
+                       records_per_epoch, &on_ms, /*quiet=*/true) &&
+       ok;
+
+  const double delta_ms = on_ms - off_ms;
+  const double pct = off_ms > 0 ? delta_ms / off_ms * 100.0 : 0.0;
+  std::printf("epoch p50 with instrumentation OFF: %.3f ms, ON: %.3f ms\n", off_ms, on_ms);
+  std::printf("overhead: %+.3f ms (%+.2f%%), gate: %s\n", delta_ms, pct,
+              max_pct > 0 ? (std::to_string(max_pct) + "%").c_str() : "report-only");
+  bench::BenchReport& report = bench::BenchReport::Global();
+  report.Add("overhead", "epoch_p50_off", off_ms, "ms");
+  report.Add("overhead", "epoch_p50_on", on_ms, "ms");
+  report.Add("overhead", "overhead_pct", pct, "%");
+
+  if (!ok) {
+    return false;
+  }
+  if (max_pct > 0 && pct > double(max_pct) && delta_ms > kNoiseFloorMs) {
+    std::printf("OVERHEAD GATE FAILED: %.2f%% > %d%% (and %.3f ms > %.1f ms floor)\n", pct,
+                max_pct, delta_ms, kNoiseFloorMs);
+    return false;
+  }
+  return true;
 }
 
 int Main() {
@@ -304,11 +369,14 @@ int Main() {
   for (TransportOptions::Backend backend : bench::BackendsFromEnv()) {
     all_identical = PipelineSection(backend, num_agents, epochs, records) && all_identical;
   }
+
+  all_identical = OverheadSection(num_agents, epochs, records) && all_identical;
   transport::CleanupShmByPrefix(BenchShmPrefix());
 
   bench::Section("shape check");
   std::printf("standing results byte-identical to fresh polls on every backend: %s\n",
               all_identical ? "YES" : "NO");
+  bench::BenchReport::Global().WriteIfRequested();
   return all_identical ? 0 : 1;
 }
 

@@ -21,6 +21,7 @@
 // of these and SIGKILLs one mid-epoch to exercise crash semantics.
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,9 @@
 #include <unistd.h>
 
 #include "src/cherrypick/codec.h"
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/edge/edge_agent.h"
 #include "src/topology/fat_tree.h"
 #include "src/topology/link_labels.h"
@@ -61,6 +65,12 @@ int main(int argc, char** argv) {
   const HostId host = HostId(std::strtoul(argv[2], nullptr, 10));
   const size_t shards = std::strtoul(argv[3], nullptr, 10);
 
+  // Tag every log line with this worker's identity.  The component
+  // pointer must outlive the process, so the buffer is leaked on purpose.
+  char* component = new char[32];
+  std::snprintf(component, 32, "agent:%u", host);
+  SetLogComponent(component);
+
   auto client = ShmAgentClient::Open(shm_name);
   if (client == nullptr) {
     std::fprintf(stderr, "agent_worker: cannot map %s\n", shm_name.c_str());
@@ -79,12 +89,49 @@ int main(int argc, char** argv) {
     return 3;
   }
 
+  // Exit-time trace dump: set PATHDUMP_TRACE_OUT=<path> to capture this
+  // worker's span ring as Chrome-trace JSON (path gets ".<host>" appended
+  // so a fleet sharing the env var never clobbers itself).
+  const char* trace_env = std::getenv("PATHDUMP_TRACE_OUT");
+  auto dump_trace = [&] {
+    if (trace_env == nullptr || trace_env[0] == '\0') {
+      return;
+    }
+    const std::string path = std::string(trace_env) + "." + std::to_string(host);
+    Tracer::Global().WriteChromeTraceFile(path.c_str());
+  };
+
+  // Periodic observability report: every ~5s of serving, log what moved
+  // since the last report.  Diffing snapshots keeps the line small and
+  // makes a quiet interval obvious (all zeros).
+  MetricsSnapshot last_snap = MetricsRegistry::Global().Snapshot();
+  auto last_report = std::chrono::steady_clock::now();
+  auto report_if_due = [&] {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_report < std::chrono::seconds(5)) {
+      return;
+    }
+    last_report = now;
+    MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    MetricsSnapshot delta = snap.Diff(last_snap);
+    last_snap = std::move(snap);
+    Logf(LogLevel::kInfo,
+         "interval: %llu tib inserts, %llu epoch ticks, %llu deltas (%llu B), %llu ring pushes",
+         (unsigned long long)delta.counters["tib.inserts"],
+         (unsigned long long)delta.counters["epoch.ticks"],
+         (unsigned long long)delta.counters["standing.deltas_produced"],
+         (unsigned long long)delta.counters["standing.delta_bytes_produced"],
+         (unsigned long long)delta.counters["ring.delta_pushes"]);
+  };
+
   for (;;) {
     DecodedFrame cmd;
     if (!client->PollCommand(&cmd, 200'000)) {
       if (!ControllerAlive(client->segment())) {
+        dump_trace();
         return 0;  // controller died; don't linger as an orphan
       }
+      report_if_due();
       continue;
     }
     switch (cmd.type) {
@@ -110,9 +157,11 @@ int main(int argc, char** argv) {
         break;
       case FrameType::kShutdown:
         client->SendBye(host);
+        dump_trace();
         return 0;
       default:
         break;  // data-plane frame types never arrive on the cmd ring
     }
+    report_if_due();
   }
 }

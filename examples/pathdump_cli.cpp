@@ -13,13 +13,18 @@
 //   pathdump_cli matrix             ToR-to-ToR traffic matrix
 //   pathdump_cli hunt               inject a silent dropper and localize it
 //   pathdump_cli rules              static rule budget per switch role
+//   pathdump_cli stats [k]          run a standing top-k workload, then dump
+//                                   the process metrics registry (counters,
+//                                   gauges, latency histograms)
 //
 // Options (before the command): --fat-tree <k>, --seed <n>,
 // --seconds <s>, --workers <n> (controller query fan-out threads;
 // results are byte-identical at any worker count), --standing (serve
 // topk/flowlist from a standing subscription fed by epoch deltas during
 // the run instead of a full-scan poll; the result is byte-identical —
-// flowlist rides the per-record delta channel, topk the per-flow one).
+// flowlist rides the per-record delta channel, topk the per-flow one),
+// --trace-out <path> (write the span ring as Chrome-trace JSON on exit;
+// open in chrome://tracing or Perfetto).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +32,8 @@
 #include <string>
 
 #include "src/apps/silent_drop.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/apps/traffic_measure.h"
 #include "src/controller/controller.h"
 #include "src/controller/subscription.h"
@@ -49,13 +56,32 @@ struct Cli {
   bool standing = false;
   std::string command = "topk";
   std::string arg;
+  std::string trace_out;
 };
 
 void Usage() {
   std::printf(
       "usage: pathdump_cli [--fat-tree k] [--seed n] [--seconds s] [--workers n] [--standing] "
-      "<topk [k] | flows <switch> | flowlist <switch> | paths <host> | matrix | hunt | rules>\n");
+      "[--trace-out path] "
+      "<topk [k] | flows <switch> | flowlist <switch> | paths <host> | matrix | hunt | rules | "
+      "stats [k]>\n");
 }
+
+// Writes the span ring on every exit path (the command handlers return
+// from main directly).
+struct TraceDumpOnExit {
+  std::string path;
+  ~TraceDumpOnExit() {
+    if (path.empty()) {
+      return;
+    }
+    if (Tracer::Global().WriteChromeTraceFile(path.c_str())) {
+      std::printf("wrote %zu spans to %s\n", Tracer::Global().Snapshot().size(), path.c_str());
+    } else {
+      std::printf("failed to write trace to %s\n", path.c_str());
+    }
+  }
+};
 
 }  // namespace
 
@@ -73,6 +99,10 @@ int main(int argc, char** argv) {
       cli.workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--standing") == 0) {
       cli.standing = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      cli.trace_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      cli.trace_out = argv[i] + 12;
     } else {
       break;
     }
@@ -87,6 +117,7 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  TraceDumpOnExit trace_dump{cli.trace_out};
 
   Topology topo = BuildFatTree(cli.k);
   Router router(&topo);
@@ -144,7 +175,7 @@ int main(int argc, char** argv) {
     }
     flowlist_link = LinkId{kInvalidNode, sw};
   }
-  if (cli.standing && cli.command == "topk") {
+  if ((cli.standing && cli.command == "topk") || cli.command == "stats") {
     standing_sub = SubscribeTopK(subscriptions, controller.registered_hosts(), topk_k);
   }
   if (cli.standing && cli.command == "flowlist") {
@@ -162,6 +193,19 @@ int main(int argc, char** argv) {
   std::printf("simulated %zu flows over %.0fs on FatTree(%d)\n\n", flows.size(), cli.seconds,
               cli.k);
 
+  if (cli.command == "stats") {
+    // Exercise the full epoch pipeline once (tick → fold → materialize)
+    // and a poll execute, then dump everything the registry saw.
+    subscriptions.TickEpoch();
+    TopKFlows standing_top = TopKStanding(subscriptions, standing_sub);
+    TopKFlows poll = TopKAcrossHosts(controller, controller.registered_hosts(), topk_k,
+                                     TimeRange::All(), /*multi_level=*/false);
+    std::printf("standing top-%zu poll-identical: %s\n\n", topk_k,
+                standing_top == poll ? "yes" : "NO");
+    MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    std::printf("%s", snap.ToText().c_str());
+    return standing_top == poll ? 0 : 1;
+  }
   if (cli.command == "topk") {
     TopKFlows top;
     if (cli.standing) {

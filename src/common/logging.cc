@@ -1,12 +1,27 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace pathdump {
 
 namespace {
 std::atomic<int> g_level{int(LogLevel::kWarn)};
+std::atomic<const char*> g_component{"pathdump"};
+
+// The sink and the formatting buffer share one mutex: lines reach the
+// sink (or stderr) whole, never interleaved mid-line across threads.
+std::mutex g_sink_mu;
+LogSink g_sink;  // guarded by g_sink_mu
+
+// Seconds since the first log call (steady clock) — monotonic, so lines
+// from one process sort by prefix even when stderr interleaves buffers.
+double MonotonicSeconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,16 +43,36 @@ void SetLogLevel(LogLevel level) { g_level.store(int(level), std::memory_order_r
 
 LogLevel GetLogLevel() { return LogLevel(g_level.load(std::memory_order_relaxed)); }
 
+void SetLogComponent(const char* component) {
+  g_component.store(component != nullptr ? component : "pathdump", std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
 void Logf(LogLevel level, const char* fmt, ...) {
   if (int(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[pathdump %s] ", LevelName(level));
+  char line[1024];
+  int prefix = std::snprintf(line, sizeof(line), "[%9.3fs %s %s] ", MonotonicSeconds(),
+                             g_component.load(std::memory_order_relaxed), LevelName(level));
+  if (prefix < 0) {
+    prefix = 0;
+  }
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(line + prefix, sizeof(line) - size_t(prefix), fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line);
+  }
 }
 
 }  // namespace pathdump

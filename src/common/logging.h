@@ -3,11 +3,22 @@
 // PathDump components log sparingly (alarm delivery, controller decisions).
 // The default threshold is kWarn so tests and benches stay quiet; examples
 // lower it to kInfo to narrate what the system is doing.
+//
+// Every line carries a monotonic timestamp (seconds since process start,
+// steady clock) and a component tag, so interleaved multi-process output
+// (controller + agent_worker fleet) stays attributable and ordered:
+//
+//   [   12.034s agent:7 INFO] epoch 42 acked
+//
+// The component tag is process-wide (SetLogComponent) — one process is
+// one component in this system.  Tests capture output structurally via
+// SetLogSink instead of scraping stderr.
 
 #ifndef PATHDUMP_SRC_COMMON_LOGGING_H_
 #define PATHDUMP_SRC_COMMON_LOGGING_H_
 
 #include <cstdarg>
+#include <functional>
 
 namespace pathdump {
 
@@ -23,7 +34,19 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// printf-style logging to stderr with a level prefix.
+// Sets the process-wide component tag (default "pathdump").  The pointer
+// must stay valid for the process lifetime — pass a string literal or a
+// leaked buffer (agent_worker does the latter to embed its host id).
+void SetLogComponent(const char* component);
+
+// Captures formatted lines instead of writing them to stderr.  The sink
+// receives the level and the fully formatted line (prefix included, no
+// trailing newline).  Pass nullptr to restore stderr output.  The sink
+// may be called from any thread; calls are serialized by the logger.
+using LogSink = std::function<void(LogLevel, const char* line)>;
+void SetLogSink(LogSink sink);
+
+// printf-style logging with the timestamp + component + level prefix.
 void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
 }  // namespace pathdump

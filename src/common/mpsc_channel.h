@@ -51,9 +51,12 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "src/common/metrics.h"
 
 namespace pathdump {
 
@@ -69,6 +72,14 @@ struct MpscChannelOptions {
   // Largest batch the drain worker pulls in one go.
   size_t max_batch = 256;
   MpscOverflowPolicy overflow = MpscOverflowPolicy::kBlock;
+  // When non-empty, the channel mirrors its counters into the process
+  // metrics registry under "<metric_prefix>.submitted" / ".dropped" /
+  // ".blocked_enqueues" / ".processed" / ".batches" and exposes its
+  // queue depth as the "<metric_prefix>.depth" gauge.  Registry values
+  // are process-wide totals across every channel sharing the prefix;
+  // stats() stays the exact per-instance view.  Resolved at
+  // construction only (Reconfigure does not re-register).
+  std::string metric_prefix;
 };
 
 // All counters are cumulative since construction (Reconfigure keeps them).
@@ -131,6 +142,16 @@ class MpscChannel {
 
   MpscChannel(MpscChannelOptions options, Consumer consumer)
       : options_(options), consumer_(std::move(consumer)) {
+    if (!options_.metric_prefix.empty()) {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      const std::string& p = options_.metric_prefix;
+      m_submitted_ = reg.GetCounter(p + ".submitted");
+      m_dropped_ = reg.GetCounter(p + ".dropped");
+      m_blocked_ = reg.GetCounter(p + ".blocked_enqueues");
+      m_processed_ = reg.GetCounter(p + ".processed");
+      m_batches_ = reg.GetCounter(p + ".batches");
+      m_depth_ = reg.GetGauge(p + ".depth");
+    }
     drain_ = std::thread([this] { DrainLoop(); });
   }
 
@@ -161,23 +182,33 @@ class MpscChannel {
     // drain-everything guarantee covers items accepted before ~MpscChannel.
     if (stop_) {
       ++stats_.dropped;
+      CountDropped();
       return false;
     }
     if (queue_.size() >= options_.capacity) {
       if (options_.overflow == MpscOverflowPolicy::kDropNewest) {
         ++stats_.dropped;
+        CountDropped();
         return false;
       }
       ++stats_.blocked_enqueues;
+      if (m_blocked_ != nullptr) {
+        m_blocked_->Add();
+      }
       space_cv_.wait(lock, [this] { return queue_.size() < options_.capacity || stop_; });
       if (stop_) {
         ++stats_.dropped;
+        CountDropped();
         return false;
       }
     }
     item.seq = next_seq_++;
     queue_.push_back(std::move(item));
     ++stats_.submitted;
+    if (m_submitted_ != nullptr) {
+      m_submitted_->Add();
+      m_depth_->Set(int64_t(queue_.size()));
+    }
     work_cv_.notify_one();
     return true;
   }
@@ -236,6 +267,11 @@ class MpscChannel {
       }
       ++stats_.batches;
       stats_.max_batch = std::max<uint64_t>(stats_.max_batch, take);
+      if (m_batches_ != nullptr) {
+        m_batches_->Add();
+        m_processed_->Add(take);
+        m_depth_->Set(int64_t(queue_.size()));
+      }
       lock.unlock();
       space_cv_.notify_all();
 
@@ -244,6 +280,12 @@ class MpscChannel {
       lock.lock();
       stats_.processed += take;
       flush_cv_.notify_all();
+    }
+  }
+
+  void CountDropped() {
+    if (m_dropped_ != nullptr) {
+      m_dropped_->Add();
     }
   }
 
@@ -256,6 +298,15 @@ class MpscChannel {
   bool stop_ = false;
   uint64_t next_seq_ = 0;
   MpscChannelStats stats_;
+
+  // Registry mirrors (all null when options_.metric_prefix is empty;
+  // m_submitted_ doubles as the "mirroring on" flag for the push side).
+  Counter* m_submitted_ = nullptr;
+  Counter* m_dropped_ = nullptr;
+  Counter* m_blocked_ = nullptr;
+  Counter* m_processed_ = nullptr;
+  Counter* m_batches_ = nullptr;
+  Gauge* m_depth_ = nullptr;
 
   const Consumer consumer_;
   std::thread drain_;

@@ -1,0 +1,107 @@
+#include "src/common/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/metrics.h"
+
+namespace pathdump {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+Tracer::Tracer(size_t capacity) : epoch_(std::chrono::steady_clock::now()) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+uint64_t Tracer::NowUs() const {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count());
+}
+
+void Tracer::Record(const char* name, uint64_t start_us, uint64_t dur_us,
+                    const TraceKeys& keys) {
+  if (!enabled()) {
+    return;
+  }
+  const uint32_t tid = metrics_internal::ThreadIndex();
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan& slot = ring_[next_ % ring_.size()];
+  slot.name = name;
+  slot.seq = next_;
+  slot.start_us = start_us;
+  slot.dur_us = dur_us;
+  slot.tid = tid;
+  slot.keys = keys;
+  ++next_;
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  const size_t cap = ring_.size();
+  const uint64_t first = next_ > cap ? next_ - cap : 0;  // oldest retained seq
+  out.reserve(size_t(next_ - first));
+  for (uint64_t s = first; s < next_; ++s) {
+    out.push_back(ring_[s % cap]);
+  }
+  return out;
+}
+
+void Tracer::WriteChromeTrace(std::string* out) const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  *out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) {
+      *out += ',';
+    }
+    first = false;
+    // Complete ("X") events: chrome://tracing stacks overlapping spans
+    // per (pid, tid) row; the correlation keys ride in args.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32
+                  ",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                  ",\"args\":{\"sub\":%" PRIu64 ",\"host\":%" PRIu32 ",\"epoch\":%" PRIu64
+                  ",\"seq\":%" PRIu64 "}}",
+                  span.name, span.tid, span.start_us, span.dur_us, span.keys.sub,
+                  span.keys.host, span.keys.epoch, span.seq);
+    *out += buf;
+  }
+  *out += "]}";
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::string json;
+  WriteChromeTrace(&json);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(capacity == 0 ? 1 : capacity, TraceSpan{});
+  next_ = 0;
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+}
+
+}  // namespace pathdump

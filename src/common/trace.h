@@ -1,0 +1,139 @@
+// Always-on, bounded ring-buffer span tracer for the epoch pipeline.
+//
+// Every stage of the standing-query path — epoch tick, TakeDelta, wire
+// encode, ring push, reactor pop, fold, materialize — plus poll-query
+// execute phases, the alarm pipeline, and (sampled) TIB inserts records
+// a TraceSpan carrying the correlation keys (sub, host, epoch).  Spans
+// land in a fixed-capacity ring that overwrites the oldest entry, so
+// tracing is always on, memory is bounded, and the newest window of
+// activity is always exportable — ask for a trace AFTER something odd
+// happened, not before.
+//
+//   TraceScope span("fold", {sub, host, epoch});   // RAII: times itself
+//   ...
+//   Tracer::Global().WriteChromeTrace(&json);      // chrome://tracing
+//
+// Reading a trace of one epoch: filter by epoch in the args; the span
+// chain for one (sub, host, epoch) runs tick -> take_delta -> wire.encode
+// -> ring.push -> reactor.pop -> fold, with materialize at the boundary.
+//
+// Cost: one steady_clock read at scope entry and one read + short
+// critical section (ring slot write under a mutex) at exit.  Disabled
+// (Tracer::SetEnabled(false)): one relaxed load per scope.  High-
+// frequency call sites (TIB insert) sample — see kTraceSampleMask in
+// tib.cc — so the tracer never sits on a per-record hot path unsampled.
+//
+// The ring is process-local: agent_worker processes own their spans and
+// can dump them via PATHDUMP_TRACE_OUT; the controller's ring covers
+// everything in-process including the reactor's side of the shm path.
+
+#ifndef PATHDUMP_SRC_COMMON_TRACE_H_
+#define PATHDUMP_SRC_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pathdump {
+
+// Correlation keys stitching one delta's journey across stages (0 = not
+// applicable for that key).
+struct TraceKeys {
+  uint64_t sub = 0;    // subscription id
+  uint32_t host = 0;   // agent host id
+  uint64_t epoch = 0;  // per-(sub, host) epoch number
+};
+
+struct TraceSpan {
+  const char* name = "";  // static string (string literals only)
+  uint64_t seq = 0;       // global record order (assigned by the ring)
+  uint64_t start_us = 0;  // microseconds since tracer epoch (steady clock)
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;  // dense per-thread index (metrics_internal::ThreadIndex)
+  TraceKeys keys;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 15;  // spans retained
+
+  static Tracer& Global();
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Microseconds since this tracer was constructed (steady clock) — the
+  // time base of every span.
+  uint64_t NowUs() const;
+
+  // Records one finished span; assigns its seq.  Oldest span is
+  // overwritten once the ring is full.
+  void Record(const char* name, uint64_t start_us, uint64_t dur_us, const TraceKeys& keys);
+
+  // The retained spans, oldest first (record order).  At most capacity()
+  // entries — overflow keeps the newest.
+  std::vector<TraceSpan> Snapshot() const;
+
+  // Chrome-trace (chrome://tracing / Perfetto) JSON: one complete "X"
+  // event per span, correlation keys in args.  Appends to *out.
+  void WriteChromeTrace(std::string* out) const;
+  // Convenience: dump straight to a file; false on open/write failure.
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Swaps the ring bound (drops retained spans).  Test convenience.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+  // Drops retained spans (capacity and enablement unchanged).
+  void Clear();
+  // Spans recorded since construction (not capped by the ring bound).
+  uint64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> recorded_{0};
+
+  mutable std::mutex mu_;        // ring slots + next_
+  std::vector<TraceSpan> ring_;  // capacity slots, wrapped by next_
+  uint64_t next_ = 0;            // total spans ever written to the ring
+};
+
+// RAII span: stamps the start on construction, records on destruction.
+// Keys may be filled in after construction (set_keys) once they are
+// known — e.g. a TakeDelta scope learns the epoch only at the end.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, TraceKeys keys = {})
+      : name_(name), keys_(keys), armed_(Tracer::Global().enabled()) {
+    if (armed_) {
+      start_us_ = Tracer::Global().NowUs();
+    }
+  }
+  ~TraceScope() {
+    if (armed_) {
+      Tracer& t = Tracer::Global();
+      t.Record(name_, start_us_, t.NowUs() - start_us_, keys_);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  void set_keys(const TraceKeys& keys) { keys_ = keys; }
+
+ private:
+  const char* name_;
+  TraceKeys keys_;
+  const bool armed_;  // enablement sampled once, at entry
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace pathdump
+
+#endif  // PATHDUMP_SRC_COMMON_TRACE_H_

@@ -3,16 +3,41 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace pathdump {
 
+namespace {
+
+// Alarm storms submit from many agent threads at once; tracing every
+// Submit would dominate the span ring.  1-in-256 per thread keeps storm
+// shape visible at negligible cost.
+constexpr uint32_t kSubmitSampleMask = 255;
+
+bool SampleThisSubmit() {
+  thread_local uint32_t counter = 0;
+  return (counter++ & kSubmitSampleMask) == 0;
+}
+
+}  // namespace
+
 AlarmPipeline::AlarmPipeline(AlarmPipelineOptions options)
     : options_(options),
-      channel_(MpscChannelOptions{options.queue_capacity, options.max_batch, options.overflow},
+      channel_(MpscChannelOptions{options.queue_capacity, options.max_batch, options.overflow,
+                                  "alarm.channel"},
                [this](std::vector<Alarm>& batch) { ProcessBatch(batch); }) {
   if (options_.dispatch_workers > 1) {
     dispatch_pool_ = std::make_unique<ThreadPool>(options_.dispatch_workers);
   }
+}
+
+bool AlarmPipeline::Submit(const Alarm& alarm) {
+  if (MetricsRegistry::enabled() && SampleThisSubmit()) {
+    TraceScope span("alarm.submit", TraceKeys{0, alarm.host, 0});
+    return channel_.Submit(alarm);
+  }
+  return channel_.Submit(alarm);
 }
 
 void AlarmPipeline::Subscribe(AlarmHandler handler) {
@@ -39,6 +64,9 @@ AlarmPipelineStats AlarmPipeline::stats() const {
 }
 
 void AlarmPipeline::ProcessBatch(std::vector<Alarm>& batch) {
+  static Counter* m_suppressed = MetricsRegistry::Global().GetCounter("alarm.suppressed");
+  static Counter* m_delivered = MetricsRegistry::Global().GetCounter("alarm.delivered");
+  TraceScope drain_span("alarm.drain", TraceKeys{});
   // Suppression runs on the drain worker in sequence order, so the set of
   // survivors depends only on submission order, never on dispatch timing.
   std::vector<Alarm> survivors;
@@ -72,6 +100,8 @@ void AlarmPipeline::ProcessBatch(std::vector<Alarm>& batch) {
   }
   suppressed_.fetch_add(suppressed, std::memory_order_acq_rel);
   delivered_.fetch_add(survivors.size(), std::memory_order_acq_rel);
+  m_suppressed->Add(suppressed);
+  m_delivered->Add(survivors.size());
   if (survivors.empty()) {
     return;
   }
@@ -109,6 +139,7 @@ void AlarmPipeline::ProcessBatch(std::vector<Alarm>& batch) {
       }
     }
   };
+  TraceScope dispatch_span("alarm.dispatch", TraceKeys{});
   if (dispatch_pool_ != nullptr && subs.size() > 1) {
     dispatch_pool_->ParallelFor(subs.size(), dispatch_one);
   } else {

@@ -100,8 +100,9 @@ class AlarmPipeline {
   // alarm was rejected — by kDropNewest backpressure, or (under either
   // policy) because shutdown already began; rejects count in
   // stats().dropped.  Every accepted alarm is delivered, even across
-  // destruction.
-  bool Submit(const Alarm& alarm) { return channel_.Submit(alarm); }
+  // destruction.  Traced 1-in-256 per thread (storms would flood the
+  // span ring otherwise), which is why the body lives in the .cc.
+  bool Submit(const Alarm& alarm);
 
   // Registers a handler; it will see every subsequently delivered alarm,
   // in sequence order.  Thread-safe.

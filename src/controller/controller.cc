@@ -4,6 +4,9 @@
 #include <atomic>
 #include <chrono>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+
 namespace pathdump {
 
 namespace {
@@ -37,6 +40,7 @@ void Controller::SetWorkerThreads(size_t n) {
 }
 
 Controller::TimedResult Controller::RunOn(EdgeAgent& agent, const QueryFn& query) const {
+  TraceScope span("query.scan", TraceKeys{0, uint32_t(agent.host()), 0});
   auto t0 = std::chrono::steady_clock::now();
   TimedResult out;
   out.result = query(agent);
@@ -65,6 +69,9 @@ void Controller::RunAll(const std::vector<EdgeAgent*>& agents, const QueryFn& qu
 
 std::pair<QueryResult, QueryExecStats> Controller::Execute(const std::vector<HostId>& hosts,
                                                            const QueryFn& query) const {
+  static Counter* executes = MetricsRegistry::Global().GetCounter("query.executes");
+  executes->Add();
+  TraceScope span("query.execute", TraceKeys{});
   QueryExecStats stats;
   stats.hosts = hosts.size();
 
@@ -83,6 +90,7 @@ std::pair<QueryResult, QueryExecStats> Controller::Execute(const std::vector<Hos
   // response arrives after request transfer + execution + response
   // transfer.  Controller-side aggregation is sequential: measure the real
   // merge.
+  TraceScope reduce_span("query.reduce", TraceKeys{});
   QueryResult merged;
   double latest_arrival = 0;
   double merge_seconds = 0;
@@ -109,6 +117,9 @@ std::pair<QueryResult, QueryExecStats> Controller::Execute(const std::vector<Hos
 
 std::pair<QueryResult, QueryExecStats> Controller::ExecuteMultiLevel(
     const std::vector<HostId>& hosts, const QueryFn& query, int top_fanout, int fanout) const {
+  static Counter* executes = MetricsRegistry::Global().GetCounter("query.executes");
+  executes->Add();
+  TraceScope span("query.multilevel", TraceKeys{});
   QueryExecStats stats;
   stats.hosts = hosts.size();
   AggregationTree tree = BuildAggregationTree(hosts, top_fanout, fanout);

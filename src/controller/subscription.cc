@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/controller/controller.h"
 #include "src/edge/edge_agent.h"
 
@@ -13,7 +15,7 @@ SubscriptionManager::SubscriptionManager(Controller* controller,
     : controller_(controller),
       options_(options),
       channel_(MpscChannelOptions{options.queue_capacity, options.max_batch,
-                                  MpscOverflowPolicy::kBlock},
+                                  MpscOverflowPolicy::kBlock, "sub.channel"},
                [this](std::vector<QueryDelta>& batch) { FoldBatch(batch); }) {}
 
 SubscriptionManager::~SubscriptionManager() {
@@ -168,7 +170,14 @@ bool SubscriptionManager::SubmitDelta(QueryDelta delta) {
 void SubscriptionManager::Flush() { channel_.Flush(); }
 
 void SubscriptionManager::FoldReady(Subscription& sub, HostState& hs,
-                                    const PendingDelta& delta) {
+                                    const PendingDelta& delta, const TraceKeys& keys) {
+  // Fold-side registry mirrors: process-wide atomic totals alongside the
+  // exact per-manager atomics and per-subscription (state_mu_-guarded)
+  // views, so external readers never touch unsynchronized state.
+  static Counter* m_folded = MetricsRegistry::Global().GetCounter("sub.deltas_folded");
+  static Counter* m_bytes = MetricsRegistry::Global().GetCounter("sub.delta_bytes");
+  static Counter* m_updates = MetricsRegistry::Global().GetCounter("sub.flow_updates");
+  TraceScope span("fold", keys);
   uint64_t updates;
   if (sub.spec.IsRecordKind()) {
     hs.records.Fold(sub.spec, delta.records);
@@ -183,26 +192,34 @@ void SubscriptionManager::FoldReady(Subscription& sub, HostState& hs,
   deltas_folded_.fetch_add(1, std::memory_order_acq_rel);
   flow_updates_.fetch_add(updates, std::memory_order_acq_rel);
   delta_bytes_.fetch_add(delta.wire_bytes, std::memory_order_acq_rel);
+  m_folded->Add();
+  m_bytes->Add(delta.wire_bytes);
+  m_updates->Add(updates);
 }
 
 void SubscriptionManager::FoldBatch(std::vector<QueryDelta>& batch) {
+  static Counter* m_orphaned = MetricsRegistry::Global().GetCounter("sub.deltas_orphaned");
+  static Counter* m_reordered = MetricsRegistry::Global().GetCounter("sub.deltas_reordered");
   std::lock_guard<std::mutex> state(state_mu_);
   for (QueryDelta& d : batch) {
     auto it = subscriptions_.find(d.subscription_id);
     if (it == subscriptions_.end()) {
       deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
+      m_orphaned->Add();
       continue;
     }
     Subscription& sub = it->second;
     auto hit = sub.host_state.find(d.host);
     if (hit == sub.host_state.end()) {
       deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
+      m_orphaned->Add();
       continue;
     }
     HostState& hs = hit->second;
     if (d.epoch < hs.next_epoch) {
       // Duplicate (already folded) — fold-once means drop.
       deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
+      m_orphaned->Add();
       continue;
     }
     const size_t wire_bytes = d.SerializedSize();
@@ -218,22 +235,32 @@ void SubscriptionManager::FoldBatch(std::vector<QueryDelta>& batch) {
               .second;
       if (inserted) {
         deltas_reordered_.fetch_add(1, std::memory_order_acq_rel);
+        m_reordered->Add();
       } else {
         deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
+        m_orphaned->Add();
       }
       continue;
     }
-    FoldReady(sub, hs, PendingDelta{std::move(d.payload), std::move(d.records), wire_bytes});
+    const TraceKeys keys{d.subscription_id, d.host, d.epoch};
+    FoldReady(sub, hs, PendingDelta{std::move(d.payload), std::move(d.records), wire_bytes},
+              keys);
     // The arrival may have closed a gap — fold the now-contiguous run.
     for (auto pit = hs.pending.begin();
          pit != hs.pending.end() && pit->first == hs.next_epoch;) {
-      FoldReady(sub, hs, pit->second);
+      FoldReady(sub, hs, pit->second, TraceKeys{d.subscription_id, d.host, pit->first});
       pit = hs.pending.erase(pit);
     }
   }
 }
 
 QueryResult SubscriptionManager::Materialize(uint64_t id) {
+  static Counter* materializes = MetricsRegistry::Global().GetCounter("sub.materializes");
+  static LatencyHistogram* mat_us =
+      MetricsRegistry::Global().GetHistogram("sub.materialize_us");
+  materializes->Add();
+  TraceScope span("materialize", TraceKeys{id, 0, 0});
+  const uint64_t t0 = Tracer::Global().NowUs();
   Flush();
   // Snapshot the folded state under state_mu_, but materialize and merge
   // outside it: the per-host sort/merge can take hundreds of ms at
@@ -283,6 +310,7 @@ QueryResult SubscriptionManager::Materialize(uint64_t id) {
       MergeQueryResult(merged, host_result);
     }
   }
+  mat_us->Record(Tracer::Global().NowUs() - t0);
   return merged;
 }
 

@@ -48,6 +48,7 @@
 
 #include "src/common/flow_delta.h"
 #include "src/common/mpsc_channel.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/edge/query.h"
 #include "src/edge/standing_query.h"
@@ -174,7 +175,9 @@ class SubscriptionManager {
   // channel's drain worker.
   void FoldBatch(std::vector<QueryDelta>& batch);
   // Applies one contiguous-epoch delta to `hs`; caller holds state_mu_.
-  void FoldReady(Subscription& sub, HostState& hs, const PendingDelta& delta);
+  // `keys` carries the (sub, host, epoch) correlation for the fold span.
+  void FoldReady(Subscription& sub, HostState& hs, const PendingDelta& delta,
+                 const TraceKeys& keys);
   // Uninstalls the periodic ticks and accumulators on every attached
   // agent; must be called WITHOUT state_mu_ held (takes agent locks).
   void DetachAgents(Subscription& sub);

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace pathdump {
 
@@ -388,11 +390,16 @@ int EdgeAgent::RegisterStandingQuery(uint64_t subscription_id, const StandingQue
 // target may be mid-destruction), and holds the gate across the sink
 // call so unregister can fence the delivery out.
 bool EdgeAgent::TickRegistration(StandingRegistration& reg) {
+  static Counter* ticks = MetricsRegistry::Global().GetCounter("epoch.ticks");
+  ticks->Add();
+  TraceScope span("epoch.tick", TraceKeys{reg.accumulator->subscription_id(),
+                                          uint32_t(reg.accumulator->host()), 0});
   std::lock_guard<std::mutex> gate(reg.gate);
   if (reg.detached) {
     return false;
   }
   if (auto delta = reg.accumulator->TakeDelta()) {
+    span.set_keys(TraceKeys{delta->subscription_id, uint32_t(delta->host), delta->epoch});
     reg.sink(std::move(*delta));
   }
   return true;

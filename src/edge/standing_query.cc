@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+
 namespace pathdump {
 
 namespace {
@@ -137,6 +140,19 @@ void StandingQueryAccumulator::OnInsert(size_t shard_index, uint64_t record_id,
 }
 
 std::optional<QueryDelta> StandingQueryAccumulator::TakeDelta() {
+  static Counter* produced =
+      MetricsRegistry::Global().GetCounter("standing.deltas_produced");
+  static Counter* produced_bytes =
+      MetricsRegistry::Global().GetCounter("standing.delta_bytes_produced");
+  static Counter* empty_ticks =
+      MetricsRegistry::Global().GetCounter("standing.empty_ticks");
+  static LatencyHistogram* take_us =
+      MetricsRegistry::Global().GetHistogram("standing.take_delta_us");
+  // Keys are completed once the epoch number is known (epoch stays 0 for
+  // an empty tick, which consumes no epoch number).
+  TraceKeys keys{subscription_id_, uint32_t(host_), 0};
+  const uint64_t t0 = Tracer::Global().NowUs();
+
   std::lock_guard<std::mutex> tick(tick_mu_);
   QueryDelta delta;
   if (spec_.IsRecordKind()) {
@@ -152,21 +168,28 @@ std::optional<QueryDelta> StandingQueryAccumulator::TakeDelta() {
       }
     }
     delta.records = RecordDelta::FromShardBuffers(decoded);
-    if (delta.records.empty()) {
-      return std::nullopt;
-    }
   } else {
     std::vector<FlowBytesMap> snapshot(partial_.size());
     tib_->ForEachShardExclusive([&](size_t si) { snapshot[si].swap(partial_[si]); });
     delta.payload = FlowBytesDelta::FromShardMaps(snapshot);
-    if (delta.payload.empty()) {
-      return std::nullopt;
-    }
+  }
+  const bool empty = spec_.IsRecordKind() ? delta.records.empty() : delta.payload.empty();
+  if (empty) {
+    empty_ticks->Add();
+    Tracer::Global().Record("standing.take_delta", t0, Tracer::Global().NowUs() - t0, keys);
+    return std::nullopt;
   }
   delta.subscription_id = subscription_id_;
   delta.host = host_;
   delta.kind = spec_.kind;
   delta.epoch = next_epoch_++;
+
+  keys.epoch = delta.epoch;
+  const uint64_t dur = Tracer::Global().NowUs() - t0;
+  produced->Add();
+  produced_bytes->Add(delta.SerializedSize());
+  take_us->Record(dur);
+  Tracer::Global().Record("standing.take_delta", t0, dur, keys);
   return delta;
 }
 

@@ -7,11 +7,24 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
 
 namespace pathdump {
 
 namespace {
+
+// Inserts are the system's hottest path: every insert bumps one relaxed
+// counter, but clock reads and trace-ring pushes happen only on a
+// 1-in-(kTraceSampleMask+1) per-thread sample, keeping the overhead gate
+// honest (see bench_transport's instrumentation section).
+constexpr uint32_t kTraceSampleMask = 1023;
+
+bool SampleThisInsert() {
+  thread_local uint32_t n = 0;
+  return (++n & kTraceSampleMask) == 0;
+}
 
 // On-disk layout: 16-byte header then fixed-size rows.
 constexpr uint32_t kTibMagic = 0x50445442;  // "PDTB"
@@ -162,6 +175,13 @@ std::vector<T> ConcatPartials(const std::vector<std::vector<T>>& partial) {
 }  // namespace
 
 void Tib::Insert(const TibRecord& rec) {
+  static Counter* inserts = MetricsRegistry::Global().GetCounter("tib.inserts");
+  static LatencyHistogram* insert_us =
+      MetricsRegistry::Global().GetHistogram("tib.insert_us");
+  inserts->Add();
+  const bool sampled = MetricsRegistry::enabled() && SampleThisInsert();
+  const uint64_t t0 = sampled ? Tracer::Global().NowUs() : 0;
+
   const size_t si = ShardOf(rec.flow);
   Shard& s = *shards_[si];
   std::unique_lock<std::shared_mutex> lock(s.mu);
@@ -190,6 +210,11 @@ void Tib::Insert(const TibRecord& rec) {
   // read is race-free, and per-shard partials need no lock of their own.
   for (const auto& [hook_id, hook] : insert_hooks_) {
     hook(si, id, rec);
+  }
+  if (sampled) {
+    const uint64_t dur = Tracer::Global().NowUs() - t0;
+    insert_us->Record(dur);
+    Tracer::Global().Record("tib.insert", t0, dur, TraceKeys{});
   }
 }
 

@@ -7,6 +7,8 @@
 
 #include <unistd.h>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/controller/controller.h"
 #include "src/controller/subscription.h"
 
@@ -291,28 +293,40 @@ std::vector<HostId> TransportHub::dead_hosts() const {
 }
 
 void TransportHub::CountError(WireError err) {
+  static Counter* errors = MetricsRegistry::Global().GetCounter("transport.decode_errors");
   const size_t idx = size_t(err);
   if (idx < 8) {
     err_by_kind_[idx].fetch_add(1, std::memory_order_acq_rel);
+    errors->Add();
   }
 }
 
 void TransportHub::Dispatch(Peer& peer, DecodedFrame&& frame) {
+  static Counter* m_deltas = MetricsRegistry::Global().GetCounter("transport.deltas");
+  static Counter* m_alarms = MetricsRegistry::Global().GetCounter("transport.alarms");
+  static Counter* m_acks = MetricsRegistry::Global().GetCounter("transport.acks");
   switch (frame.type) {
     case FrameType::kHello:
       peer.pid.store(frame.pid, std::memory_order_release);
       peer.hello.store(true, std::memory_order_release);
       break;
-    case FrameType::kQueryDelta:
+    case FrameType::kQueryDelta: {
       deltas_.fetch_add(1, std::memory_order_acq_rel);
+      m_deltas->Add();
+      // Keys must be captured before the delta is moved into the manager.
+      TraceScope span("reactor.pop", TraceKeys{frame.delta.subscription_id,
+                                              frame.delta.host, frame.delta.epoch});
       manager_->SubmitDelta(std::move(frame.delta));
       break;
+    }
     case FrameType::kAlarm:
       alarms_.fetch_add(1, std::memory_order_acq_rel);
+      m_alarms->Add();
       alarm_sink_(frame.alarm);
       break;
     case FrameType::kAck: {
       acks_.fetch_add(1, std::memory_order_acq_rel);
+      m_acks->Add();
       // Tokens ascend; keep the max in case acks arrive reordered
       // across a restart.
       uint64_t prev = peer.last_ack.load(std::memory_order_relaxed);
@@ -334,10 +348,13 @@ void TransportHub::Dispatch(Peer& peer, DecodedFrame&& frame) {
 }
 
 size_t TransportHub::DrainPeer(Peer& peer, std::vector<uint8_t>& buf) {
+  static Counter* m_frames = MetricsRegistry::Global().GetCounter("transport.frames");
+  static Counter* m_bytes = MetricsRegistry::Global().GetCounter("transport.bytes");
   ShmSpscRing& ring = peer.segment->data_ring();
   size_t dispatched = 0;
   while (ring.Pop(buf)) {
     bytes_.fetch_add(buf.size(), std::memory_order_acq_rel);
+    m_bytes->Add(buf.size());
     DecodedFrame frame;
     const WireError err = DecodeFrame(buf.data(), buf.size(), &frame);
     if (err != WireError::kOk) {
@@ -345,6 +362,7 @@ size_t TransportHub::DrainPeer(Peer& peer, std::vector<uint8_t>& buf) {
       continue;
     }
     frames_.fetch_add(1, std::memory_order_acq_rel);
+    m_frames->Add();
     Dispatch(peer, std::move(frame));
     ++dispatched;
   }
@@ -370,7 +388,9 @@ void TransportHub::ReactorLoop() {
         const uint32_t pid = peer->pid.load(std::memory_order_acquire);
         const bool corrupt = peer->segment->data_ring().corrupt();
         if (corrupt || (pid != 0 && !PidAlive(pid) && peer->segment->data_ring().empty())) {
+          static Counter* dead = MetricsRegistry::Global().GetCounter("transport.peers_dead");
           peer->dead.store(true, std::memory_order_release);
+          dead->Add();
         }
       }
     }
@@ -414,10 +434,18 @@ bool ShmAgentClient::SendHello(HostId host) {
 }
 
 bool ShmAgentClient::SendDelta(const QueryDelta& delta) {
+  static Counter* pushes = MetricsRegistry::Global().GetCounter("ring.delta_pushes");
+  static LatencyHistogram* push_us =
+      MetricsRegistry::Global().GetHistogram("ring.delta_push_us");
+  TraceScope span("ring.push", TraceKeys{delta.subscription_id, delta.host, delta.epoch});
+  const uint64_t t0 = Tracer::Global().NowUs();
   std::lock_guard<std::mutex> lock(send_mu_);
   scratch_.clear();
   EncodeQueryDeltaFrame(delta, scratch_);
-  return PushFrame();
+  const bool ok = PushFrame();
+  pushes->Add();
+  push_us->Record(Tracer::Global().NowUs() - t0);
+  return ok;
 }
 
 bool ShmAgentClient::SendAlarm(const Alarm& alarm) {

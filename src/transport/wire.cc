@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/edge/tib.h"
 
 namespace pathdump {
@@ -260,6 +262,10 @@ uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed) {
 }
 
 size_t EncodeQueryDeltaFrame(const QueryDelta& delta, std::vector<uint8_t>& out) {
+  static Counter* frames = MetricsRegistry::Global().GetCounter("wire.frames_encoded");
+  static Counter* bytes = MetricsRegistry::Global().GetCounter("wire.bytes_encoded");
+  TraceScope span("wire.encode",
+                  TraceKeys{delta.subscription_id, delta.host, delta.epoch});
   const size_t start = BeginFrame(out, FrameType::kQueryDelta);
   // The 24-byte framing QueryDelta::SerializedSize charges: 8 + 4 + 8
   // padded to 24 — the pad carries the payload kind, so a decoder never
@@ -283,12 +289,15 @@ size_t EncodeQueryDeltaFrame(const QueryDelta& delta, std::vector<uint8_t>& out)
       }
     }
   } else {
-    for (const auto& [flow, bytes] : delta.payload.items) {
+    for (const auto& [flow, flow_bytes] : delta.payload.items) {
       PutTuple(out, flow);
-      PutU64(out, bytes);
+      PutU64(out, flow_bytes);
     }
   }
-  return FinishFrame(out, start);
+  const size_t total = FinishFrame(out, start);
+  frames->Add();
+  bytes->Add(total);
+  return total;
 }
 
 size_t EncodeAlarmFrame(const Alarm& alarm, std::vector<uint8_t>& out) {

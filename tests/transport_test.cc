@@ -28,6 +28,7 @@
 
 #include <unistd.h>
 
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 #include "src/controller/controller.h"
 #include "src/controller/subscription.h"
@@ -480,6 +481,7 @@ TEST_P(TransportBackendTest, StandingMatrixMatchesPollAcrossShardWorkerMatrix) {
     for (const StandingQuerySpec& spec : kSpecs) {
       subs.push_back(tb.hub.Subscribe(tb.hosts, spec));
     }
+    const MetricsSnapshot metrics_before = MetricsRegistry::Global().Snapshot();
 
     for (int epoch = 0; epoch < kEpochs; ++epoch) {
       tb.Ingest(uint32_t(kPerEpoch), 0xA100u * uint32_t(epoch + 1) + uint32_t(shards));
@@ -509,6 +511,31 @@ TEST_P(TransportBackendTest, StandingMatrixMatchesPollAcrossShardWorkerMatrix) {
         }
       }
       tb.controller.SetWorkerThreads(1);
+    }
+
+    // Registry accounting holds on both backends (shm agents are threads
+    // of this process, so both sides of the ring land in one registry):
+    // every delta the agents produced was folded — none orphaned, none
+    // lost in transit.  Diffed, not absolute: other tests in this binary
+    // share the process-wide registry.
+    {
+      const MetricsSnapshot md = MetricsRegistry::Global().Snapshot().Diff(metrics_before);
+      auto counter = [&md](const char* name) {
+        auto it = md.counters.find(name);
+        return it == md.counters.end() ? uint64_t(0) : it->second;
+      };
+      const uint64_t produced = counter("standing.deltas_produced");
+      EXPECT_GT(produced, 0u);
+      EXPECT_EQ(produced, counter("sub.deltas_folded") + counter("sub.deltas_orphaned"));
+      EXPECT_EQ(counter("sub.deltas_orphaned"), 0u);
+      if (GetParam() == Backend::kSharedMemory) {
+        // Every produced delta was wire-encoded, pushed onto a ring, and
+        // popped by the reactor exactly once.
+        EXPECT_EQ(counter("wire.frames_encoded"), produced);
+        EXPECT_EQ(counter("ring.delta_pushes"), produced);
+        EXPECT_EQ(counter("transport.deltas"), produced);
+        EXPECT_EQ(counter("transport.decode_errors"), 0u);
+      }
     }
 
     if (GetParam() == Backend::kSharedMemory) {
