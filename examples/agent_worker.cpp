@@ -1,24 +1,30 @@
 // agent_worker: one EdgeAgent as its own process.
 //
-//   agent_worker <shm_name> <host_id> <tib_shards>
+//   agent_worker <shm_name> <host_id> <tib_shards> [incarnation]
 //
-// Maps the shared-memory segment the controller created (AddShmPeer),
-// says Hello, and then serves the command ring until Shutdown:
+// Maps the shared-memory segment the controller created (AddShmPeer, or
+// RestartPeer for incarnation > 0), says Hello carrying the incarnation
+// number, and then serves the command ring until Shutdown:
 //
-//   Subscribe  -> register the standing query; deltas flow back over
-//                 the data ring via the client's delta sink
-//   Ingest     -> insert synthetic TIB records (tests/test_util.h) —
-//                 both sides of the cross-process harness generate
-//                 records from the same (seed, options), so the
-//                 controller can poll an identical in-process twin and
-//                 assert byte-identity without shipping records around
-//   EpochTick  -> tick every standing query, then Ack with the token
-//   Shutdown   -> Bye, drain, exit 0
+//   Subscribe     -> register the standing query; deltas flow back over
+//                    the data ring via the client's delta sink
+//   Ingest        -> insert synthetic TIB records (tests/test_util.h) —
+//                    both sides of the cross-process harness generate
+//                    records from the same (seed, options), so the
+//                    controller can poll an identical in-process twin and
+//                    assert byte-identity without shipping records around
+//   EpochTick     -> tick every standing query, then Ack with the token
+//   ResyncRequest -> ship a full-baseline Snapshot for the subscription
+//                    (crash recovery; see docs/ARCHITECTURE.md)
+//   Shutdown      -> Bye, drain, exit 0
 //
 // The worker also watches the controller's pid (segment header): if the
 // controller dies, the worker exits instead of lingering as an orphan
 // holding the mapping.  tests/transport_multiproc_test.cc forks a fleet
-// of these and SIGKILLs one mid-epoch to exercise crash semantics.
+// of these and SIGKILLs one mid-epoch to exercise crash semantics;
+// tests/transport_chaos_test.cc restarts the victims and asserts full
+// recovery.  PATHDUMP_FAULT_{SEED,DROP,CORRUPT,DELAY,DUP} install a
+// seeded data-plane fault injector (rates per 10,000 frames).
 
 #include <cerrno>
 #include <chrono>
@@ -57,13 +63,15 @@ int main(int argc, char** argv) {
   using namespace pathdump;
   using namespace pathdump::transport;
 
-  if (argc != 4) {
-    std::fprintf(stderr, "usage: %s <shm_name> <host_id> <tib_shards>\n", argv[0]);
+  if (argc != 4 && argc != 5) {
+    std::fprintf(stderr, "usage: %s <shm_name> <host_id> <tib_shards> [incarnation]\n",
+                 argv[0]);
     return 1;
   }
   const std::string shm_name = argv[1];
   const HostId host = HostId(std::strtoul(argv[2], nullptr, 10));
   const size_t shards = std::strtoul(argv[3], nullptr, 10);
+  const uint32_t incarnation = argc == 5 ? uint32_t(std::strtoul(argv[4], nullptr, 10)) : 0;
 
   // Tag every log line with this worker's identity.  The component
   // pointer must outlive the process, so the buffer is leaked on purpose.
@@ -71,10 +79,20 @@ int main(int argc, char** argv) {
   std::snprintf(component, 32, "agent:%u", host);
   SetLogComponent(component);
 
-  auto client = ShmAgentClient::Open(shm_name);
+  // Bounded connect: a restarted worker can race the hub's RestartPeer
+  // segment creation, so retry with backoff instead of failing once.
+  auto client = ShmAgentClient::OpenWithBackoff(shm_name, /*total_timeout_us=*/5'000'000);
   if (client == nullptr) {
     std::fprintf(stderr, "agent_worker: cannot map %s\n", shm_name.c_str());
     return 2;
+  }
+  const FaultInjectorConfig fault_cfg = FaultInjectorConfig::FromEnv();
+  if (fault_cfg.any()) {
+    // Per-host seed offset: a fleet sharing the env draws distinct but
+    // reproducible fault sequences.
+    FaultInjectorConfig cfg = fault_cfg;
+    cfg.seed += host;
+    client->SetFaultInjector(cfg);
   }
 
   Topology topo = BuildFatTree(4);
@@ -85,7 +103,7 @@ int main(int argc, char** argv) {
   EdgeAgent agent(host, &topo, &codec, cfg);
   agent.SetAlarmHandler(client->MakeAlarmSink());
 
-  if (!client->SendHello(host)) {
+  if (!client->SendHello(host, incarnation)) {
     return 3;
   }
 
@@ -154,6 +172,12 @@ int main(int argc, char** argv) {
       case FrameType::kEpochTick:
         agent.EpochTick();
         client->SendAck(host, cmd.token);
+        break;
+      case FrameType::kResyncRequest:
+        // Full-baseline snapshot; the delta sink routes it to a
+        // kSnapshot frame (never faulted) because QueryDelta::snapshot
+        // is set.
+        agent.ResyncStandingQuery(cmd.subscription_id);
         break;
       case FrameType::kShutdown:
         client->SendBye(host);

@@ -19,7 +19,11 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 void Controller::RegisterAgent(EdgeAgent* agent) {
-  if (agents_.emplace(agent->host(), agent).second) {
+  // Overwrite on re-registration: a restarted agent (chaos harness, real
+  // crash recovery) replaces its predecessor's pointer but keeps the
+  // host's original position in the merge order.
+  auto [it, inserted] = agents_.insert_or_assign(agent->host(), agent);
+  if (inserted) {
     host_order_.push_back(agent->host());
   }
 }

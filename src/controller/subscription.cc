@@ -200,58 +200,190 @@ void SubscriptionManager::FoldReady(Subscription& sub, HostState& hs,
 void SubscriptionManager::FoldBatch(std::vector<QueryDelta>& batch) {
   static Counter* m_orphaned = MetricsRegistry::Global().GetCounter("sub.deltas_orphaned");
   static Counter* m_reordered = MetricsRegistry::Global().GetCounter("sub.deltas_reordered");
-  std::lock_guard<std::mutex> state(state_mu_);
-  for (QueryDelta& d : batch) {
-    auto it = subscriptions_.find(d.subscription_id);
-    if (it == subscriptions_.end()) {
-      deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
-      m_orphaned->Add();
-      continue;
-    }
-    Subscription& sub = it->second;
-    auto hit = sub.host_state.find(d.host);
-    if (hit == sub.host_state.end()) {
-      deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
-      m_orphaned->Add();
-      continue;
-    }
-    HostState& hs = hit->second;
-    if (d.epoch < hs.next_epoch) {
-      // Duplicate (already folded) — fold-once means drop.
-      deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
-      m_orphaned->Add();
-      continue;
-    }
-    const size_t wire_bytes = d.SerializedSize();
-    if (d.epoch > hs.next_epoch) {
-      // Gap: an earlier epoch is still in flight.  Buffer; folding out
-      // of order would make intermediate materializations depend on
-      // arrival order.  A duplicate of an already-buffered epoch is a
-      // duplicate, not a reorder.
-      bool inserted =
-          hs.pending
-              .emplace(d.epoch,
-                       PendingDelta{std::move(d.payload), std::move(d.records), wire_bytes})
-              .second;
-      if (inserted) {
-        deltas_reordered_.fetch_add(1, std::memory_order_acq_rel);
-        m_reordered->Add();
-      } else {
+  static Counter* m_snapshot_folds = MetricsRegistry::Global().GetCounter("sub.snapshot_folds");
+  static Counter* m_stale_discarded =
+      MetricsRegistry::Global().GetCounter("sub.deltas_stale_discarded");
+  static Counter* m_resyncs = MetricsRegistry::Global().GetCounter("sub.resyncs");
+  // Streams the gap threshold marked stale this batch; the requester
+  // fires after state_mu_ is released (it pushes to a command ring).
+  std::vector<std::pair<uint64_t, HostId>> fire;
+  ResyncRequester requester;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    requester = resync_requester_;
+    for (QueryDelta& d : batch) {
+      auto it = subscriptions_.find(d.subscription_id);
+      if (it == subscriptions_.end()) {
         deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
         m_orphaned->Add();
+        continue;
       }
-      continue;
-    }
-    const TraceKeys keys{d.subscription_id, d.host, d.epoch};
-    FoldReady(sub, hs, PendingDelta{std::move(d.payload), std::move(d.records), wire_bytes},
-              keys);
-    // The arrival may have closed a gap — fold the now-contiguous run.
-    for (auto pit = hs.pending.begin();
-         pit != hs.pending.end() && pit->first == hs.next_epoch;) {
-      FoldReady(sub, hs, pit->second, TraceKeys{d.subscription_id, d.host, pit->first});
-      pit = hs.pending.erase(pit);
+      Subscription& sub = it->second;
+      auto hit = sub.host_state.find(d.host);
+      if (hit == sub.host_state.end()) {
+        deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
+        m_orphaned->Add();
+        continue;
+      }
+      HostState& hs = hit->second;
+      const size_t wire_bytes = d.SerializedSize();
+      if (d.snapshot) {
+        // Full baseline: REPLACE the stream's fold state, re-anchor the
+        // epoch counter at snapshot + 1, drop any buffered stragglers
+        // (the snapshot already contains everything they carried), and
+        // clear the stale mark.  Strict-epoch folding resumes from here.
+        const TraceKeys keys{d.subscription_id, d.host, d.epoch};
+        hs.folded.clear();
+        hs.records = RecordFoldState{};
+        // Buffered stragglers end in the stale_discarded bucket — every
+        // submitted delta lands in exactly one terminal bucket.
+        stale_discarded_.fetch_add(hs.pending.size(), std::memory_order_acq_rel);
+        m_stale_discarded->Add(hs.pending.size());
+        hs.pending.clear();
+        hs.stale = false;
+        hs.next_epoch = d.epoch;  // FoldReady advances it to d.epoch + 1
+        snapshot_folds_.fetch_add(1, std::memory_order_acq_rel);
+        m_snapshot_folds->Add();
+        const uint64_t t0 = Tracer::Global().NowUs();
+        FoldReady(sub, hs, PendingDelta{std::move(d.payload), std::move(d.records), wire_bytes},
+                  keys);
+        Tracer::Global().Record("resync.fold", t0, Tracer::Global().NowUs() - t0, keys);
+        continue;
+      }
+      if (hs.stale) {
+        // Pre-snapshot straggler: its increment is useless without the
+        // lost prefix, and the snapshot in flight supersedes it.
+        stale_discarded_.fetch_add(1, std::memory_order_acq_rel);
+        m_stale_discarded->Add();
+        continue;
+      }
+      if (d.epoch < hs.next_epoch) {
+        // Duplicate (already folded) — fold-once means drop.
+        deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
+        m_orphaned->Add();
+        continue;
+      }
+      if (d.epoch > hs.next_epoch) {
+        // Gap: an earlier epoch is still in flight.  Buffer; folding out
+        // of order would make intermediate materializations depend on
+        // arrival order.  A duplicate of an already-buffered epoch is a
+        // duplicate, not a reorder.
+        bool inserted =
+            hs.pending
+                .emplace(d.epoch,
+                         PendingDelta{std::move(d.payload), std::move(d.records), wire_bytes})
+                .second;
+        if (inserted) {
+          deltas_reordered_.fetch_add(1, std::memory_order_acq_rel);
+          m_reordered->Add();
+        } else {
+          deltas_orphaned_.fetch_add(1, std::memory_order_acq_rel);
+          m_orphaned->Add();
+        }
+        if (options_.gap_resync_threshold > 0 &&
+            hs.pending.size() >= options_.gap_resync_threshold) {
+          // The missing epoch is presumed lost (e.g. its frame failed
+          // the CRC) — waiting longer only grows the buffer.  Declare
+          // the stream stale and ask for a snapshot.
+          hs.stale = true;
+          stale_discarded_.fetch_add(hs.pending.size(), std::memory_order_acq_rel);
+          m_stale_discarded->Add(hs.pending.size());
+          hs.pending.clear();
+          resyncs_.fetch_add(1, std::memory_order_acq_rel);
+          m_resyncs->Add();
+          Tracer::Global().Record("resync.request", Tracer::Global().NowUs(), 0,
+                                  TraceKeys{d.subscription_id, d.host, hs.next_epoch});
+          fire.emplace_back(d.subscription_id, d.host);
+        }
+        continue;
+      }
+      const TraceKeys keys{d.subscription_id, d.host, d.epoch};
+      FoldReady(sub, hs, PendingDelta{std::move(d.payload), std::move(d.records), wire_bytes},
+                keys);
+      // The arrival may have closed a gap — fold the now-contiguous run.
+      for (auto pit = hs.pending.begin();
+           pit != hs.pending.end() && pit->first == hs.next_epoch;) {
+        FoldReady(sub, hs, pit->second, TraceKeys{d.subscription_id, d.host, pit->first});
+        pit = hs.pending.erase(pit);
+      }
     }
   }
+  if (requester) {
+    for (const auto& [id, host] : fire) {
+      requester(id, host);
+    }
+  }
+}
+
+bool SubscriptionManager::MarkStale(uint64_t id, HostId host) {
+  static Counter* m_resyncs = MetricsRegistry::Global().GetCounter("sub.resyncs");
+  static Counter* m_stale_discarded =
+      MetricsRegistry::Global().GetCounter("sub.deltas_stale_discarded");
+  std::lock_guard<std::mutex> state(state_mu_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) {
+    return false;
+  }
+  auto hit = it->second.host_state.find(host);
+  if (hit == it->second.host_state.end() || hit->second.stale) {
+    return false;
+  }
+  HostState& hs = hit->second;
+  hs.stale = true;
+  // Stragglers are superseded by the snapshot; they land in the
+  // stale_discarded bucket so the submitted-delta identity holds.
+  stale_discarded_.fetch_add(hs.pending.size(), std::memory_order_acq_rel);
+  m_stale_discarded->Add(hs.pending.size());
+  hs.pending.clear();
+  resyncs_.fetch_add(1, std::memory_order_acq_rel);
+  m_resyncs->Add();
+  Tracer::Global().Record("resync.request", Tracer::Global().NowUs(), 0,
+                          TraceKeys{id, host, hs.next_epoch});
+  return true;
+}
+
+void SubscriptionManager::SetResyncRequester(ResyncRequester fn) {
+  std::lock_guard<std::mutex> state(state_mu_);
+  resync_requester_ = std::move(fn);
+}
+
+bool SubscriptionManager::Resync(uint64_t id, HostId host) {
+  MarkStale(id, host);  // idempotent; already-stale streams still resync
+  // Find the in-process attachment, then tick its snapshot OUTSIDE
+  // state_mu_ — TakeSnapshot holds TIB shard locks and the sink may
+  // block on a full intake queue, which the drain worker folds out of
+  // while holding state_mu_.
+  EdgeAgent* agent = nullptr;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    auto it = subscriptions_.find(id);
+    if (it == subscriptions_.end()) {
+      return false;
+    }
+    for (const AgentAttachment& att : it->second.attachments) {
+      if (att.agent != nullptr && att.agent->host() == host) {
+        agent = att.agent;
+        break;
+      }
+    }
+  }
+  if (agent == nullptr) {
+    return false;
+  }
+  return agent->ResyncStandingQuery(id) > 0;
+}
+
+size_t SubscriptionManager::stale_streams() const {
+  std::lock_guard<std::mutex> state(state_mu_);
+  size_t stale = 0;
+  for (const auto& [id, sub] : subscriptions_) {
+    for (const auto& [h, hs] : sub.host_state) {
+      if (hs.stale) {
+        ++stale;
+      }
+    }
+  }
+  return stale;
 }
 
 QueryResult SubscriptionManager::Materialize(uint64_t id) {
@@ -325,6 +457,9 @@ SubscriptionManagerStats SubscriptionManager::stats() const {
   out.deltas_orphaned = deltas_orphaned_.load(std::memory_order_acquire);
   out.delta_bytes = delta_bytes_.load(std::memory_order_acquire);
   out.flow_updates = flow_updates_.load(std::memory_order_acquire);
+  out.resyncs = resyncs_.load(std::memory_order_acquire);
+  out.snapshot_folds = snapshot_folds_.load(std::memory_order_acquire);
+  out.deltas_stale_discarded = stale_discarded_.load(std::memory_order_acquire);
   return out;
 }
 

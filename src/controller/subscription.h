@@ -41,6 +41,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <unordered_map>
@@ -63,6 +64,12 @@ struct SubscriptionManagerOptions {
   size_t queue_capacity = 4096;
   // Largest batch the drain worker pulls in one go.
   size_t max_batch = 256;
+  // When > 0: a (sub, host) stream whose gap buffer reaches this many
+  // pending out-of-order epochs is declared stale (a missing epoch is
+  // presumed lost, e.g. to a corrupted frame) and a resync is requested
+  // through the installed requester instead of waiting forever.  0
+  // disables the threshold — plain reordering is then always waited out.
+  size_t gap_resync_threshold = 0;
 };
 
 // All counters are cumulative since construction.
@@ -75,6 +82,13 @@ struct SubscriptionManagerStats {
   uint64_t flow_updates = 0;      // per-flow fold operations
   uint64_t blocked_enqueues = 0;  // Submit() calls that had to wait
   uint64_t batches = 0;           // drain pulls
+  // Crash-recovery accounting.  Every submitted delta ends in exactly
+  // one bucket: deltas_submitted == deltas_folded + deltas_orphaned +
+  // deltas_stale_discarded once flushed (snapshot folds count in
+  // deltas_folded AND snapshot_folds).
+  uint64_t resyncs = 0;                 // streams marked stale
+  uint64_t snapshot_folds = 0;          // snapshots folded as new baselines
+  uint64_t deltas_stale_discarded = 0;  // pre-snapshot stragglers dropped
 };
 
 // Per-subscription view for benches and introspection.
@@ -141,6 +155,39 @@ class SubscriptionManager {
   // subscription ids yield monostate.
   QueryResult Materialize(uint64_t id);
 
+  // --- Crash recovery (snapshot resync) ---
+  //
+  // Protocol: a stream that lost deltas (dead/restarted agent, seq gap,
+  // corrupted frame) is marked STALE — ordinary deltas for it are
+  // discarded (their increments are unusable without the lost prefix)
+  // until a snapshot delta (QueryDelta::snapshot) arrives.  The snapshot
+  // REPLACES the stream's fold state, re-anchors next_epoch at
+  // snapshot.epoch + 1, clears the gap buffer, and clears the stale mark
+  // — strict-epoch delta folding then resumes, and Materialize is again
+  // byte-identical to a fresh poll at every epoch boundary.
+
+  // Marks (id, host) stale and drops its gap buffer.  Returns true if
+  // the stream was newly marked (callers use this to rate-limit resync
+  // requests: one outstanding request per stale episode).  False for
+  // unknown streams or streams already stale.
+  bool MarkStale(uint64_t id, HostId host);
+
+  // Called (without state_mu_ held) whenever the gap threshold declares
+  // a stream stale, so the owner (e.g. the transport hub) can ship a
+  // ResyncRequest to the agent.  Install before traffic flows.
+  using ResyncRequester = std::function<void(uint64_t id, HostId host)>;
+  void SetResyncRequester(ResyncRequester fn);
+
+  // In-process resync: marks (id, host) stale, then immediately pulls a
+  // snapshot through the attached agent and submits it.  Returns false
+  // when the subscription has no attachment for `host` (e.g. remote
+  // subscriptions — those resync over the wire via the hub).
+  bool Resync(uint64_t id, HostId host);
+
+  // Streams currently stale (snapshot still in flight).  Chaos tests
+  // spin on this reaching zero before asserting byte-identity.
+  size_t stale_streams() const;
+
   SubscriptionManagerStats stats() const;
   SubscriptionInfo info(uint64_t id) const;
   size_t subscription_count() const;
@@ -156,6 +203,9 @@ class SubscriptionManager {
     FlowBytesMap folded;      // materialized per-flow state (per-flow kinds)
     RecordFoldState records;  // materialized record state (record kinds)
     std::map<uint64_t, PendingDelta> pending;  // gapped arrivals by epoch
+    // Deltas were lost; ordinary deltas are discarded until a snapshot
+    // re-baselines the stream (see the crash-recovery section above).
+    bool stale = false;
   };
   struct AgentAttachment {
     EdgeAgent* agent = nullptr;
@@ -191,6 +241,14 @@ class SubscriptionManager {
   std::atomic<uint64_t> deltas_orphaned_{0};
   std::atomic<uint64_t> delta_bytes_{0};
   std::atomic<uint64_t> flow_updates_{0};
+  std::atomic<uint64_t> resyncs_{0};
+  std::atomic<uint64_t> snapshot_folds_{0};
+  std::atomic<uint64_t> stale_discarded_{0};
+
+  // Fired outside state_mu_ when the gap threshold marks a stream
+  // stale.  Guarded by state_mu_ for installation; FoldBatch copies it
+  // under the lock and invokes after release.
+  ResyncRequester resync_requester_;
 
   // Subscription registry + materialized state.  The channel's drain
   // worker releases the queue lock before folding, and registry

@@ -462,6 +462,30 @@ size_t EdgeAgent::StandingQueryCount() const {
   return standing_.size();
 }
 
+size_t EdgeAgent::ResyncStandingQuery(uint64_t subscription_id) {
+  std::vector<std::shared_ptr<StandingRegistration>> regs;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    for (const auto& [id, reg] : standing_) {
+      if (reg->accumulator->subscription_id() == subscription_id) {
+        regs.push_back(reg);
+      }
+    }
+  }
+  size_t delivered = 0;
+  for (const auto& reg : regs) {
+    // Same gate discipline as TickRegistration: hold it across the sink
+    // call so UnregisterStandingQuery can fence the delivery out.
+    std::lock_guard<std::mutex> gate(reg->gate);
+    if (reg->detached) {
+      continue;
+    }
+    reg->sink(reg->accumulator->TakeSnapshot());
+    ++delivered;
+  }
+  return delivered;
+}
+
 void EdgeAgent::UninstallQuery(int id) {
   std::lock_guard<std::mutex> lock(reg_mu_);
   periodic_.erase(id);

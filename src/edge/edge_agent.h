@@ -224,6 +224,13 @@ class EdgeAgent {
   bool EpochTickOne(int id);
   size_t StandingQueryCount() const;
 
+  // Crash-recovery resync: every registration owned by `subscription_id`
+  // takes a full-baseline snapshot (StandingQueryAccumulator::TakeSnapshot
+  // — consistent cut, consumes an epoch number, ships even when empty)
+  // and pushes it to its sink.  Returns the number of snapshots
+  // delivered (0 when the subscription has no registration here).
+  size_t ResyncStandingQuery(uint64_t subscription_id);
+
   // --- Introspection ---
 
   // The TIB synchronizes itself (per-shard locks); both overloads are safe

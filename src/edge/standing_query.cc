@@ -118,15 +118,22 @@ StandingQueryAccumulator::~StandingQueryAccumulator() {
   tib_->RemoveInsertHook(hook_id_);
 }
 
-void StandingQueryAccumulator::OnInsert(size_t shard_index, uint64_t record_id,
-                                        const TibRecord& rec) {
+bool StandingQueryAccumulator::Matches(const TibRecord& rec) const {
   // Same record filter as the poll twins (Tib::AggregateFlowBytes /
   // FlowsOnLink / CountOnLink) — including creating the key for a
   // zero-byte record (the poll path does too).
   if (!rec.Overlaps(spec_.range)) {
-    return;
+    return false;
   }
   if (!match_all_links_ && !rec.path.MatchesLinkQuery(spec_.link)) {
+    return false;
+  }
+  return true;
+}
+
+void StandingQueryAccumulator::OnInsert(size_t shard_index, uint64_t record_id,
+                                        const TibRecord& rec) {
+  if (!Matches(rec)) {
     return;
   }
   if (spec_.IsRecordKind()) {
@@ -190,6 +197,62 @@ std::optional<QueryDelta> StandingQueryAccumulator::TakeDelta() {
   produced_bytes->Add(delta.SerializedSize());
   take_us->Record(dur);
   Tracer::Global().Record("standing.take_delta", t0, dur, keys);
+  return delta;
+}
+
+QueryDelta StandingQueryAccumulator::TakeSnapshot() {
+  static Counter* taken = MetricsRegistry::Global().GetCounter("standing.snapshots_taken");
+  static Counter* taken_bytes =
+      MetricsRegistry::Global().GetCounter("standing.snapshot_bytes_produced");
+  TraceKeys keys{subscription_id_, uint32_t(host_), 0};
+  const uint64_t t0 = Tracer::Global().NowUs();
+
+  std::lock_guard<std::mutex> tick(tick_mu_);
+  QueryDelta delta;
+  delta.snapshot = true;
+  if (spec_.IsRecordKind()) {
+    std::vector<std::vector<CompactRecordEntry>> snapshot(record_partial_.size());
+    tib_->ForEachShardRecordExclusive(
+        [&](size_t si) { record_partial_[si].clear(); },
+        [&](size_t si, uint64_t record_id, const TibRecord& rec) {
+          if (!Matches(rec)) {
+            return;
+          }
+          snapshot[si].push_back(
+              CompactRecordEntry{record_id, rec.flow, rec.path, rec.bytes, rec.pkts});
+        });
+    // Decode outside the shard locks, exactly like TakeDelta.
+    std::vector<std::vector<RecordDeltaItem>> decoded(snapshot.size());
+    for (size_t si = 0; si < snapshot.size(); ++si) {
+      decoded[si].reserve(snapshot[si].size());
+      for (const CompactRecordEntry& e : snapshot[si]) {
+        decoded[si].push_back(RecordDeltaItem{e.id, e.flow, e.path.ToPath(), e.bytes, e.pkts});
+      }
+    }
+    delta.records = RecordDelta::FromShardBuffers(decoded);
+  } else {
+    std::vector<FlowBytesMap> snapshot(partial_.size());
+    tib_->ForEachShardRecordExclusive(
+        [&](size_t si) { partial_[si].clear(); },
+        [&](size_t si, uint64_t, const TibRecord& rec) {
+          if (!Matches(rec)) {
+            return;
+          }
+          snapshot[si][rec.flow] += rec.bytes;
+        });
+    delta.payload = FlowBytesDelta::FromShardMaps(snapshot);
+  }
+  delta.subscription_id = subscription_id_;
+  delta.host = host_;
+  delta.kind = spec_.kind;
+  // Snapshots always consume an epoch number — even empty ones ship, so
+  // the receiver can re-anchor its next_epoch at snapshot + 1.
+  delta.epoch = next_epoch_++;
+
+  keys.epoch = delta.epoch;
+  taken->Add();
+  taken_bytes->Add(delta.SerializedSize());
+  Tracer::Global().Record("resync.snapshot", t0, Tracer::Global().NowUs() - t0, keys);
   return delta;
 }
 

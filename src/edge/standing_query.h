@@ -102,6 +102,13 @@ struct QueryDelta {
   // enqueue (0 until then) — arrival order, which may disagree with
   // epoch order; the manager folds in epoch order regardless.
   uint64_t seq = 0;
+  // True for a one-shot resync snapshot (TakeSnapshot): the payload is
+  // the FULL standing state as of this epoch boundary, not an increment.
+  // The controller replaces the (sub, host) fold state with it and
+  // resumes delta folding at epoch + 1.  Unlike ordinary deltas, an
+  // EMPTY snapshot still ships and still consumes an epoch number — the
+  // receiver needs the baseline even when the baseline is "nothing".
+  bool snapshot = false;
   // Exactly one of these is populated, by the subscription's kind:
   // per-flow sums for kTopK/kFlowSizeHistogram, records for the rest.
   FlowBytesDelta payload;
@@ -169,6 +176,18 @@ class StandingQueryAccumulator {
   // (no epoch number is consumed).  Thread-safe; cost is O(delta).
   std::optional<QueryDelta> TakeDelta();
 
+  // Resync: one full epoch-boundary snapshot of the standing state.
+  // Under each shard's exclusive lock the pending partial is discarded
+  // and the shard's stored records are re-scanned through the same
+  // filter OnInsert applies, so the result equals "all matching records
+  // inserted so far" — records inserted before a shard's visit are in
+  // its scan, records inserted after land in the freshly-cleared partial
+  // and ship with the NEXT delta; nothing is counted twice or dropped.
+  // Always consumes an epoch number and always returns a delta (marked
+  // snapshot=true), even when empty.  Cost is O(TIB records) — resync
+  // only, never the steady state.
+  QueryDelta TakeSnapshot();
+
   uint64_t subscription_id() const { return subscription_id_; }
   HostId host() const { return host_; }
   const StandingQuerySpec& spec() const { return spec_; }
@@ -176,6 +195,10 @@ class StandingQueryAccumulator {
  private:
   // Runs under the owning shard's lock, inside Tib::Insert.
   void OnInsert(size_t shard_index, uint64_t record_id, const TibRecord& rec);
+  // The record filter OnInsert and TakeSnapshot share (range overlap +
+  // link match) — one definition so a snapshot can never disagree with
+  // the increments about which records belong to the subscription.
+  bool Matches(const TibRecord& rec) const;
 
   const uint64_t subscription_id_;
   const HostId host_;

@@ -251,6 +251,21 @@ void Tib::ForEachShardExclusive(const std::function<void(size_t)>& fn) const {
   }
 }
 
+void Tib::ForEachShardRecordExclusive(
+    const std::function<void(size_t)>& on_shard,
+    const std::function<void(size_t, uint64_t, const TibRecord&)>& on_record) const {
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    const Shard& s = *shards_[si];
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    if (on_shard) {
+      on_shard(si);
+    }
+    for (size_t i = 0; i < s.records.size(); ++i) {
+      on_record(si, s.ids[i], s.records[i]);
+    }
+  }
+}
+
 TibRecord Tib::record(size_t id) const {
   for (const auto& sp : shards_) {
     const Shard& s = *sp;

@@ -223,6 +223,20 @@ class Tib {
   // consistent).  The callback restrictions of ForEachRecord apply.
   void ForEachShardExclusive(const std::function<void(size_t shard_index)>& fn) const;
 
+  // ForEachShardExclusive plus a scan of the shard's stored records in
+  // the same lock hold: for each shard (ascending), `on_shard` runs
+  // first, then `on_record` for every record in that shard in ascending
+  // insertion-id order, all under the shard's exclusive lock.  This is
+  // the resync-snapshot primitive (standing_query.cc): clearing a
+  // per-shard partial and re-scanning the shard in ONE lock hold makes
+  // the pair atomic against inserts, so a record is observed by exactly
+  // one of {snapshot scan, post-clear partial}.  Callback restrictions
+  // of ForEachRecord apply; cost is O(records) — resync only.
+  void ForEachShardRecordExclusive(
+      const std::function<void(size_t shard_index)>& on_shard,
+      const std::function<void(size_t shard_index, uint64_t record_id, const TibRecord& rec)>&
+          on_record) const;
+
   // Rough resident size, for the §5.3 storage numbers.
   size_t ApproxBytes() const;
 

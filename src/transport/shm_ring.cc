@@ -7,6 +7,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -314,20 +315,62 @@ void ShmSegment::Unlink() {
   }
 }
 
-void CleanupShmByPrefix(const std::string& prefix) {
+namespace {
+
+// True when `name` ("/..." form) is a valid PathDump segment whose
+// recorded controller pid no longer exists.  Unknown or mid-creation
+// segments (bad magic) are conservatively treated as live.
+bool SegmentOwnerDead(const std::string& name) {
+  int fd = shm_open(name.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    return false;
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0 || st.st_size < off_t(sizeof(SegmentHeader))) {
+    close(fd);
+    return false;
+  }
+  // Map just the header page — enough for magic + controller_pid.
+  void* mem = mmap(nullptr, sizeof(SegmentHeader), PROT_READ, MAP_SHARED, fd, 0);
+  close(fd);
+  if (mem == MAP_FAILED) {
+    return false;
+  }
+  const auto* header = static_cast<const SegmentHeader*>(mem);
+  bool dead = false;
+  if (header->magic == kSegmentMagic) {
+    const uint32_t pid = header->controller_pid.load(std::memory_order_acquire);
+    dead = pid != 0 && kill(pid_t(pid), 0) != 0 && errno == ESRCH;
+  }
+  munmap(mem, sizeof(SegmentHeader));
+  return dead;
+}
+
+}  // namespace
+
+size_t CleanupShmByPrefix(const std::string& prefix, bool only_dead_owners) {
   // /dev/shm entries drop shm_open's leading slash.
   const std::string bare = prefix.empty() || prefix[0] != '/' ? prefix : prefix.substr(1);
   DIR* dir = opendir("/dev/shm");
   if (dir == nullptr) {
-    return;
+    return 0;
   }
+  size_t reclaimed = 0;
   while (dirent* entry = readdir(dir)) {
     const std::string name = entry->d_name;
-    if (name.rfind(bare, 0) == 0) {
-      shm_unlink(("/" + name).c_str());
+    if (name.rfind(bare, 0) != 0) {
+      continue;
+    }
+    const std::string full = "/" + name;
+    if (only_dead_owners && !SegmentOwnerDead(full)) {
+      continue;
+    }
+    if (shm_unlink(full.c_str()) == 0) {
+      ++reclaimed;
     }
   }
   closedir(dir);
+  return reclaimed;
 }
 
 }  // namespace transport

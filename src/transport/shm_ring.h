@@ -106,6 +106,11 @@ class ShmSpscRing {
   // Fault injection for tests: forge the next message sequence number,
   // simulating upstream loss for the consumer's gap accounting.
   void set_next_seq(uint64_t seq) { ctl_->next_seq.store(seq, std::memory_order_relaxed); }
+  // Producer-side view of the next sequence to stamp.  Paired with
+  // set_next_seq this is how FaultInjector "drops" a frame: consuming
+  // the number without pushing makes the loss visible to the consumer's
+  // gap accounting, exactly like real upstream loss.
+  uint64_t next_seq() const { return ctl_->next_seq.load(std::memory_order_relaxed); }
 
   // --- Consumer side ---
 
@@ -215,9 +220,14 @@ class ShmSegment {
 };
 
 // Best-effort sweep: unlinks every /dev/shm entry whose name starts with
-// `prefix` (no leading slash in the directory listing).  Used by test
-// teardown so no segment outlives a failed or crashed suite.
-void CleanupShmByPrefix(const std::string& prefix);
+// `prefix` (no leading slash in the directory listing) and returns how
+// many were unlinked.  Used by test teardown so no segment outlives a
+// failed or crashed suite, and by TransportHub startup to reclaim
+// segments a SIGKILLed fleet left behind.  With `only_dead_owners` set,
+// an entry is unlinked only when it is a valid PathDump segment whose
+// recorded controller pid is provably gone (ESRCH) — the safe mode for
+// startup sweeps that must not touch a concurrently-running suite.
+size_t CleanupShmByPrefix(const std::string& prefix, bool only_dead_owners = false);
 
 }  // namespace transport
 }  // namespace pathdump

@@ -1,8 +1,10 @@
 #include "src/transport/transport.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <utility>
 
 #include <unistd.h>
@@ -39,6 +41,22 @@ bool PidAlive(uint32_t pid) {
 
 }  // namespace
 
+const char* PeerStateName(PeerState s) {
+  switch (s) {
+    case PeerState::kConnecting:
+      return "connecting";
+    case PeerState::kLive:
+      return "live";
+    case PeerState::kDead:
+      return "dead";
+    case PeerState::kRejoining:
+      return "rejoining";
+    case PeerState::kGaveUp:
+      return "gave-up";
+  }
+  return "?";
+}
+
 TransportHub::TransportHub(Controller* controller, SubscriptionManager* manager,
                            TransportOptions options)
     : controller_(controller),
@@ -49,11 +67,35 @@ TransportHub::TransportHub(Controller* controller, SubscriptionManager* manager,
                   : options_.shm_prefix),
       alarm_sink_(controller->MakeAlarmSink()) {
   if (options_.backend == TransportOptions::Backend::kSharedMemory) {
+    if (options_.sweep_stale_shm_on_start) {
+      // Reclaim segments a SIGKILLed earlier fleet left in /dev/shm.
+      // Dead-owner mode only: a parallel suite's live segments (their
+      // controller pid answers kill(pid, 0)) are never touched.
+      static Counter* reclaimed =
+          MetricsRegistry::Global().GetCounter("transport.stale_shm_reclaimed");
+      const size_t n = CleanupShmByPrefix("/pathdump.", /*only_dead_owners=*/true);
+      if (n > 0) {
+        stale_shm_reclaimed_.store(n, std::memory_order_release);
+        reclaimed->Add(n);
+        std::fprintf(stderr, "[transport] startup sweep reclaimed %zu stale shm segment(s)\n",
+                     n);
+      }
+    }
+    // Gap-threshold staleness self-heals: when the manager declares a
+    // stream stale it asks us to ship the ResyncRequest.
+    manager_->SetResyncRequester(
+        [this](uint64_t id, HostId host) { RequestResync(id, host); });
     reactor_ = std::thread([this] { ReactorLoop(); });
   }
 }
 
 TransportHub::~TransportHub() {
+  if (options_.backend == TransportOptions::Backend::kSharedMemory) {
+    // Unhook the requester, then drain any fold batch that already
+    // copied it — after Flush returns no callback can still reach us.
+    manager_->SetResyncRequester(nullptr);
+    manager_->Flush();
+  }
   stop_.store(true, std::memory_order_release);
   if (reactor_.joinable()) {
     reactor_.join();
@@ -82,6 +124,21 @@ std::string TransportHub::AddShmPeer(HostId host) {
   peer.host = host;
   peer.segment = std::move(segment);
   return name;
+}
+
+const TransportHub::Peer* TransportHub::FindPeer(HostId host) const {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  for (const Peer& peer : peers_) {
+    if (peer.host == host) {
+      return &peer;  // deque: address stable across growth
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<ShmSegment> TransportHub::SegmentOf(const Peer& peer) const {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  return peer.segment;
 }
 
 void TransportHub::AddLocalAgent(EdgeAgent* agent) {
@@ -113,15 +170,26 @@ std::vector<TransportHub::Peer*> TransportHub::SnapshotPeers() const {
   return out;
 }
 
+bool TransportHub::PushCommand(ShmSegment& segment, const std::vector<uint8_t>& frame) {
+  // The cmd ring is SPSC; the reactor (rejoin/resync sends) and API
+  // threads (broadcasts) share the producer side, so serialize here.  A
+  // dead-but-undetected peer never pops its command ring; the bounded
+  // push keeps callers from hanging on it.
+  std::lock_guard<std::mutex> lock(cmd_mu_);
+  return segment.cmd_ring().Push(frame.data(), frame.size(), options_.push_timeout_us);
+}
+
 void TransportHub::BroadcastCommand(const std::vector<uint8_t>& frame) {
   for (Peer* peer : SnapshotPeers()) {
-    if (peer->segment == nullptr || peer->dead.load(std::memory_order_acquire) ||
+    if (peer->dead.load(std::memory_order_acquire) ||
         peer->bye.load(std::memory_order_acquire)) {
       continue;
     }
-    // A dead-but-undetected peer never pops its command ring; the
-    // bounded push keeps this loop from hanging on it.
-    peer->segment->cmd_ring().Push(frame.data(), frame.size(), options_.push_timeout_us);
+    auto segment = SegmentOf(*peer);
+    if (segment == nullptr) {
+      continue;
+    }
+    PushCommand(*segment, frame);
   }
 }
 
@@ -131,6 +199,11 @@ uint64_t TransportHub::Subscribe(const std::vector<HostId>& hosts,
     return manager_->Subscribe(hosts, spec);
   }
   const uint64_t id = manager_->SubscribeRemote(hosts, spec);
+  {
+    // Remembered so a rejoining peer can be re-subscribed and resynced.
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs_.push_back(SubRecord{id, spec, hosts});
+  }
   std::vector<uint8_t> frame;
   EncodeSubscribeFrame(id, spec, frame);
   BroadcastCommand(frame);
@@ -231,8 +304,12 @@ void TransportHub::Flush() {
     for (;;) {
       bool quiescent = !dispatching_.load(std::memory_order_acquire);
       for (Peer* peer : SnapshotPeers()) {
-        if (peer->segment != nullptr && !peer->dead.load(std::memory_order_acquire) &&
-            !peer->segment->data_ring().empty() && !peer->segment->data_ring().corrupt()) {
+        if (peer->dead.load(std::memory_order_acquire)) {
+          continue;
+        }
+        auto segment = SegmentOf(*peer);
+        if (segment != nullptr && !segment->data_ring().empty() &&
+            !segment->data_ring().corrupt()) {
           quiescent = false;
           break;
         }
@@ -263,6 +340,15 @@ TransportStats TransportHub::stats() const {
   out.bad_payload = err_by_kind_[size_t(WireError::kBadPayload)].load(std::memory_order_acquire);
   out.decode_errors = out.truncated + out.bad_magic + out.bad_version + out.bad_type +
                       out.oversized + out.bad_checksum + out.bad_payload;
+  out.peers_rejoined = peers_rejoined_.load(std::memory_order_acquire);
+  out.peers_gave_up = peers_gave_up_.load(std::memory_order_acquire);
+  out.resync_requests = resync_requests_.load(std::memory_order_acquire);
+  out.snapshots = snapshots_.load(std::memory_order_acquire);
+  out.stale_shm_reclaimed = stale_shm_reclaimed_.load(std::memory_order_acquire);
+  // Retired segments' consumer counters fold in so totals stay
+  // cumulative across incarnations.
+  out.seq_gaps = retired_seq_gaps_.load(std::memory_order_acquire);
+  out.blocked_pushes = retired_blocked_pushes_.load(std::memory_order_acquire);
   for (Peer* peer : SnapshotPeers()) {
     ++out.peers;
     if (peer->hello.load(std::memory_order_acquire)) {
@@ -274,12 +360,27 @@ TransportStats TransportHub::stats() const {
     if (peer->dead.load(std::memory_order_acquire)) {
       ++out.peers_dead;
     }
-    if (peer->segment != nullptr) {
-      out.seq_gaps += peer->segment->data_ring().seq_gaps();
-      out.blocked_pushes += peer->segment->data_ring().blocked_pushes();
+    if (peer->state.load(std::memory_order_acquire) == PeerState::kRejoining) {
+      ++out.peers_rejoining;
+    }
+    auto segment = SegmentOf(*peer);
+    if (segment != nullptr) {
+      out.seq_gaps += segment->data_ring().seq_gaps();
+      out.blocked_pushes += segment->data_ring().blocked_pushes();
     }
   }
   return out;
+}
+
+PeerState TransportHub::peer_state(HostId host) const {
+  const Peer* peer = FindPeer(host);
+  return peer == nullptr ? PeerState::kConnecting
+                         : peer->state.load(std::memory_order_acquire);
+}
+
+uint32_t TransportHub::peer_incarnation(HostId host) const {
+  const Peer* peer = FindPeer(host);
+  return peer == nullptr ? 0 : peer->incarnation.load(std::memory_order_acquire);
 }
 
 std::vector<HostId> TransportHub::dead_hosts() const {
@@ -290,6 +391,141 @@ std::vector<HostId> TransportHub::dead_hosts() const {
     }
   }
   return out;
+}
+
+std::string TransportHub::RestartPeer(HostId host) {
+  if (options_.backend != TransportOptions::Backend::kSharedMemory) {
+    return "";
+  }
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  Peer* peer = nullptr;
+  for (Peer& p : peers_) {
+    if (p.host == host) {
+      peer = &p;
+      break;
+    }
+  }
+  if (peer == nullptr) {
+    return "";
+  }
+  const PeerState state = peer->state.load(std::memory_order_acquire);
+  if (state == PeerState::kLive && !peer->dead.load(std::memory_order_acquire)) {
+    return "";  // refuse to retire a live peer
+  }
+  if (peer->segment != nullptr) {
+    // Fold the retiring segment's consumer counters into hub totals so
+    // stats() stays cumulative, then drop the /dev/shm name.  The
+    // mapping itself lives until the last SegmentRef holder (reactor
+    // mid-pass) releases it.
+    retired_seq_gaps_.fetch_add(peer->segment->data_ring().seq_gaps(),
+                                std::memory_order_acq_rel);
+    retired_blocked_pushes_.fetch_add(peer->segment->data_ring().blocked_pushes(),
+                                      std::memory_order_acq_rel);
+    peer->segment->Unlink();
+  }
+  const uint32_t incarnation = peer->incarnation.load(std::memory_order_acquire) + 1;
+  const std::string name =
+      prefix_ + std::to_string(host) + ".i" + std::to_string(incarnation);
+  auto segment = ShmSegment::Create(name, options_.geometry);
+  if (segment == nullptr) {
+    return "";
+  }
+  peer->segment = std::move(segment);
+  peer->pid.store(0, std::memory_order_release);
+  peer->incarnation.store(incarnation, std::memory_order_release);
+  peer->seen_seq_gaps = 0;
+  peer->rejoin_deadline_us.store(NowUs() + options_.rejoin_timeout_us,
+                                 std::memory_order_release);
+  // dead stays true until the new incarnation's Hello — the peer keeps
+  // being excused from acks through the whole rejoin window.
+  peer->state.store(PeerState::kRejoining, std::memory_order_release);
+  return name;
+}
+
+bool TransportHub::WaitForPeerLive(HostId host, int64_t timeout_us) {
+  const Peer* peer = FindPeer(host);
+  if (peer == nullptr) {
+    return false;
+  }
+  const int64_t deadline = NowUs() + timeout_us;
+  while (peer->state.load(std::memory_order_acquire) != PeerState::kLive ||
+         peer->dead.load(std::memory_order_acquire)) {
+    if (NowUs() >= deadline) {
+      return false;
+    }
+    NapUs(500);
+  }
+  return true;
+}
+
+void TransportHub::RequestResync(uint64_t id, HostId host) {
+  static Counter* m_requests =
+      MetricsRegistry::Global().GetCounter("transport.resync_requests");
+  const Peer* peer = FindPeer(host);
+  if (peer == nullptr) {
+    return;
+  }
+  auto segment = SegmentOf(*peer);
+  if (segment == nullptr) {
+    return;
+  }
+  std::vector<uint8_t> frame;
+  EncodeResyncRequestFrame(id, frame);
+  if (PushCommand(*segment, frame)) {
+    resync_requests_.fetch_add(1, std::memory_order_acq_rel);
+    m_requests->Add();
+    Tracer::Global().Record("resync.request", Tracer::Global().NowUs(), 0,
+                            TraceKeys{id, host, 0});
+  }
+}
+
+void TransportHub::RequestResyncAll(Peer& peer) {
+  std::vector<uint64_t> covering;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (const SubRecord& sub : subs_) {
+      if (std::find(sub.hosts.begin(), sub.hosts.end(), peer.host) != sub.hosts.end()) {
+        covering.push_back(sub.id);
+      }
+    }
+  }
+  for (uint64_t id : covering) {
+    // One request per stale episode: only newly-stale streams ask.
+    if (manager_->MarkStale(id, peer.host)) {
+      RequestResync(id, peer.host);
+    }
+  }
+}
+
+void TransportHub::OnPeerRejoined(Peer& peer) {
+  auto segment = SegmentOf(peer);
+  if (segment == nullptr) {
+    return;
+  }
+  std::vector<SubRecord> covering;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (const SubRecord& sub : subs_) {
+      if (std::find(sub.hosts.begin(), sub.hosts.end(), peer.host) != sub.hosts.end()) {
+        covering.push_back(sub);
+      }
+    }
+  }
+  // Subscribe first, resync second — the cmd ring is FIFO, so the agent
+  // re-registers every accumulator before any snapshot is taken, and the
+  // snapshot's epoch numbering starts from the fresh accumulator.
+  std::vector<uint8_t> frame;
+  for (const SubRecord& sub : covering) {
+    frame.clear();
+    EncodeSubscribeFrame(sub.id, sub.spec, frame);
+    PushCommand(*segment, frame);
+  }
+  for (const SubRecord& sub : covering) {
+    // Unconditional: even a stream already stale from the death episode
+    // must be re-baselined from the NEW incarnation's accumulator.
+    manager_->MarkStale(sub.id, peer.host);
+    RequestResync(sub.id, peer.host);
+  }
 }
 
 void TransportHub::CountError(WireError err) {
@@ -305,11 +541,45 @@ void TransportHub::Dispatch(Peer& peer, DecodedFrame&& frame) {
   static Counter* m_deltas = MetricsRegistry::Global().GetCounter("transport.deltas");
   static Counter* m_alarms = MetricsRegistry::Global().GetCounter("transport.alarms");
   static Counter* m_acks = MetricsRegistry::Global().GetCounter("transport.acks");
+  static Counter* m_snapshots = MetricsRegistry::Global().GetCounter("transport.snapshots");
+  static Counter* m_rejoined =
+      MetricsRegistry::Global().GetCounter("transport.peers_rejoined");
   switch (frame.type) {
-    case FrameType::kHello:
+    case FrameType::kHello: {
+      // A rejoin is a Hello from a peer we already knew: either we
+      // restarted its segment (kRejoining) or a new incarnation showed
+      // up on the existing one (agent restarted in place).
+      const bool returning =
+          peer.hello.load(std::memory_order_acquire) &&
+          (peer.state.load(std::memory_order_acquire) == PeerState::kRejoining ||
+           frame.incarnation != peer.incarnation.load(std::memory_order_acquire));
       peer.pid.store(frame.pid, std::memory_order_release);
+      peer.incarnation.store(frame.incarnation, std::memory_order_release);
       peer.hello.store(true, std::memory_order_release);
+      if (returning) {
+        peer.bye.store(false, std::memory_order_release);
+        peer.dead.store(false, std::memory_order_release);
+        // Excuse every tick the peer missed while down — it acks again
+        // from the next one.
+        peer.last_ack.store(next_token_.load(std::memory_order_acquire),
+                            std::memory_order_release);
+        peer.state.store(PeerState::kLive, std::memory_order_release);
+        peers_rejoined_.fetch_add(1, std::memory_order_acq_rel);
+        m_rejoined->Add();
+        OnPeerRejoined(peer);
+      } else {
+        peer.state.store(PeerState::kLive, std::memory_order_release);
+      }
       break;
+    }
+    case FrameType::kSnapshot: {
+      snapshots_.fetch_add(1, std::memory_order_acq_rel);
+      m_snapshots->Add();
+      TraceScope span("reactor.snapshot", TraceKeys{frame.delta.subscription_id,
+                                                    frame.delta.host, frame.delta.epoch});
+      manager_->SubmitDelta(std::move(frame.delta));
+      break;
+    }
     case FrameType::kQueryDelta: {
       deltas_.fetch_add(1, std::memory_order_acq_rel);
       m_deltas->Add();
@@ -347,10 +617,10 @@ void TransportHub::Dispatch(Peer& peer, DecodedFrame&& frame) {
   }
 }
 
-size_t TransportHub::DrainPeer(Peer& peer, std::vector<uint8_t>& buf) {
+size_t TransportHub::DrainPeer(Peer& peer, ShmSegment& segment, std::vector<uint8_t>& buf) {
   static Counter* m_frames = MetricsRegistry::Global().GetCounter("transport.frames");
   static Counter* m_bytes = MetricsRegistry::Global().GetCounter("transport.bytes");
-  ShmSpscRing& ring = peer.segment->data_ring();
+  ShmSpscRing& ring = segment.data_ring();
   size_t dispatched = 0;
   while (ring.Pop(buf)) {
     bytes_.fetch_add(buf.size(), std::memory_order_acq_rel);
@@ -359,6 +629,9 @@ size_t TransportHub::DrainPeer(Peer& peer, std::vector<uint8_t>& buf) {
     const WireError err = DecodeFrame(buf.data(), buf.size(), &frame);
     if (err != WireError::kOk) {
       CountError(err);
+      // A frame this peer published is lost to us — its streams may
+      // have a hole; the caller triggers a resync on the new count.
+      ++peer.data_decode_errors;
       continue;
     }
     frames_.fetch_add(1, std::memory_order_acq_rel);
@@ -374,24 +647,51 @@ void TransportHub::ReactorLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
     size_t dispatched = 0;
     for (Peer* peer : SnapshotPeers()) {
-      if (peer->segment == nullptr) {
+      auto segment = SegmentOf(*peer);
+      if (segment == nullptr) {
         continue;
       }
+      const uint64_t errors_before = peer->data_decode_errors;
       dispatching_.store(true, std::memory_order_release);
-      dispatched += DrainPeer(*peer, buf);
+      dispatched += DrainPeer(*peer, *segment, buf);
       dispatching_.store(false, std::memory_order_release);
+      // Loss-without-death resync triggers: a sequence jump on the data
+      // ring (producer consumed numbers we never saw) or a frame that
+      // failed decode.  Rate-limited inside RequestResyncAll — only
+      // streams newly marked stale get a request.
+      const uint64_t gaps = segment->data_ring().seq_gaps();
+      const bool lost_frames =
+          gaps > peer->seen_seq_gaps || peer->data_decode_errors > errors_before;
+      peer->seen_seq_gaps = gaps;
+      if (lost_frames &&
+          peer->state.load(std::memory_order_acquire) == PeerState::kLive) {
+        RequestResyncAll(*peer);
+      }
       // Death check only after a full drain: everything the agent
       // published before dying is dispatched first, then the gap is
       // recorded — ordering the multiproc test relies on.
+      const PeerState state = peer->state.load(std::memory_order_acquire);
       if (!peer->dead.load(std::memory_order_acquire) &&
-          !peer->bye.load(std::memory_order_acquire)) {
+          !peer->bye.load(std::memory_order_acquire) &&
+          (state == PeerState::kConnecting || state == PeerState::kLive)) {
         const uint32_t pid = peer->pid.load(std::memory_order_acquire);
-        const bool corrupt = peer->segment->data_ring().corrupt();
-        if (corrupt || (pid != 0 && !PidAlive(pid) && peer->segment->data_ring().empty())) {
+        const bool corrupt = segment->data_ring().corrupt();
+        if (corrupt || (pid != 0 && !PidAlive(pid) && segment->data_ring().empty())) {
           static Counter* dead = MetricsRegistry::Global().GetCounter("transport.peers_dead");
           peer->dead.store(true, std::memory_order_release);
+          peer->state.store(PeerState::kDead, std::memory_order_release);
           dead->Add();
         }
+      }
+      // A restarted peer whose new incarnation never said Hello is
+      // eventually given up on rather than watched forever.
+      if (state == PeerState::kRejoining &&
+          NowUs() > peer->rejoin_deadline_us.load(std::memory_order_acquire)) {
+        static Counter* gave_up =
+            MetricsRegistry::Global().GetCounter("transport.peers_gave_up");
+        peer->state.store(PeerState::kGaveUp, std::memory_order_release);
+        peers_gave_up_.fetch_add(1, std::memory_order_acq_rel);
+        gave_up->Add();
       }
     }
     if (dispatched == 0) {
@@ -403,8 +703,9 @@ void TransportHub::ReactorLoop() {
   }
   // Final sweep so frames published just before stop are not lost.
   for (Peer* peer : SnapshotPeers()) {
-    if (peer->segment != nullptr) {
-      DrainPeer(*peer, buf);
+    auto segment = SegmentOf(*peer);
+    if (segment != nullptr) {
+      DrainPeer(*peer, *segment, buf);
     }
   }
 }
@@ -421,28 +722,128 @@ std::unique_ptr<ShmAgentClient> ShmAgentClient::Open(const std::string& name,
       new ShmAgentClient(std::move(segment), push_timeout_us));
 }
 
-bool ShmAgentClient::PushFrame() {
-  return segment_->data_ring().Push(scratch_.data(), scratch_.size(), push_timeout_us_);
+std::unique_ptr<ShmAgentClient> ShmAgentClient::OpenWithBackoff(const std::string& name,
+                                                                int64_t total_timeout_us,
+                                                                int64_t push_timeout_us) {
+  const int64_t deadline = NowUs() + total_timeout_us;
+  int64_t backoff_us = 1'000;  // 1 ms, doubling to 100 ms
+  for (;;) {
+    auto client = Open(name, push_timeout_us);
+    if (client != nullptr) {
+      return client;
+    }
+    const int64_t left = deadline - NowUs();
+    if (left <= 0) {
+      return nullptr;
+    }
+    NapUs(std::min(backoff_us, left));
+    backoff_us = std::min<int64_t>(backoff_us * 2, 100'000);
+  }
 }
 
-bool ShmAgentClient::SendHello(HostId host) {
+void ShmAgentClient::SetFaultInjector(const FaultInjectorConfig& config) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  injector_ = config.any() ? std::make_unique<FaultInjector>(config) : nullptr;
+}
+
+FaultInjector::Counts ShmAgentClient::fault_counts() const {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return injector_ != nullptr ? injector_->counts() : FaultInjector::Counts{};
+}
+
+bool ShmAgentClient::PushRaw(const std::vector<uint8_t>& frame) {
+  if (gave_up_.load(std::memory_order_acquire)) {
+    return false;  // terminal: the controller is gone or wedged
+  }
+  const bool ok = segment_->data_ring().Push(frame.data(), frame.size(), push_timeout_us_);
+  if (!ok) {
+    static Counter* gave_up = MetricsRegistry::Global().GetCounter("transport.client_gave_up");
+    gave_up_.store(true, std::memory_order_release);
+    gave_up->Add();
+  }
+  return ok;
+}
+
+void ShmAgentClient::ReleaseDelayedLocked() {
+  if (!delayed_.empty()) {
+    PushRaw(delayed_);
+    delayed_.clear();
+  }
+}
+
+bool ShmAgentClient::PushFrame() {
+  // Un-faulted path (control frames, hello, snapshots).  Any delayed
+  // data frame goes out FIRST: once the controller sees e.g. an epoch
+  // ack, every data frame the agent sent before it is in the ring.
+  ReleaseDelayedLocked();
+  return PushRaw(scratch_);
+}
+
+bool ShmAgentClient::PushDataFrame() {
+  if (injector_ == nullptr) {
+    return PushFrame();
+  }
+  switch (injector_->Next()) {
+    case FaultInjector::Action::kNone:
+      break;
+    case FaultInjector::Action::kCorrupt:
+      injector_->Corrupt(scratch_);  // whole-frame CRC catches it at the hub
+      break;
+    case FaultInjector::Action::kDrop: {
+      // Consume the sequence number without publishing: the consumer
+      // sees the jump, exactly like real upstream loss.
+      ShmSpscRing& ring = segment_->data_ring();
+      ring.set_next_seq(ring.next_seq() + 1);
+      return true;
+    }
+    case FaultInjector::Action::kDelay:
+      if (delayed_.empty()) {
+        delayed_ = scratch_;  // released after the NEXT data frame: a reorder
+        return true;
+      }
+      break;  // stash occupied — deliver in order
+    case FaultInjector::Action::kDup: {
+      const bool first = PushRaw(scratch_);
+      const bool second = PushRaw(scratch_);
+      ReleaseDelayedLocked();
+      return first && second;
+    }
+  }
+  const bool ok = PushRaw(scratch_);
+  ReleaseDelayedLocked();  // after the current frame: true reorder
+  return ok;
+}
+
+bool ShmAgentClient::SendHello(HostId host, uint32_t incarnation) {
   std::lock_guard<std::mutex> lock(send_mu_);
   segment_->header()->agent_pid.store(uint32_t(getpid()), std::memory_order_release);
   scratch_.clear();
-  EncodeHelloFrame(host, uint32_t(getpid()), scratch_);
+  EncodeHelloFrame(host, uint32_t(getpid()), incarnation, scratch_);
   return PushFrame();
 }
 
 bool ShmAgentClient::SendDelta(const QueryDelta& delta) {
   static Counter* pushes = MetricsRegistry::Global().GetCounter("ring.delta_pushes");
+  static Counter* snapshot_pushes =
+      MetricsRegistry::Global().GetCounter("ring.snapshot_pushes");
   static LatencyHistogram* push_us =
       MetricsRegistry::Global().GetHistogram("ring.delta_push_us");
   TraceScope span("ring.push", TraceKeys{delta.subscription_id, delta.host, delta.epoch});
   const uint64_t t0 = Tracer::Global().NowUs();
   std::lock_guard<std::mutex> lock(send_mu_);
   scratch_.clear();
+  if (delta.snapshot) {
+    // Recovery traffic rides the un-faulted path: a dropped snapshot
+    // would leave the stream stale forever (the request was already
+    // consumed), so chaos must not touch it.
+    EncodeSnapshotFrame(delta, scratch_);
+    const bool ok = PushFrame();
+    snapshot_pushes->Add();
+    push_us->Record(Tracer::Global().NowUs() - t0);
+    return ok;
+  }
   EncodeQueryDeltaFrame(delta, scratch_);
-  const bool ok = PushFrame();
+  const bool ok = PushDataFrame();
   pushes->Add();
   push_us->Record(Tracer::Global().NowUs() - t0);
   return ok;
@@ -452,7 +853,7 @@ bool ShmAgentClient::SendAlarm(const Alarm& alarm) {
   std::lock_guard<std::mutex> lock(send_mu_);
   scratch_.clear();
   EncodeAlarmFrame(alarm, scratch_);
-  return PushFrame();
+  return PushDataFrame();
 }
 
 bool ShmAgentClient::SendAck(HostId host, uint64_t token) {

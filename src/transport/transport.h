@@ -37,6 +37,29 @@
 // and excuses the peer from WaitForAcks — surviving peers keep folding
 // with no deadlock.  Sequence gaps (a restarted or lossy producer) are
 // counted per ring, never waited on.
+//
+// Crash RECOVERY (see docs/ARCHITECTURE.md "Crash recovery & resync"):
+//
+//             Hello                    RestartPeer
+//   kConnecting ──▶ kLive ──(pid gone)──▶ kDead ──▶ kRejoining
+//                     ▲                                │    │
+//                     └──────── rejoin Hello ──────────┘    └─(deadline)─▶ kGaveUp
+//
+//  * RestartPeer(host) retires the dead peer's segment (its consumer
+//    counters fold into retired totals so stats stay cumulative) and
+//    creates a fresh one, named with the next incarnation number.
+//  * The restarted agent says Hello carrying its incarnation; the
+//    reactor recognizes the rejoin (kRejoining state, or an incarnation
+//    change on a live segment), revives the peer, re-sends Subscribe
+//    frames for every covering subscription, then ships ResyncRequest
+//    frames — the agent answers each with a full-baseline Snapshot that
+//    the SubscriptionManager folds as the stream's new baseline.
+//  * Loss without death (seq gap on the data ring, or a frame that
+//    fails CRC) marks the affected streams stale and requests the same
+//    snapshot resync, rate-limited to one request per stale episode.
+//  * A FaultInjector (src/transport/fault_injector.h) can be installed
+//    on the client's data-plane sends to exercise all of the above
+//    deterministically: drop/corrupt/delay/duplicate, seeded.
 
 #ifndef PATHDUMP_SRC_TRANSPORT_TRANSPORT_H_
 #define PATHDUMP_SRC_TRANSPORT_TRANSPORT_H_
@@ -54,6 +77,8 @@
 #include "src/common/types.h"
 #include "src/edge/alarm.h"
 #include "src/edge/edge_agent.h"
+#include "src/edge/standing_query.h"
+#include "src/transport/fault_injector.h"
 #include "src/transport/shm_ring.h"
 #include "src/transport/wire.h"
 
@@ -77,7 +102,26 @@ struct TransportOptions {
   ShmSegment::Geometry geometry;
   // How long a blocking ring push may wait for space before failing.
   int64_t push_timeout_us = 5'000'000;
+  // How long a restarted peer may sit in kRejoining before the hub
+  // declares it kGaveUp (excused from everything, counted in stats).
+  int64_t rejoin_timeout_us = 10'000'000;
+  // Startup sweep: reclaim /dev/shm segments left behind by SIGKILLed
+  // earlier runs (only segments whose recorded controller pid is
+  // provably dead are touched — safe under parallel suites).
+  bool sweep_stale_shm_on_start = true;
 };
+
+// Peer lifecycle (shm backend).  kDead/kGaveUp peers are excused from
+// WaitForAcks/WaitForHellos; kRejoining is the window between
+// RestartPeer and the restarted agent's Hello.
+enum class PeerState : uint8_t {
+  kConnecting = 0,  // segment created, no Hello yet
+  kLive = 1,
+  kDead = 2,      // pid gone (or ring poisoned) without a Bye
+  kRejoining = 3, // fresh segment up, waiting for the new incarnation's Hello
+  kGaveUp = 4,    // rejoin deadline passed; terminal
+};
+const char* PeerStateName(PeerState s);
 
 // Cumulative since hub construction.  Decode error counters map 1:1 to
 // WireError categories — every rejected frame is counted, never dropped
@@ -97,11 +141,19 @@ struct TransportStats {
   uint64_t bad_checksum = 0;
   uint64_t bad_payload = 0;
   uint64_t seq_gaps = 0;        // messages missing, summed over peer rings
+                                // (retired segments included)
   uint64_t blocked_pushes = 0;  // agent-side full-ring waits, summed
   uint64_t peers = 0;
   uint64_t peers_hello = 0;  // peers that completed the Hello handshake
   uint64_t peers_bye = 0;    // graceful goodbyes
   uint64_t peers_dead = 0;   // detected dead without a Bye
+  // Crash recovery.
+  uint64_t peers_rejoining = 0;      // currently in kRejoining (gauge)
+  uint64_t peers_rejoined = 0;       // completed rejoin handshakes, cumulative
+  uint64_t peers_gave_up = 0;        // rejoin deadline expiries, cumulative
+  uint64_t resync_requests = 0;      // ResyncRequest frames shipped
+  uint64_t snapshots = 0;            // Snapshot frames received
+  uint64_t stale_shm_reclaimed = 0;  // startup-sweep unlinks
 };
 
 // Controller-side hub.  One instance owns all peer segments and (for the
@@ -174,26 +226,69 @@ class TransportHub {
   TransportStats stats() const;
   // Hosts detected dead (no Bye), in detection order.
   std::vector<HostId> dead_hosts() const;
+  PeerState peer_state(HostId host) const;
+
+  // --- Crash recovery ---
+
+  // Retires a dead (or departed) peer's segment and creates a fresh one
+  // under the next incarnation number.  Returns the new segment name to
+  // hand the restarted agent (which must Hello with that incarnation),
+  // or "" if the peer is unknown or still live.  The peer enters
+  // kRejoining until the Hello lands (kGaveUp past the rejoin timeout).
+  std::string RestartPeer(HostId host);
+  // The incarnation RestartPeer assigned most recently (0 = original).
+  uint32_t peer_incarnation(HostId host) const;
+  // True once `host` is back in kLive (Hello processed, resyncs sent).
+  bool WaitForPeerLive(HostId host, int64_t timeout_us);
+  // Ships one ResyncRequest frame to `host` for subscription `id` (the
+  // agent answers with a Snapshot).  Wired into the manager's
+  // ResyncRequester so gap-threshold staleness self-heals.
+  void RequestResync(uint64_t id, HostId host);
 
  private:
   struct Peer {
     HostId host = kInvalidNode;
-    std::unique_ptr<ShmSegment> segment;
-    std::atomic<uint32_t> pid{0};        // learned from Hello
-    std::atomic<uint64_t> last_ack{0};   // highest token acked
+    // Swapped by RestartPeer under peers_mu_; every user copies the
+    // shared_ptr first (SegmentOf) so a retired segment stays mapped
+    // until its last reader drops it.
+    std::shared_ptr<ShmSegment> segment;
+    std::atomic<uint32_t> pid{0};         // learned from Hello
+    std::atomic<uint32_t> incarnation{0}; // learned from Hello / RestartPeer
+    std::atomic<uint64_t> last_ack{0};    // highest token acked
     std::atomic<bool> hello{false};
     std::atomic<bool> bye{false};
     std::atomic<bool> dead{false};
+    std::atomic<PeerState> state{PeerState::kConnecting};
+    std::atomic<int64_t> rejoin_deadline_us{0};
+    // Reactor-local resync trigger edge detectors (reactor thread only).
+    uint64_t seen_seq_gaps = 0;
+    uint64_t data_decode_errors = 0;  // reactor-written cumulative
   };
 
   void ReactorLoop();
-  // Drains one peer's data ring; returns frames dispatched.
-  size_t DrainPeer(Peer& peer, std::vector<uint8_t>& buf);
+  // Drains one peer's data ring; returns frames dispatched.  Decode
+  // errors on the ring are counted into peer.data_decode_errors so the
+  // caller can trigger a resync on new corruption.
+  size_t DrainPeer(Peer& peer, ShmSegment& segment, std::vector<uint8_t>& buf);
   void Dispatch(Peer& peer, DecodedFrame&& frame);
   void CountError(WireError err);
   // Snapshot of peer pointers (stable: peers_ is an append-only deque).
   std::vector<Peer*> SnapshotPeers() const;
+  // Copies the peer's current segment pointer under peers_mu_.
+  std::shared_ptr<ShmSegment> SegmentOf(const Peer& peer) const;
   void BroadcastCommand(const std::vector<uint8_t>& frame);
+  // Serialized push onto one peer's command ring (cmd_mu_): the reactor
+  // (rejoin/resync) and API threads (Broadcast) share the producer side.
+  bool PushCommand(ShmSegment& segment, const std::vector<uint8_t>& frame);
+  // Rejoin completion: re-Subscribe + ResyncRequest for every covering
+  // subscription, in that order (the cmd ring is FIFO, so the agent
+  // re-registers its accumulators before any snapshot is taken).
+  void OnPeerRejoined(Peer& peer);
+  // Marks every subscription covering `peer.host` stale and ships a
+  // ResyncRequest for the ones newly marked (rate limit: one request
+  // per stale episode).
+  void RequestResyncAll(Peer& peer);
+  const Peer* FindPeer(HostId host) const;
 
   Controller* const controller_;
   SubscriptionManager* const manager_;
@@ -202,8 +297,20 @@ class TransportHub {
   AlarmHandler alarm_sink_;
   std::function<void(uint32_t, uint32_t, uint32_t, uint32_t)> local_ingest_;
 
-  mutable std::mutex peers_mu_;  // guards peers_ growth only
+  mutable std::mutex peers_mu_;  // guards peers_ growth + segment swaps
   std::deque<Peer> peers_;       // append-only; stable addresses
+
+  // Subscriptions installed through Subscribe(), kept so a rejoining
+  // peer can be re-subscribed and resynced.
+  struct SubRecord {
+    uint64_t id = 0;
+    StandingQuerySpec spec;
+    std::vector<HostId> hosts;
+  };
+  mutable std::mutex subs_mu_;
+  std::vector<SubRecord> subs_;
+
+  std::mutex cmd_mu_;  // serializes all command-ring pushes
 
   std::atomic<uint64_t> next_token_{0};
   std::atomic<bool> stop_{false};
@@ -215,6 +322,13 @@ class TransportHub {
   // Decode/dispatch counters (reactor-written, stats()-read).
   std::atomic<uint64_t> frames_{0}, bytes_{0}, deltas_{0}, alarms_{0}, acks_{0};
   std::atomic<uint64_t> err_by_kind_[8] = {};
+  // Recovery counters.
+  std::atomic<uint64_t> peers_rejoined_{0}, peers_gave_up_{0};
+  std::atomic<uint64_t> resync_requests_{0}, snapshots_{0};
+  std::atomic<uint64_t> stale_shm_reclaimed_{0};
+  // Consumer-side counters of segments retired by RestartPeer, folded in
+  // so stats() stays cumulative across incarnations.
+  std::atomic<uint64_t> retired_seq_gaps_{0}, retired_blocked_pushes_{0};
 
   std::thread reactor_;  // last member: joins before state above dies
 };
@@ -227,13 +341,33 @@ class ShmAgentClient {
   // Maps the named segment; null if absent or malformed.
   static std::unique_ptr<ShmAgentClient> Open(const std::string& name,
                                               int64_t push_timeout_us = 5'000'000);
+  // Bounded connect: retries Open with exponential backoff (1 ms
+  // doubling to 100 ms) until `total_timeout_us` elapses.  Restarted
+  // agents use this — the hub may still be creating their segment.
+  static std::unique_ptr<ShmAgentClient> OpenWithBackoff(const std::string& name,
+                                                         int64_t total_timeout_us,
+                                                         int64_t push_timeout_us = 5'000'000);
+
+  // Installs a data-plane fault injector (chaos/testing): QueryDelta and
+  // Alarm frames may be dropped, corrupted, delayed (reordered), or
+  // duplicated per its seeded config.  Snapshot and control frames are
+  // never faulted — recovery traffic must converge.
+  void SetFaultInjector(const FaultInjectorConfig& config);
+  FaultInjector::Counts fault_counts() const;
 
   // --- Sends (agent → controller data ring) ---
-  bool SendHello(HostId host);  // also records getpid() in the segment header
-  bool SendDelta(const QueryDelta& delta);
+  // Also records getpid() in the segment header.  `incarnation` echoes
+  // the number embedded in a RestartPeer segment name (0 for the first
+  // life) so the hub can tell a rejoin from a duplicate Hello.
+  bool SendHello(HostId host, uint32_t incarnation = 0);
+  bool SendDelta(const QueryDelta& delta);  // routes snapshots to kSnapshot frames
   bool SendAlarm(const Alarm& alarm);
   bool SendAck(HostId host, uint64_t token);
   bool SendBye(HostId host);
+
+  // Terminal give-up latch: set after a bounded data-ring push timed out
+  // (controller gone or wedged).  All later sends fail fast.
+  bool gave_up() const { return gave_up_.load(std::memory_order_acquire); }
 
   // --- Commands (controller → agent cmd ring) ---
   // Pops one command frame, waiting up to `timeout_us`.  False if none
@@ -251,12 +385,19 @@ class ShmAgentClient {
   explicit ShmAgentClient(std::unique_ptr<ShmSegment> segment, int64_t push_timeout_us)
       : segment_(std::move(segment)), push_timeout_us_(push_timeout_us) {}
 
-  bool PushFrame();
+  // All Push* helpers run under send_mu_ with the frame in scratch_.
+  bool PushFrame();          // verbatim; flushes a delayed frame first
+  bool PushDataFrame();      // fault-injected path (deltas/alarms)
+  bool PushRaw(const std::vector<uint8_t>& frame);
+  void ReleaseDelayedLocked();
 
   std::unique_ptr<ShmSegment> segment_;
   const int64_t push_timeout_us_;
-  std::mutex send_mu_;
+  mutable std::mutex send_mu_;
   std::vector<uint8_t> scratch_;  // guarded by send_mu_
+  std::unique_ptr<FaultInjector> injector_;  // guarded by send_mu_
+  std::vector<uint8_t> delayed_;             // stashed frame (kDelay); send_mu_
+  std::atomic<bool> gave_up_{false};
   uint64_t cmd_decode_errors_ = 0;
 };
 

@@ -130,7 +130,10 @@ bool IsRecordKind(StandingQuerySpec::Kind kind) {
          kind == StandingQuerySpec::Kind::kCountSummary;
 }
 
-WireError DecodeQueryDeltaPayload(Cursor c, DecodedFrame* out) {
+// `allow_empty` is true for kSnapshot frames: a snapshot of "nothing
+// yet" is a legal baseline, while an ordinary delta of nothing is a
+// protocol violation (empty epochs never ship).
+WireError DecodeQueryDeltaPayload(Cursor c, DecodedFrame* out, bool allow_empty) {
   QueryDelta& d = out->delta;
   uint8_t kind, pad;
   if (!c.GetU64(&d.subscription_id) || !c.GetU32(&d.host) || !c.GetU8(&kind)) {
@@ -158,10 +161,12 @@ WireError DecodeQueryDeltaPayload(Cursor c, DecodedFrame* out) {
       }
       d.records.items.push_back(std::move(item));
     }
-    if (d.records.items.empty()) return WireError::kBadPayload;  // empty epochs never ship
+    if (d.records.items.empty() && !allow_empty) {
+      return WireError::kBadPayload;  // empty epochs never ship
+    }
   } else {
     // Flow items: fixed 21 bytes each, so the remainder must divide.
-    if (c.left == 0 || c.left % 21 != 0) return WireError::kBadPayload;
+    if ((c.left == 0 && !allow_empty) || c.left % 21 != 0) return WireError::kBadPayload;
     d.payload.items.reserve(c.left / 21);
     while (c.left > 0) {
       FiveTuple flow;
@@ -261,12 +266,17 @@ uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed) {
   return c ^ 0xFFFFFFFFu;
 }
 
-size_t EncodeQueryDeltaFrame(const QueryDelta& delta, std::vector<uint8_t>& out) {
+namespace {
+
+// Shared payload body of kQueryDelta and kSnapshot — the frame type
+// alone distinguishes an increment from a full baseline.
+size_t EncodeDeltaShapedFrame(FrameType type, const QueryDelta& delta,
+                              std::vector<uint8_t>& out) {
   static Counter* frames = MetricsRegistry::Global().GetCounter("wire.frames_encoded");
   static Counter* bytes = MetricsRegistry::Global().GetCounter("wire.bytes_encoded");
   TraceScope span("wire.encode",
                   TraceKeys{delta.subscription_id, delta.host, delta.epoch});
-  const size_t start = BeginFrame(out, FrameType::kQueryDelta);
+  const size_t start = BeginFrame(out, type);
   // The 24-byte framing QueryDelta::SerializedSize charges: 8 + 4 + 8
   // padded to 24 — the pad carries the payload kind, so a decoder never
   // guesses the shape from content.
@@ -300,6 +310,16 @@ size_t EncodeQueryDeltaFrame(const QueryDelta& delta, std::vector<uint8_t>& out)
   return total;
 }
 
+}  // namespace
+
+size_t EncodeQueryDeltaFrame(const QueryDelta& delta, std::vector<uint8_t>& out) {
+  return EncodeDeltaShapedFrame(FrameType::kQueryDelta, delta, out);
+}
+
+size_t EncodeSnapshotFrame(const QueryDelta& delta, std::vector<uint8_t>& out) {
+  return EncodeDeltaShapedFrame(FrameType::kSnapshot, delta, out);
+}
+
 size_t EncodeAlarmFrame(const Alarm& alarm, std::vector<uint8_t>& out) {
   const size_t start = BeginFrame(out, FrameType::kAlarm);
   PutU32(out, alarm.host);
@@ -324,10 +344,12 @@ size_t AlarmWireBytes(const Alarm& alarm) {
   return n;
 }
 
-size_t EncodeHelloFrame(HostId host, uint32_t pid, std::vector<uint8_t>& out) {
+size_t EncodeHelloFrame(HostId host, uint32_t pid, uint32_t incarnation,
+                        std::vector<uint8_t>& out) {
   const size_t start = BeginFrame(out, FrameType::kHello);
   PutU32(out, host);
   PutU32(out, pid);
+  PutU32(out, incarnation);
   return FinishFrame(out, start);
 }
 
@@ -383,6 +405,12 @@ size_t EncodeByeFrame(HostId host, std::vector<uint8_t>& out) {
   return FinishFrame(out, start);
 }
 
+size_t EncodeResyncRequestFrame(uint64_t subscription_id, std::vector<uint8_t>& out) {
+  const size_t start = BeginFrame(out, FrameType::kResyncRequest);
+  PutU64(out, subscription_id);
+  return FinishFrame(out, start);
+}
+
 WireError DecodeFrame(const uint8_t* data, size_t size, DecodedFrame* out) {
   if (size < kFrameHeaderBytes) return WireError::kTruncated;
   Cursor h{data, kFrameHeaderBytes};
@@ -408,7 +436,7 @@ WireError DecodeFrame(const uint8_t* data, size_t size, DecodedFrame* out) {
   uint32_t crc = Crc32(hdr, kFrameHeaderBytes);
   crc = Crc32(data + kFrameHeaderBytes, payload_len, crc);
   if (crc != stored_crc) return WireError::kBadChecksum;
-  if (type < uint8_t(FrameType::kHello) || type > uint8_t(FrameType::kBye)) {
+  if (type < uint8_t(FrameType::kHello) || type > uint8_t(FrameType::kSnapshot)) {
     return WireError::kBadType;
   }
   *out = DecodedFrame{};
@@ -416,13 +444,22 @@ WireError DecodeFrame(const uint8_t* data, size_t size, DecodedFrame* out) {
   Cursor c{data + kFrameHeaderBytes, payload_len};
   switch (out->type) {
     case FrameType::kQueryDelta:
-      return DecodeQueryDeltaPayload(c, out);
+      return DecodeQueryDeltaPayload(c, out, /*allow_empty=*/false);
+    case FrameType::kSnapshot: {
+      const WireError err = DecodeQueryDeltaPayload(c, out, /*allow_empty=*/true);
+      out->delta.snapshot = true;
+      return err;
+    }
     case FrameType::kAlarm:
       return DecodeAlarmPayload(c, out);
     case FrameType::kSubscribe:
       return DecodeSubscribePayload(c, out);
+    case FrameType::kResyncRequest:
+      if (!c.GetU64(&out->subscription_id) || c.left != 0) return WireError::kBadPayload;
+      return WireError::kOk;
     case FrameType::kHello:
-      if (!c.GetU32(&out->host) || !c.GetU32(&out->pid) || c.left != 0) {
+      if (!c.GetU32(&out->host) || !c.GetU32(&out->pid) || !c.GetU32(&out->incarnation) ||
+          c.left != 0) {
         return WireError::kBadPayload;
       }
       return WireError::kOk;

@@ -69,6 +69,15 @@ enum class FrameType : uint8_t {
 
   kShutdown = 8,    // drain and exit
   kBye = 9,         // agent's graceful goodbye
+
+  // Crash-recovery pair.  kResyncRequest (controller → agent) asks one
+  // subscription for a full re-baseline; the agent answers with a
+  // kSnapshot (agent → controller): a QueryDelta-shaped frame carrying
+  // the FULL standing state at an epoch boundary.  Unlike kQueryDelta an
+  // empty kSnapshot payload is legal — "nothing yet" is a valid
+  // baseline after a restart.
+  kResyncRequest = 10,
+  kSnapshot = 11,
 };
 
 enum class WireError : uint8_t {
@@ -94,8 +103,16 @@ uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
 // equals delta.SerializedSize() by construction (asserted in tests).
 
 size_t EncodeQueryDeltaFrame(const QueryDelta& delta, std::vector<uint8_t>& out);
+// The kSnapshot twin of EncodeQueryDeltaFrame: same payload layout, the
+// frame type alone marks it as a full baseline.  delta.snapshot should
+// be true; the decoder sets it from the frame type.
+size_t EncodeSnapshotFrame(const QueryDelta& delta, std::vector<uint8_t>& out);
 size_t EncodeAlarmFrame(const Alarm& alarm, std::vector<uint8_t>& out);
-size_t EncodeHelloFrame(HostId host, uint32_t pid, std::vector<uint8_t>& out);
+// `incarnation` counts the agent's restarts on this host (0 for the
+// first launch).  A hub that sees a Hello with a new incarnation on a
+// known peer treats it as a rejoin and triggers subscription resync.
+size_t EncodeHelloFrame(HostId host, uint32_t pid, uint32_t incarnation,
+                        std::vector<uint8_t>& out);
 size_t EncodeSubscribeFrame(uint64_t subscription_id, const StandingQuerySpec& spec,
                             std::vector<uint8_t>& out);
 size_t EncodeEpochTickFrame(uint64_t token, std::vector<uint8_t>& out);
@@ -104,6 +121,7 @@ size_t EncodeIngestFrame(uint32_t count, uint32_t seed, uint32_t ip_space, uint3
                          std::vector<uint8_t>& out);
 size_t EncodeShutdownFrame(std::vector<uint8_t>& out);
 size_t EncodeByeFrame(HostId host, std::vector<uint8_t>& out);
+size_t EncodeResyncRequestFrame(uint64_t subscription_id, std::vector<uint8_t>& out);
 
 // Wire bytes of an alarm frame (header + payload) — the alarm twin of
 // QueryDelta::SerializedSize, used by benches for byte accounting.
@@ -118,12 +136,15 @@ struct DecodedFrame {
   // kHello / kAck / kBye
   HostId host = kInvalidNode;
   uint32_t pid = 0;
-  // kQueryDelta (seq is transport-local, left 0 — the controller's
-  // channel stamps its own intake seq)
+  // kHello: the agent's restart count (0 on first launch).
+  uint32_t incarnation = 0;
+  // kQueryDelta / kSnapshot (seq is transport-local, left 0 — the
+  // controller's channel stamps its own intake seq; delta.snapshot is
+  // set from the frame type)
   QueryDelta delta;
   // kAlarm (seq likewise left 0 for the alarm pipeline to stamp)
   Alarm alarm;
-  // kSubscribe
+  // kSubscribe / kResyncRequest
   uint64_t subscription_id = 0;
   StandingQuerySpec spec;
   // kEpochTick / kAck

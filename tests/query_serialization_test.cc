@@ -507,11 +507,18 @@ TEST(WireAdversarial, ControlFramesRoundTrip) {
   std::vector<uint8_t> f;
   DecodedFrame out;
 
-  transport::EncodeHelloFrame(9, 4321, f);
+  transport::EncodeHelloFrame(9, 4321, 7, f);
   ASSERT_EQ(DecodeFrame(f.data(), f.size(), &out), WireError::kOk);
   EXPECT_EQ(out.type, FrameType::kHello);
   EXPECT_EQ(out.host, 9u);
   EXPECT_EQ(out.pid, 4321u);
+  EXPECT_EQ(out.incarnation, 7u);
+
+  f.clear();
+  transport::EncodeResyncRequestFrame(0xBEEFu, f);
+  ASSERT_EQ(DecodeFrame(f.data(), f.size(), &out), WireError::kOk);
+  EXPECT_EQ(out.type, FrameType::kResyncRequest);
+  EXPECT_EQ(out.subscription_id, 0xBEEFu);
 
   StandingQuerySpec spec;
   spec.kind = StandingQuerySpec::Kind::kFlowSizeHistogram;
@@ -553,6 +560,40 @@ TEST(WireAdversarial, ControlFramesRoundTrip) {
   ASSERT_EQ(DecodeFrame(f.data(), f.size(), &out), WireError::kOk);
   EXPECT_EQ(out.type, FrameType::kBye);
   EXPECT_EQ(out.host, 13u);
+}
+
+TEST(WireAdversarial, SnapshotFramesRoundTripAndAllowEmpty) {
+  // A snapshot is QueryDelta-shaped on the wire but its own frame type,
+  // and — unlike a delta — an EMPTY snapshot is legal (a restarted
+  // agent with an empty TIB still re-baselines the stream).
+  for (auto kind :
+       {StandingQuerySpec::Kind::kTopK, StandingQuerySpec::Kind::kFlowList}) {
+    QueryDelta d = MakeWireDelta(kind);
+    d.snapshot = true;
+    std::vector<uint8_t> frame;
+    const size_t n = transport::EncodeSnapshotFrame(d, frame);
+    EXPECT_EQ(n, d.SerializedSize());
+    DecodedFrame out;
+    ASSERT_EQ(DecodeFrame(frame.data(), frame.size(), &out), WireError::kOk);
+    EXPECT_EQ(out.type, FrameType::kSnapshot);
+    EXPECT_TRUE(out.delta.snapshot);
+    EXPECT_EQ(out.delta, d) << "kind " << int(uint8_t(kind));
+
+    QueryDelta empty = MakeWireDelta(kind);
+    empty.snapshot = true;
+    empty.payload.items.clear();
+    empty.records.items.clear();
+    frame.clear();
+    transport::EncodeSnapshotFrame(empty, frame);
+    ASSERT_EQ(DecodeFrame(frame.data(), frame.size(), &out), WireError::kOk);
+    EXPECT_TRUE(out.delta.snapshot);
+    EXPECT_EQ(out.delta, empty);
+
+    // The same empty payload as a plain QueryDelta frame stays illegal.
+    frame.clear();
+    transport::EncodeQueryDeltaFrame(empty, frame);
+    EXPECT_EQ(DecodeFrame(frame.data(), frame.size(), &out), WireError::kBadPayload);
+  }
 }
 
 TEST(WireAdversarial, TruncationAtEveryPrefixIsRejected) {

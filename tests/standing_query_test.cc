@@ -14,10 +14,15 @@
 //  5. Property — randomized arrival interleavings (out-of-order,
 //     duplicate, orphan, gapped) across all four standing kinds fold to
 //     poll identity; the failing seed is logged on mismatch.
+//  6. Recovery — a stream marked stale discards ordinary deltas until a
+//     snapshot re-baselines it (in-process Resync restores byte
+//     identity for all four kinds), and the gap threshold declares
+//     presumed-lost epochs stale + fires the resync requester.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -538,6 +543,171 @@ TEST(StandingQueryProperty, RandomizedArrivalsFoldToPollIdentityAllKinds) {
           << int(manager.info(k.sub).spec.kind);
     }
   }
+}
+
+// --- 6. Crash recovery: stale streams and snapshot resync ---
+
+TEST(StandingQueryRecovery, InProcessResyncRestoresByteIdentityAllKinds) {
+  const int kPerEpoch = 3000;
+  Testbed tb(2, 4);
+  SubscriptionManager manager(&tb.controller);
+  const std::vector<uint64_t> subs = {
+      SubscribeTopK(manager, tb.hosts, kTopK),
+      SubscribeFlowSizeDistribution(manager, tb.hosts, kProbeLink, TimeRange::All(),
+                                    kBinWidth),
+      SubscribeFlowList(manager, tb.hosts, kProbeLink),
+      SubscribeCountSummary(manager, tb.hosts, kProbeLink)};
+  const std::vector<Controller::QueryFn> polls = {PollTopK(), PollHistogram(),
+                                                  PollFlowList(), PollCount()};
+  auto expect_identity = [&](const char* ctx) {
+    for (size_t s = 0; s < subs.size(); ++s) {
+      auto [poll, stats] = tb.controller.Execute(tb.hosts, polls[s]);
+      EXPECT_EQ(manager.Materialize(subs[s]), poll) << ctx << ", kind " << s;
+    }
+  };
+  auto ingest = [&](uint32_t seed) {
+    for (size_t a = 0; a < tb.agents.size(); ++a) {
+      for (const TibRecord& rec : MakeRecords(kPerEpoch, seed + uint32_t(a))) {
+        tb.agents[a]->tib().Insert(rec);
+      }
+    }
+  };
+
+  for (uint32_t epoch = 1; epoch <= 2; ++epoch) {
+    ingest(0x9E00u * epoch);
+    manager.TickEpoch();
+    manager.Flush();
+  }
+  expect_identity("pre-loss");
+
+  // Simulated loss on host 0: all four of its streams go stale — the
+  // next epoch's deltas for them are discarded (their increments are
+  // unusable without the lost prefix).
+  const HostId victim = tb.hosts[0];
+  for (uint64_t id : subs) {
+    EXPECT_TRUE(manager.MarkStale(id, victim));
+    EXPECT_FALSE(manager.MarkStale(id, victim));  // one mark per episode
+  }
+  EXPECT_EQ(manager.stale_streams(), subs.size());
+  ingest(0x9E00u * 3);
+  manager.TickEpoch();
+  manager.Flush();
+  EXPECT_EQ(manager.stats().deltas_stale_discarded, subs.size());
+
+  // In-process resync: snapshot through the attachment, fold it as the
+  // new baseline, and byte-identity is restored for every kind.
+  for (uint64_t id : subs) {
+    EXPECT_TRUE(manager.Resync(id, victim));
+  }
+  manager.Flush();
+  EXPECT_EQ(manager.stale_streams(), 0u);
+  EXPECT_EQ(manager.stats().snapshot_folds, subs.size());
+  EXPECT_EQ(manager.stats().resyncs, subs.size());
+  expect_identity("post-resync");
+
+  // Strict-epoch delta folding resumes from the re-anchored epoch: the
+  // next boundary folds cleanly, no gap, still byte-identical.
+  ingest(0x9E00u * 4);
+  manager.TickEpoch();
+  manager.Flush();
+  for (uint64_t id : subs) {
+    EXPECT_EQ(manager.info(id).pending_gaps, 0u);
+  }
+  expect_identity("post-recovery epoch");
+
+  EXPECT_FALSE(manager.Resync(9999, victim));  // unknown subscription
+  const SubscriptionManagerStats ss = manager.stats();
+  EXPECT_EQ(ss.deltas_submitted,
+            ss.deltas_folded + ss.deltas_orphaned + ss.deltas_stale_discarded);
+}
+
+TEST(StandingQueryRecovery, GapThresholdDeclaresStaleAndSnapshotRebaselines) {
+  Testbed tb(1, 4);
+  SubscriptionManagerOptions opts;
+  opts.gap_resync_threshold = 2;
+  SubscriptionManager manager(&tb.controller, opts);
+  const uint64_t sub = SubscribeTopK(manager, tb.hosts, kTopK);
+  const HostId host = tb.hosts[0];
+
+  std::mutex fired_mu;
+  std::vector<std::pair<uint64_t, HostId>> fired;
+  manager.SetResyncRequester([&](uint64_t id, HostId h) {
+    std::lock_guard<std::mutex> lock(fired_mu);
+    fired.emplace_back(id, h);
+  });
+  auto fired_count = [&] {
+    std::lock_guard<std::mutex> lock(fired_mu);
+    return fired.size();
+  };
+
+  auto delta_for = [&](uint64_t epoch, uint16_t port, uint64_t bytes) {
+    QueryDelta d;
+    d.subscription_id = sub;
+    d.host = host;
+    d.epoch = epoch;
+    d.payload.items = {{FiveTuple{1, 2, port, 80, kProtoTcp}, bytes}};
+    return d;
+  };
+
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(1, 10, 100)));
+  manager.Flush();
+  EXPECT_EQ(manager.stats().deltas_folded, 1u);
+
+  // Epoch 2 lost upstream.  Epoch 3 buffers (below threshold, no fire);
+  // epoch 4 reaches the threshold: the stream goes stale, the buffered
+  // stragglers are discarded, and the requester fires exactly once.
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(3, 30, 300)));
+  manager.Flush();
+  EXPECT_EQ(fired_count(), 0u);
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(4, 40, 400)));
+  manager.Flush();
+  {
+    std::lock_guard<std::mutex> lock(fired_mu);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0].first, sub);
+    EXPECT_EQ(fired[0].second, host);
+  }
+  EXPECT_EQ(manager.stale_streams(), 1u);
+  EXPECT_EQ(manager.stats().resyncs, 1u);
+  EXPECT_EQ(manager.stats().deltas_stale_discarded, 2u);  // the cleared buffer
+  EXPECT_EQ(manager.info(sub).pending_gaps, 0u);
+
+  // While stale, ordinary deltas are discarded and nothing re-fires —
+  // one outstanding request per stale episode.
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(5, 50, 500)));
+  manager.Flush();
+  EXPECT_EQ(manager.stats().deltas_stale_discarded, 3u);
+  EXPECT_EQ(fired_count(), 1u);
+
+  // The snapshot replaces the stream's state wholesale and re-anchors
+  // the epoch counter at snapshot + 1.
+  QueryDelta snap;
+  snap.subscription_id = sub;
+  snap.host = host;
+  snap.epoch = 6;
+  snap.snapshot = true;
+  snap.payload.items = {{FiveTuple{1, 2, 10, 80, kProtoTcp}, 100},
+                        {FiveTuple{1, 2, 30, 80, kProtoTcp}, 300},
+                        {FiveTuple{1, 2, 40, 80, kProtoTcp}, 400}};
+  ASSERT_TRUE(manager.SubmitDelta(std::move(snap)));
+  manager.Flush();
+  EXPECT_EQ(manager.stale_streams(), 0u);
+  EXPECT_EQ(manager.stats().snapshot_folds, 1u);
+
+  ASSERT_TRUE(manager.SubmitDelta(delta_for(7, 70, 700)));
+  manager.Flush();
+  EXPECT_EQ(manager.info(sub).pending_gaps, 0u);
+  TopKFlows top = TopKStanding(manager, sub);
+  ASSERT_EQ(top.items.size(), 4u);
+  EXPECT_EQ(top.items[0].first, 700u);
+  EXPECT_EQ(top.items[1].first, 400u);
+  EXPECT_EQ(top.items[2].first, 300u);
+  EXPECT_EQ(top.items[3].first, 100u);
+
+  const SubscriptionManagerStats ss = manager.stats();
+  EXPECT_EQ(ss.deltas_submitted,
+            ss.deltas_folded + ss.deltas_orphaned + ss.deltas_stale_discarded);
+  manager.SetResyncRequester(nullptr);
 }
 
 }  // namespace

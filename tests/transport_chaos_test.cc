@@ -1,0 +1,387 @@
+// Chaos soak: SIGKILL forked agents mid-subscription, restart them, and
+// assert FULL recovery — not just survival.
+//
+// Each round ingests into the whole fleet, ticks an epoch, quiesces the
+// recovery machinery, and asserts the materialized standing result is
+// byte-identical to a fresh poll over the in-test twins — for all four
+// standing kinds.  On kill rounds a seeded RNG picks a victim: it is
+// SIGKILLed and reaped, the hub detects the death, RestartPeer retires
+// the old segment and arms the rejoin window, a fresh worker process is
+// forked with the bumped incarnation number, and the rejoin handshake
+// re-subscribes + snapshot-resyncs every covering stream.  The victim's
+// twin is reset to a fresh EdgeAgent (its records died with it), so the
+// poll reference tracks exactly what a recovered system must report.
+//
+// Seed comes from PATHDUMP_CHAOS_SEED (fixed default) so CI runs are
+// reproducible; PATHDUMP_CHAOS_METRICS_OUT=<path> dumps the final
+// process-wide metrics registry as JSON (the CI chaos step uploads it
+// as the recovery-metrics artifact).
+//
+// Labeled `multiproc;chaos` in CTest: the CI chaos step runs `ctest -L
+// chaos`; the plain multiproc step excludes it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/controller/controller.h"
+#include "src/controller/subscription.h"
+#include "src/topology/fat_tree.h"
+#include "src/topology/link_labels.h"
+#include "src/transport/shm_ring.h"
+#include "src/transport/transport.h"
+#include "tests/test_util.h"
+
+#ifndef AGENT_WORKER_PATH
+#error "AGENT_WORKER_PATH must point at the agent_worker example binary"
+#endif
+
+namespace pathdump {
+namespace {
+
+using transport::PeerState;
+using transport::TransportHub;
+using transport::TransportOptions;
+using transport::TransportStats;
+
+std::string TestShmPrefix() { return "/pathdump.chaos." + std::to_string(getpid()) + "."; }
+
+class ShmCleanupEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override { transport::CleanupShmByPrefix(TestShmPrefix()); }
+};
+const auto* const kCleanupEnv =
+    ::testing::AddGlobalTestEnvironment(new ShmCleanupEnvironment());
+
+constexpr uint32_t kIpSpace = 2048;
+constexpr uint32_t kSwitchSpace = 24;
+constexpr size_t kShards = 4;
+constexpr size_t kTopK = 300;
+constexpr int64_t kBinWidth = 10000;
+const LinkId kProbeLink{3, 7};
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("PATHDUMP_CHAOS_SEED");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xC4A05;
+}
+
+std::vector<StandingQuerySpec> AllSpecs() {
+  std::vector<StandingQuerySpec> specs(4);
+  specs[0].kind = StandingQuerySpec::Kind::kTopK;
+  specs[0].k = kTopK;
+  specs[1].kind = StandingQuerySpec::Kind::kFlowSizeHistogram;
+  specs[1].bin_width = kBinWidth;
+  specs[1].link = kProbeLink;
+  specs[2].kind = StandingQuerySpec::Kind::kFlowList;
+  specs[2].link = kProbeLink;
+  specs[3].kind = StandingQuerySpec::Kind::kCountSummary;
+  specs[3].link = kProbeLink;
+  return specs;
+}
+
+Controller::QueryFn PollFor(const StandingQuerySpec& spec) {
+  switch (spec.kind) {
+    case StandingQuerySpec::Kind::kTopK:
+      return [](EdgeAgent& a) -> QueryResult { return a.TopK(kTopK, TimeRange::All()); };
+    case StandingQuerySpec::Kind::kFlowSizeHistogram:
+      return [](EdgeAgent& a) -> QueryResult {
+        return a.FlowSizeDistribution(kProbeLink, TimeRange::All(), kBinWidth);
+      };
+    case StandingQuerySpec::Kind::kFlowList:
+      return [](EdgeAgent& a) -> QueryResult {
+        return FlowList{a.GetFlows(kProbeLink, TimeRange::All())};
+      };
+    case StandingQuerySpec::Kind::kCountSummary:
+    default:
+      return [](EdgeAgent& a) -> QueryResult {
+        return a.CountOnLink(kProbeLink, TimeRange::All());
+      };
+  }
+}
+
+pid_t ForkWorker(const std::string& shm_name, HostId host, uint32_t incarnation) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execl(AGENT_WORKER_PATH, "agent_worker", shm_name.c_str(),
+          std::to_string(host).c_str(), std::to_string(kShards).c_str(),
+          std::to_string(incarnation).c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+int ReapWithDeadline(pid_t pid, int64_t timeout_us) {
+  const int64_t step_us = 20'000;
+  int status = -1;
+  for (int64_t waited = 0; waited <= timeout_us; waited += step_us) {
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      return status;
+    }
+    if (r < 0) {
+      return -1;
+    }
+    timespec ts{0, step_us * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  kill(pid, SIGKILL);
+  waitpid(pid, &status, 0);
+  return status;
+}
+
+struct ChaosTestbed {
+  Topology topo;
+  LinkLabelMap labels;
+  CherryPickCodec codec;
+  Controller controller;
+  std::vector<std::unique_ptr<EdgeAgent>> twins;
+  SubscriptionManager manager;
+  TransportHub hub;
+  std::vector<HostId> hosts;
+  std::vector<pid_t> pids;
+
+  static TransportOptions MakeOptions() {
+    TransportOptions o;
+    o.backend = TransportOptions::Backend::kSharedMemory;
+    o.shm_prefix = TestShmPrefix();
+    return o;
+  }
+  static SubscriptionManagerOptions MakeManagerOptions() {
+    SubscriptionManagerOptions o;
+    // Any buffered out-of-order epoch declares the stream stale
+    // immediately: a loss that lands while a snapshot is already in
+    // flight still re-triggers recovery instead of pending forever.
+    o.gap_resync_threshold = 1;
+    return o;
+  }
+
+  explicit ChaosTestbed(size_t num_agents)
+      : topo(BuildFatTree(4)),
+        labels(&topo),
+        codec(&topo, &labels),
+        manager(&controller, MakeManagerOptions()),
+        hub(&controller, &manager, MakeOptions()) {
+    for (size_t a = 0; a < num_agents; ++a) {
+      HostId h = topo.hosts()[a];
+      hosts.push_back(h);
+      twins.push_back(MakeTwin(h));
+      controller.RegisterAgent(twins.back().get());
+      const std::string name = hub.AddShmPeer(h);
+      EXPECT_FALSE(name.empty());
+      pids.push_back(ForkWorker(name, h, /*incarnation=*/0));
+      EXPECT_GT(pids.back(), 0);
+    }
+  }
+
+  ~ChaosTestbed() {
+    hub.SendShutdown();
+    for (pid_t pid : pids) {
+      if (pid > 0) {
+        ReapWithDeadline(pid, 10'000'000);
+      }
+    }
+  }
+
+  std::unique_ptr<EdgeAgent> MakeTwin(HostId h) {
+    EdgeAgentConfig cfg;
+    cfg.tib_options.num_shards = kShards;
+    return std::make_unique<EdgeAgent>(h, &topo, &codec, cfg);
+  }
+
+  void Ingest(uint32_t count, uint32_t seed) {
+    testutil::SyntheticRecordOptions opt;
+    opt.ip_space = kIpSpace;
+    opt.switch_space = kSwitchSpace;
+    for (auto& twin : twins) {
+      for (const TibRecord& rec : testutil::MakeSyntheticRecords(
+               int(count), seed + uint32_t(twin->host()), opt)) {
+        twin->tib().Insert(rec);
+      }
+    }
+    hub.SendIngest(count, seed, kIpSpace, kSwitchSpace);
+  }
+
+  void Epoch() {
+    const uint64_t token = hub.SendEpochTick();
+    ASSERT_TRUE(hub.WaitForAcks(token, 60'000'000));
+    hub.Flush();
+  }
+
+  // Waits until every triggered resync has completed (no stale stream,
+  // no buffered gap) — byte-identity is only meaningful afterwards.
+  bool Quiesce(const std::vector<uint64_t>& subs, int64_t timeout_us) {
+    const int64_t deadline_us = timeout_us;
+    for (int64_t waited = 0;; waited += 1000) {
+      hub.Flush();
+      bool settled = manager.stale_streams() == 0;
+      for (uint64_t id : subs) {
+        settled = settled && manager.info(id).pending_gaps == 0;
+      }
+      if (settled) {
+        return true;
+      }
+      if (waited >= deadline_us) {
+        return false;
+      }
+      timespec ts{0, 1'000'000};
+      nanosleep(&ts, nullptr);
+    }
+  }
+
+  void ExpectPollIdentity(const std::vector<StandingQuerySpec>& specs,
+                          const std::vector<uint64_t>& subs, const std::string& context) {
+    for (size_t s = 0; s < specs.size(); ++s) {
+      auto [poll, stats] = controller.Execute(hosts, PollFor(specs[s]));
+      QueryResult standing = manager.Materialize(subs[s]);
+      EXPECT_EQ(standing, poll) << context << ", kind " << s;
+    }
+  }
+
+  // SIGKILL agent `v`, wait for the hub to notice, restart it with the
+  // next incarnation, and reset its twin (the records died with it).
+  void KillAndRestart(size_t v) {
+    const HostId h = hosts[v];
+    ASSERT_EQ(kill(pids[v], SIGKILL), 0);
+    {
+      int status = 0;
+      ASSERT_EQ(waitpid(pids[v], &status, 0), pids[v]);
+      ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+      pids[v] = -1;
+    }
+    // The reactor detects the dead pid on its next liveness pass.
+    for (int64_t waited = 0; hub.peer_state(h) != PeerState::kDead; waited += 1000) {
+      ASSERT_LT(waited, 30'000'000) << "hub never detected the death of host " << h;
+      timespec ts{0, 1'000'000};
+      nanosleep(&ts, nullptr);
+    }
+    // Fresh twin: the poll reference must model the restarted (empty)
+    // agent, or identity post-recovery would be unachievable.
+    twins[v] = MakeTwin(h);
+    controller.RegisterAgent(twins[v].get());
+    const std::string name = hub.RestartPeer(h);
+    ASSERT_FALSE(name.empty());
+    pids[v] = ForkWorker(name, h, hub.peer_incarnation(h));
+    ASSERT_GT(pids[v], 0);
+    ASSERT_TRUE(hub.WaitForPeerLive(h, 30'000'000)) << "host " << h << " never rejoined";
+  }
+
+  // WaitForPeerLive can return before the rejoin's resync requests are
+  // even marked (the reactor flips the state first) — gate on the
+  // end-to-end signal: every kill so far produced a full set of
+  // snapshot folds.
+  void AwaitSnapshotFolds(uint64_t expected_min) {
+    for (int64_t waited = 0; manager.stats().snapshot_folds < expected_min;
+         waited += 1000) {
+      hub.Flush();
+      ASSERT_LT(waited, 30'000'000)
+          << "only " << manager.stats().snapshot_folds << " snapshot folds, want >= "
+          << expected_min;
+      timespec ts{0, 1'000'000};
+      nanosleep(&ts, nullptr);
+    }
+  }
+};
+
+TEST(TransportChaos, KilledAndRestartedAgentsRecoverToByteIdentity) {
+  const size_t kAgents = 3;
+  const uint32_t kPerEpoch = 600;
+  const int kRounds = 5;
+  const uint64_t seed = ChaosSeed();
+
+  ChaosTestbed tb(kAgents);
+  ASSERT_TRUE(tb.hub.WaitForHellos(30'000'000)) << "agents never mapped their segments";
+
+  const std::vector<StandingQuerySpec> specs = AllSpecs();
+  std::vector<uint64_t> subs;
+  for (const StandingQuerySpec& spec : specs) {
+    subs.push_back(tb.hub.Subscribe(tb.hosts, spec));
+  }
+
+  Rng rng(seed, /*stream=*/0xC4A05u);
+  uint64_t kills = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::string ctx = "round " + std::to_string(round);
+    tb.Ingest(kPerEpoch, uint32_t(seed) + 0x1000u * uint32_t(round + 1));
+    tb.Epoch();
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+    ASSERT_TRUE(tb.Quiesce(subs, 30'000'000)) << ctx;
+    tb.ExpectPollIdentity(specs, subs, ctx);
+
+    // Kill rounds: every odd round loses one seeded victim (the same
+    // host can die twice — incarnations keep counting up).
+    if (round % 2 == 1) {
+      const size_t victim = rng.UniformInt(uint32_t(kAgents));
+      tb.KillAndRestart(victim);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+      ++kills;
+      // One rejoin fires one resync per covering subscription.
+      tb.AwaitSnapshotFolds(kills * subs.size());
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+      ASSERT_TRUE(tb.Quiesce(subs, 30'000'000)) << ctx << " post-restart";
+      tb.ExpectPollIdentity(specs, subs, ctx + " post-restart");
+    }
+  }
+  ASSERT_GT(kills, 0u);
+
+  // Full recovery, by the numbers: every kill produced exactly one
+  // completed rejoin, nobody is dead or stuck rejoining at the end, the
+  // recovery traffic itself was clean, and every submitted delta landed
+  // in a terminal accounting bucket with none folded out of order.
+  const TransportStats st = tb.hub.stats();
+  EXPECT_EQ(st.peers_rejoined, kills);
+  EXPECT_EQ(st.peers_dead, 0u);
+  EXPECT_EQ(st.peers_rejoining, 0u);
+  EXPECT_EQ(st.peers_gave_up, 0u);
+  EXPECT_EQ(st.decode_errors, 0u);
+  EXPECT_GE(st.resync_requests, kills * subs.size());
+  EXPECT_GE(st.snapshots, kills * subs.size());
+
+  const SubscriptionManagerStats ss = tb.manager.stats();
+  EXPECT_GE(ss.snapshot_folds, kills * subs.size());
+  EXPECT_EQ(ss.deltas_orphaned, 0u);
+  EXPECT_EQ(ss.deltas_submitted,
+            ss.deltas_folded + ss.deltas_orphaned + ss.deltas_stale_discarded);
+
+  // Graceful teardown: the whole fleet — restarted incarnations
+  // included — says Bye and exits 0.
+  tb.hub.SendShutdown();
+  for (pid_t& pid : tb.pids) {
+    const int status = ReapWithDeadline(pid, 10'000'000);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "worker " << pid << " status " << status;
+    pid = -1;
+  }
+
+  // CI artifact: the final process-wide registry (recovery counters
+  // included) as JSON.
+  if (const char* out = std::getenv("PATHDUMP_CHAOS_METRICS_OUT")) {
+    if (out[0] != '\0') {
+      std::ofstream f(out);
+      f << MetricsRegistry::Global().Snapshot().ToJson() << "\n";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pathdump
