@@ -96,7 +96,7 @@ int Main() {
   for (size_t i = 0; i < stats.size(); ++i) {
     std::printf("f%-7zu %-12.2f %-10llu %-8d %d\n", i + 1, stats[i].throughput_mbps,
                 (unsigned long long)stats[i].retransmissions, stats[i].timeouts,
-                int(agent.tib().record(i).path.len));
+                int(agent.tib().record(i)->path.len));
   }
 
   bench::Section("Fig 10(b): path tree at R (path length -> #flows)");

@@ -24,7 +24,9 @@
 // of these and SIGKILLs one mid-epoch to exercise crash semantics;
 // tests/transport_chaos_test.cc restarts the victims and asserts full
 // recovery.  PATHDUMP_FAULT_{SEED,DROP,CORRUPT,DELAY,DUP} install a
-// seeded data-plane fault injector (rates per 10,000 frames).
+// seeded data-plane fault injector (rates per 10,000 frames);
+// PATHDUMP_TIB_MAX_BYTES sets a TIB memory ceiling (epoch-windowed
+// eviction — see docs/ARCHITECTURE.md).
 
 #include <cerrno>
 #include <chrono>
@@ -100,6 +102,13 @@ int main(int argc, char** argv) {
   CherryPickCodec codec(&topo, &labels);
   EdgeAgentConfig cfg;
   cfg.tib_options.num_shards = shards;
+  // Optional TIB memory ceiling (bytes); the chaos eviction-interplay
+  // test sets this before forking so workers and their in-test twins
+  // evict in lockstep (same inserts + same seal points + same ceiling =>
+  // same retained window, in any process).
+  if (const char* max_bytes = std::getenv("PATHDUMP_TIB_MAX_BYTES")) {
+    cfg.tib_options.max_memory_bytes = std::strtoull(max_bytes, nullptr, 10);
+  }
   EdgeAgent agent(host, &topo, &codec, cfg);
   agent.SetAlarmHandler(client->MakeAlarmSink());
 

@@ -442,6 +442,14 @@ void EdgeAgent::EpochTick() {
   for (const auto& reg : regs) {
     TickRegistration(*reg);
   }
+  // Seal the TIB's open epoch segments AFTER ticking: every record of the
+  // closing epoch has already been folded into each accumulator's partial
+  // (insert hooks run at insert time) and shipped by the TakeDelta above,
+  // so the segment can later retire under a memory ceiling without
+  // standing results losing its contribution.  Sealing happens even with
+  // zero registrations — epoch windows are an agent-lifecycle notion, and
+  // bounded in-test twins must seal in lockstep with bounded workers.
+  tib_.SealEpoch();
 }
 
 bool EdgeAgent::EpochTickOne(int id) {

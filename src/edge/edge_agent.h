@@ -219,7 +219,14 @@ class EdgeAgent {
   void UnregisterStandingQuery(int id);
 
   // Epoch ticks: snapshot + reset the partials and push the delta (if
-  // any) to the sink.  EpochTickOne returns false for an unknown id.
+  // any) to the sink, then seal the TIB's open epoch segments
+  // (Tib::SealEpoch) — the agent-level epoch boundary that makes whole
+  // segments the unit of memory-ceiling retirement.  Ticking precedes
+  // sealing, so a closing segment's contribution is always folded before
+  // it can retire; sealing runs even with zero registrations.
+  // EpochTickOne ticks one registration WITHOUT sealing (a
+  // per-subscription cadence hook, not an agent epoch boundary); it
+  // returns false for an unknown id.
   void EpochTick();
   bool EpochTickOne(int id);
   size_t StandingQueryCount() const;

@@ -186,6 +186,13 @@ class StandingQueryAccumulator {
   // Always consumes an epoch number and always returns a delta (marked
   // snapshot=true), even when empty.  Cost is O(TIB records) — resync
   // only, never the steady state.
+  //
+  // Under a TIB memory ceiling the re-scan covers the RETAINED window
+  // only (retired segments no longer exist), so a post-eviction snapshot
+  // re-baselines the stream to the window a poll query would see — by
+  // design: incremental folds stay exact over the full history (OnInsert
+  // saw every record before its segment could retire), while any resync
+  // adopts window-scoped semantics, matching window-scoped polls.
   QueryDelta TakeSnapshot();
 
   uint64_t subscription_id() const { return subscription_id_; }

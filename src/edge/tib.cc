@@ -26,6 +26,14 @@ bool SampleThisInsert() {
   return (++n & kTraceSampleMask) == 0;
 }
 
+// Process-wide resident level across every live Tib (Gauge::Add deltas,
+// never Set — instances each contribute their accounted bytes and take
+// them back on eviction/Clear/destruction).
+Gauge* ResidentGauge() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge("tib.bytes_resident");
+  return g;
+}
+
 // On-disk layout: 16-byte header then fixed-size rows.
 constexpr uint32_t kTibMagic = 0x50445442;  // "PDTB"
 constexpr uint32_t kTibVersion = 1;
@@ -131,6 +139,12 @@ Tib::Tib(TibOptions options) : options_(options) {
   }
 }
 
+Tib::~Tib() {
+  // Return this instance's contribution to the process-wide level so the
+  // gauge tracks live TIBs only.
+  ResidentGauge()->Add(-int64_t(resident_bytes_.load(std::memory_order_acquire)));
+}
+
 template <typename PerShard>
 void Tib::ForEachShardParallel(PerShard&& fn) const {
   ThreadPool* pool = scan_pool_.load(std::memory_order_acquire);
@@ -188,34 +202,179 @@ void Tib::Insert(const TibRecord& rec) {
   // The id is claimed under the shard lock so each shard's id column stays
   // strictly ascending — the invariant the ordered reduces rely on.
   uint64_t id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  // Append to the open segment, creating one if the previous was sealed.
+  const bool fresh_segment = s.segments.empty() || s.segments.back().sealed;
+  if (fresh_segment) {
+    s.segments.emplace_back();
+  }
+  Segment& seg = s.segments.back();
   // Row first, index last, with rollback: an allocation failure in any
   // step must not leave a half-inserted row or a by-flow entry pointing
   // past the column (an id gap is harmless — ids only need to ascend).
-  s.records.push_back(rec);
+  seg.records.push_back(rec);
   try {
-    s.ids.push_back(id);
+    seg.ids.push_back(id);
     if (options_.index_by_flow) {
-      s.by_flow[rec.flow].push_back(uint32_t(s.records.size() - 1));
+      const uint64_t seq = s.base_seq + uint64_t(s.segments.size()) - 1;
+      s.by_flow[rec.flow].push_back((seq << 32) | uint64_t(seg.records.size() - 1));
     }
   } catch (...) {
-    if (s.ids.size() == s.records.size()) {
-      s.ids.pop_back();
+    if (seg.ids.size() == seg.records.size()) {
+      seg.ids.pop_back();
     }
-    s.records.pop_back();
+    seg.records.pop_back();
+    if (fresh_segment && seg.records.empty()) {
+      s.segments.pop_back();
+    }
     throw;
   }
   count_.fetch_add(1, std::memory_order_acq_rel);
+  inserted_.fetch_add(1, std::memory_order_relaxed);
+  const size_t per_record = PerRecordBytes();
+  resident_bytes_.fetch_add(per_record, std::memory_order_acq_rel);
+  ResidentGauge()->Add(int64_t(per_record));
   // Standing-query accumulators ride the shard lock already held here:
   // the hook table is only ever swapped under all shard locks, so this
   // read is race-free, and per-shard partials need no lock of their own.
   for (const auto& [hook_id, hook] : insert_hooks_) {
     hook(si, id, rec);
   }
+  lock.unlock();
+  // Opportunistic ceiling enforcement: the moment resident bytes cross
+  // the ceiling, the inserting thread retires sealed epochs (try-lock —
+  // if another thread is already retiring, this one moves on).  Must run
+  // after the shard lock is released: enforcement takes shard locks.
+  if (options_.max_memory_bytes > 0 &&
+      resident_bytes_.load(std::memory_order_relaxed) > options_.max_memory_bytes) {
+    TryEnforceCeiling();
+  }
   if (sampled) {
     const uint64_t dur = Tracer::Global().NowUs() - t0;
     insert_us->Record(dur);
     Tracer::Global().Record("tib.insert", t0, dur, TraceKeys{});
   }
+}
+
+void Tib::SealEpoch() {
+  static Counter* seals = MetricsRegistry::Global().GetCounter("tib.epochs_sealed");
+  std::lock_guard<std::mutex> seal(seal_mu_);
+  const uint64_t e = current_epoch_.load(std::memory_order_relaxed);
+  for (const auto& sp : shards_) {
+    std::unique_lock<std::shared_mutex> lock(sp->mu);
+    if (!sp->segments.empty() && !sp->segments.back().sealed) {
+      sp->segments.back().epoch = e;
+      sp->segments.back().sealed = true;
+    }
+  }
+  current_epoch_.store(e + 1, std::memory_order_release);
+  epochs_sealed_.fetch_add(1, std::memory_order_relaxed);
+  seals->Add();
+  EnforceCeilingLocked();
+}
+
+void Tib::RetireFrontLocked(Shard& s) {
+  static Counter* retired_ctr = MetricsRegistry::Global().GetCounter("tib.segments_retired");
+  static Counter* evicted_ctr = MetricsRegistry::Global().GetCounter("tib.evicted_records");
+  Segment& seg = s.segments.front();
+  const uint64_t retiring_seq = s.base_seq;
+  if (options_.index_by_flow) {
+    // Refs are ascending by (seq, slot) and the front segment holds the
+    // lowest seq, so each flow's dropped entries are exactly the prefix
+    // stamped with the retiring seq.  Visiting the flow of every retired
+    // record covers every key that can hold such a prefix; repeat visits
+    // of a flow find an already-pruned vector and drop nothing.
+    for (const TibRecord& rec : seg.records) {
+      auto it = s.by_flow.find(rec.flow);
+      if (it == s.by_flow.end()) {
+        continue;
+      }
+      std::vector<uint64_t>& refs = it->second;
+      size_t drop = 0;
+      while (drop < refs.size() && (refs[drop] >> 32) == retiring_seq) {
+        ++drop;
+      }
+      if (drop == 0) {
+        continue;
+      }
+      if (drop == refs.size()) {
+        s.by_flow.erase(it);
+      } else {
+        refs.erase(refs.begin(), refs.begin() + ptrdiff_t(drop));
+      }
+    }
+  }
+  const size_t n = seg.records.size();
+  count_.fetch_sub(n, std::memory_order_acq_rel);
+  evicted_.fetch_add(n, std::memory_order_relaxed);
+  segments_retired_.fetch_add(1, std::memory_order_relaxed);
+  const size_t bytes = n * PerRecordBytes();
+  resident_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
+  ResidentGauge()->Add(-int64_t(bytes));
+  retired_ctr->Add();
+  evicted_ctr->Add(n);
+  s.segments.pop_front();
+  ++s.base_seq;
+}
+
+void Tib::EnforceCeilingLocked() {
+  const size_t max = options_.max_memory_bytes;
+  if (max == 0) {
+    return;
+  }
+  while (resident_bytes_.load(std::memory_order_acquire) > max) {
+    // Oldest sealed epoch still retained, across all shards.  Epochs
+    // retire whole — every shard's segments for that epoch go together —
+    // so the retained window is always a contiguous epoch suffix and the
+    // decision is deterministic given (inserts, seal points, ceiling).
+    uint64_t oldest = UINT64_MAX;
+    for (const auto& sp : shards_) {
+      std::shared_lock<std::shared_mutex> lock(sp->mu);
+      if (!sp->segments.empty() && sp->segments.front().sealed) {
+        oldest = std::min(oldest, sp->segments.front().epoch);
+      }
+    }
+    if (oldest == UINT64_MAX) {
+      return;  // only open segments remain; nothing is eligible
+    }
+    for (const auto& sp : shards_) {
+      std::unique_lock<std::shared_mutex> lock(sp->mu);
+      while (!sp->segments.empty() && sp->segments.front().sealed &&
+             sp->segments.front().epoch <= oldest) {
+        RetireFrontLocked(*sp);
+      }
+    }
+  }
+}
+
+void Tib::TryEnforceCeiling() {
+  std::unique_lock<std::mutex> seal(seal_mu_, std::try_to_lock);
+  if (!seal.owns_lock()) {
+    return;  // someone else is sealing/retiring; they will enforce
+  }
+  EnforceCeilingLocked();
+}
+
+TibMemoryStats Tib::MemoryStats() const {
+  TibMemoryStats st;
+  st.resident_bytes = resident_bytes_.load(std::memory_order_acquire);
+  st.retained_records = count_.load(std::memory_order_acquire);
+  st.inserted_records = inserted_.load(std::memory_order_relaxed);
+  st.evicted_records = evicted_.load(std::memory_order_relaxed);
+  st.segments_retired = segments_retired_.load(std::memory_order_relaxed);
+  st.epochs_sealed = epochs_sealed_.load(std::memory_order_relaxed);
+  st.current_epoch = current_epoch_.load(std::memory_order_acquire);
+  uint64_t oldest = UINT64_MAX;
+  size_t segs = 0;
+  for (const auto& sp : shards_) {
+    std::shared_lock<std::shared_mutex> lock(sp->mu);
+    segs += sp->segments.size();
+    if (!sp->segments.empty() && sp->segments.front().sealed) {
+      oldest = std::min(oldest, sp->segments.front().epoch);
+    }
+  }
+  st.segment_count = segs;
+  st.oldest_retained_epoch = oldest == UINT64_MAX ? 0 : oldest;
+  return st;
 }
 
 int Tib::AddInsertHook(InsertHook hook) {
@@ -260,22 +419,32 @@ void Tib::ForEachShardRecordExclusive(
     if (on_shard) {
       on_shard(si);
     }
-    for (size_t i = 0; i < s.records.size(); ++i) {
-      on_record(si, s.ids[i], s.records[i]);
-    }
+    // Retained records only: a resync snapshot taken here is window-scoped
+    // by construction — retired epochs are simply not there to scan.
+    s.ForEachStored([&](uint64_t id, const TibRecord& rec) { on_record(si, id, rec); });
   }
 }
 
-TibRecord Tib::record(size_t id) const {
+std::optional<TibRecord> Tib::record(size_t id) const {
   for (const auto& sp : shards_) {
     const Shard& s = *sp;
     std::shared_lock<std::shared_mutex> lock(s.mu);
-    auto it = std::lower_bound(s.ids.begin(), s.ids.end(), uint64_t(id));
-    if (it != s.ids.end() && *it == uint64_t(id)) {
-      return s.records[size_t(it - s.ids.begin())];
+    for (const Segment& seg : s.segments) {
+      if (uint64_t(id) > seg.ids.back()) {
+        continue;  // a newer segment of this shard may hold it
+      }
+      if (uint64_t(id) < seg.ids.front()) {
+        break;  // ids ascend across segments: not in this shard
+      }
+      auto it = std::lower_bound(seg.ids.begin(), seg.ids.end(), uint64_t(id));
+      if (it != seg.ids.end() && *it == uint64_t(id)) {
+        return seg.records[size_t(it - seg.ids.begin())];
+      }
+      break;  // would have been in this segment's id range
     }
   }
-  return TibRecord{};
+  // Typed miss: never inserted, rolled back, or evicted with its epoch.
+  return std::nullopt;
 }
 
 void Tib::ForEachRecord(const std::function<void(size_t, const TibRecord&)>& fn) const {
@@ -288,22 +457,36 @@ void Tib::ForEachRecord(const std::function<void(size_t, const TibRecord&)>& fn)
   }
   // Min-heap over one (id, shard) head per shard: O(n log s) for the
   // whole walk, and the all-shards lock window stays as short as the
-  // visitor allows.
+  // visitor allows.  Each shard's cursor walks its segment ring in order
+  // (ids ascend across a shard's segments).
+  struct Pos {
+    size_t seg = 0;
+    size_t slot = 0;
+  };
+  std::vector<Pos> pos(shards_.size());
+  auto head_of = [&](size_t si) -> const Segment* {
+    const Shard& s = *shards_[si];
+    Pos& p = pos[si];
+    while (p.seg < s.segments.size() && p.slot >= s.segments[p.seg].records.size()) {
+      ++p.seg;
+      p.slot = 0;
+    }
+    return p.seg < s.segments.size() ? &s.segments[p.seg] : nullptr;
+  };
   using Head = std::pair<uint64_t, size_t>;
   std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heads;
-  std::vector<size_t> cursor(shards_.size(), 0);
   for (size_t i = 0; i < shards_.size(); ++i) {
-    if (!shards_[i]->ids.empty()) {
-      heads.emplace(shards_[i]->ids[0], i);
+    if (const Segment* seg = head_of(i)) {
+      heads.emplace(seg->ids[pos[i].slot], i);
     }
   }
   while (!heads.empty()) {
     auto [id, si] = heads.top();
     heads.pop();
-    const Shard& s = *shards_[si];
-    fn(size_t(id), s.records[cursor[si]]);
-    if (++cursor[si] < s.ids.size()) {
-      heads.emplace(s.ids[cursor[si]], si);
+    fn(size_t(id), shards_[si]->segments[pos[si].seg].records[pos[si].slot]);
+    ++pos[si].slot;
+    if (const Segment* seg = head_of(si)) {
+      heads.emplace(seg->ids[pos[si].slot], si);
     }
   }
 }
@@ -312,8 +495,10 @@ void Tib::ForEachRecordUnordered(const std::function<void(const TibRecord&)>& fn
   for (const auto& sp : shards_) {
     const Shard& s = *sp;
     std::shared_lock<std::shared_mutex> lock(s.mu);
-    for (const TibRecord& rec : s.records) {
-      fn(rec);
+    for (const Segment& seg : s.segments) {
+      for (const TibRecord& rec : seg.records) {
+        fn(rec);
+      }
     }
   }
 }
@@ -331,38 +516,47 @@ std::vector<size_t> Tib::RecordsOfFlow(const FiveTuple& flow, const TimeRange& r
   return out;
 }
 
-void Tib::ForEachRecordOfFlow(const FiveTuple& flow, const TimeRange& range,
+bool Tib::ForEachRecordOfFlow(const FiveTuple& flow, const TimeRange& range,
                               const std::function<void(size_t, const TibRecord&)>& fn) const {
   const Shard& s = *shards_[ShardOf(flow)];
   std::shared_lock<std::shared_mutex> lock(s.mu);
   if (options_.index_by_flow) {
     auto it = s.by_flow.find(flow);
     if (it == s.by_flow.end()) {
-      return;
+      return false;  // typed miss: never inserted or fully evicted
     }
-    for (uint32_t idx : it->second) {
-      if (s.records[idx].Overlaps(range)) {
-        fn(size_t(s.ids[idx]), s.records[idx]);
+    for (uint64_t ref : it->second) {
+      const Segment& seg = s.segments[size_t((ref >> 32) - s.base_seq)];
+      const size_t slot = size_t(ref & 0xFFFFFFFFu);
+      if (seg.records[slot].Overlaps(range)) {
+        fn(size_t(seg.ids[slot]), seg.records[slot]);
       }
     }
-    return;
+    return true;
   }
-  for (size_t i = 0; i < s.records.size(); ++i) {
-    if (s.records[i].flow == flow && s.records[i].Overlaps(range)) {
-      fn(size_t(s.ids[i]), s.records[i]);
+  bool retained = false;
+  for (const Segment& seg : s.segments) {
+    for (size_t i = 0; i < seg.records.size(); ++i) {
+      if (seg.records[i].flow == flow) {
+        retained = true;
+        if (seg.records[i].Overlaps(range)) {
+          fn(size_t(seg.ids[i]), seg.records[i]);
+        }
+      }
     }
   }
+  return retained;
 }
 
 std::vector<size_t> Tib::RecordsOnLink(const LinkId& link, const TimeRange& range) const {
-  auto partial = CollectShardPartials<std::vector<size_t>>([&](std::vector<size_t>& out,
-                                                               const Shard& s) {
-    for (size_t i = 0; i < s.records.size(); ++i) {
-      if (s.records[i].Overlaps(range) && s.records[i].path.MatchesLinkQuery(link)) {
-        out.push_back(size_t(s.ids[i]));
-      }
-    }
-  });
+  auto partial = CollectShardPartials<std::vector<size_t>>(
+      [&](std::vector<size_t>& out, const Shard& s) {
+        s.ForEachStored([&](uint64_t id, const TibRecord& rec) {
+          if (rec.Overlaps(range) && rec.path.MatchesLinkQuery(link)) {
+            out.push_back(size_t(id));
+          }
+        });
+      });
   std::vector<size_t> out = ConcatPartials(partial);
   // Ascending id == insertion order: the same answer at any shard count.
   std::sort(out.begin(), out.end());
@@ -372,9 +566,11 @@ std::vector<size_t> Tib::RecordsOnLink(const LinkId& link, const TimeRange& rang
 FlowBytesMap Tib::AggregateFlowBytes(const LinkId& link, const TimeRange& range) const {
   const bool match_all = link.src == kInvalidNode && link.dst == kInvalidNode;
   auto partial = CollectShardPartials<FlowBytesMap>([&](FlowBytesMap& m, const Shard& s) {
-    for (const TibRecord& rec : s.records) {
-      if (rec.Overlaps(range) && (match_all || rec.path.MatchesLinkQuery(link))) {
-        m[rec.flow] += rec.bytes;
+    for (const Segment& seg : s.segments) {
+      for (const TibRecord& rec : seg.records) {
+        if (rec.Overlaps(range) && (match_all || rec.path.MatchesLinkQuery(link))) {
+          m[rec.flow] += rec.bytes;
+        }
       }
     }
   });
@@ -398,10 +594,12 @@ FlowBytesMap Tib::AggregateFlowBytes(const LinkId& link, const TimeRange& range)
 CountSummary Tib::CountOnLink(const LinkId& link, const TimeRange& range) const {
   const bool match_all = link.src == kInvalidNode && link.dst == kInvalidNode;
   auto partial = CollectShardPartials<CountSummary>([&](CountSummary& c, const Shard& s) {
-    for (const TibRecord& rec : s.records) {
-      if (rec.Overlaps(range) && (match_all || rec.path.MatchesLinkQuery(link))) {
-        c.bytes += rec.bytes;
-        c.pkts += rec.pkts;
+    for (const Segment& seg : s.segments) {
+      for (const TibRecord& rec : seg.records) {
+        if (rec.Overlaps(range) && (match_all || rec.path.MatchesLinkQuery(link))) {
+          c.bytes += rec.bytes;
+          c.pkts += rec.pkts;
+        }
       }
     }
   });
@@ -419,33 +617,32 @@ std::vector<Flow> Tib::FlowsOnLink(const LinkId& link, const TimeRange& range) c
     FiveTuple flow;
     CompactPath path;
   };
-  auto partial = CollectShardPartials<std::vector<Candidate>>([&](std::vector<Candidate>& out,
-                                                                  const Shard& s) {
-    // Duplicates of a (flow, path) pair always share a shard (the flow
-    // picks it), so per-shard first-occurrence dedup is complete.  The
-    // hash key only buckets; equality is exact, so the answer cannot
-    // depend on shard count even under a 64-bit collision.
-    std::unordered_map<uint64_t, std::vector<size_t>> seen;  // key -> out indices
-    for (size_t i = 0; i < s.records.size(); ++i) {
-      const TibRecord& rec = s.records[i];
-      if (!rec.Overlaps(range) || !rec.path.MatchesLinkQuery(link)) {
-        continue;
-      }
-      uint64_t key = rec.path.HashKey(FiveTupleHash{}(rec.flow));
-      std::vector<size_t>& bucket = seen[key];
-      bool dup = false;
-      for (size_t idx : bucket) {
-        if (out[idx].flow == rec.flow && out[idx].path == rec.path) {
-          dup = true;
-          break;
-        }
-      }
-      if (!dup) {
-        bucket.push_back(out.size());
-        out.push_back(Candidate{s.ids[i], rec.flow, rec.path});
-      }
-    }
-  });
+  auto partial = CollectShardPartials<std::vector<Candidate>>(
+      [&](std::vector<Candidate>& out, const Shard& s) {
+        // Duplicates of a (flow, path) pair always share a shard (the flow
+        // picks it), so per-shard first-occurrence dedup is complete.  The
+        // hash key only buckets; equality is exact, so the answer cannot
+        // depend on shard count even under a 64-bit collision.
+        std::unordered_map<uint64_t, std::vector<size_t>> seen;  // key -> out indices
+        s.ForEachStored([&](uint64_t id, const TibRecord& rec) {
+          if (!rec.Overlaps(range) || !rec.path.MatchesLinkQuery(link)) {
+            return;
+          }
+          uint64_t key = rec.path.HashKey(FiveTupleHash{}(rec.flow));
+          std::vector<size_t>& bucket = seen[key];
+          bool dup = false;
+          for (size_t idx : bucket) {
+            if (out[idx].flow == rec.flow && out[idx].path == rec.path) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) {
+            bucket.push_back(out.size());
+            out.push_back(Candidate{id, rec.flow, rec.path});
+          }
+        });
+      });
   std::vector<Candidate> merged = ConcatPartials(partial);
   // First-appearance order across the whole TIB = ascending first id.
   std::sort(merged.begin(), merged.end(),
@@ -463,11 +660,13 @@ size_t Tib::ApproxBytes() const {
   for (const auto& sp : shards_) {
     const Shard& s = *sp;
     std::shared_lock<std::shared_mutex> lock(s.mu);
-    bytes += s.records.capacity() * sizeof(TibRecord);
-    bytes += s.ids.capacity() * sizeof(uint64_t);
-    bytes += s.by_flow.size() * (sizeof(FiveTuple) + sizeof(std::vector<uint32_t>) + 24);
+    for (const Segment& seg : s.segments) {
+      bytes += seg.records.capacity() * sizeof(TibRecord);
+      bytes += seg.ids.capacity() * sizeof(uint64_t);
+    }
+    bytes += s.by_flow.size() * (sizeof(FiveTuple) + sizeof(std::vector<uint64_t>) + 24);
     for (const auto& [flow, v] : s.by_flow) {
-      bytes += v.capacity() * sizeof(uint32_t);
+      bytes += v.capacity() * sizeof(uint64_t);
     }
   }
   return bytes;
@@ -476,6 +675,8 @@ size_t Tib::ApproxBytes() const {
 size_t Tib::SaveTo(const std::string& path) const {
   // Snapshot first (one consistent pass under all shard locks) so the
   // header count always matches the rows written, even if inserts race.
+  // Under eviction this is exactly the retained window: retired segments
+  // are gone from the ring, so they are not written.
   std::vector<TibRecord> snap = records();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
@@ -556,43 +757,67 @@ int64_t Tib::LoadFrom(const std::string& path) {
   }
   std::fclose(f);
 
+  std::lock_guard<std::mutex> seal(seal_mu_);
   std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& sp : shards_) {
     locks.emplace_back(sp->mu);
   }
+  const size_t old_resident = resident_bytes_.load(std::memory_order_acquire);
   for (const auto& sp : shards_) {
-    sp->records.clear();
-    sp->ids.clear();
+    sp->segments.clear();
+    sp->base_seq = 0;
     sp->by_flow.clear();
   }
   uint64_t id = 0;
   for (const TibRecord& rec : rows) {
     Shard& s = *shards_[ShardOf(rec.flow)];
-    s.records.push_back(rec);
-    s.ids.push_back(id++);
+    if (s.segments.empty()) {
+      s.segments.emplace_back();  // one open segment; epoching restarts
+    }
+    Segment& seg = s.segments.back();
+    seg.records.push_back(rec);
+    seg.ids.push_back(id++);
     if (options_.index_by_flow) {
-      s.by_flow[rec.flow].push_back(uint32_t(s.records.size() - 1));
+      s.by_flow[rec.flow].push_back(uint64_t(seg.records.size() - 1));  // seq 0
     }
   }
   next_id_.store(id, std::memory_order_release);
   count_.store(id, std::memory_order_release);
+  // A load begins a fresh lifetime: the tallies describe this window.
+  inserted_.store(id, std::memory_order_relaxed);
+  evicted_.store(0, std::memory_order_relaxed);
+  segments_retired_.store(0, std::memory_order_relaxed);
+  epochs_sealed_.store(0, std::memory_order_relaxed);
+  current_epoch_.store(1, std::memory_order_release);
+  const size_t new_resident = rows.size() * PerRecordBytes();
+  resident_bytes_.store(new_resident, std::memory_order_release);
+  ResidentGauge()->Add(int64_t(new_resident) - int64_t(old_resident));
   return int64_t(rows.size());
 }
 
 void Tib::Clear() {
+  std::lock_guard<std::mutex> seal(seal_mu_);
   std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& sp : shards_) {
     locks.emplace_back(sp->mu);
   }
+  const size_t old_resident = resident_bytes_.load(std::memory_order_acquire);
   for (const auto& sp : shards_) {
-    sp->records.clear();
-    sp->ids.clear();
+    sp->segments.clear();
+    sp->base_seq = 0;
     sp->by_flow.clear();
   }
   next_id_.store(0, std::memory_order_release);
   count_.store(0, std::memory_order_release);
+  inserted_.store(0, std::memory_order_relaxed);
+  evicted_.store(0, std::memory_order_relaxed);
+  segments_retired_.store(0, std::memory_order_relaxed);
+  epochs_sealed_.store(0, std::memory_order_relaxed);
+  current_epoch_.store(1, std::memory_order_release);
+  resident_bytes_.store(0, std::memory_order_release);
+  ResidentGauge()->Add(-int64_t(old_resident));
 }
 
 }  // namespace pathdump

@@ -14,18 +14,41 @@
 // access pattern, and keeping a 240 K-record TIB around the ~110 MB the
 // paper reports (ours is far smaller per record).
 //
+// Bounded memory (epoch-windowed eviction): each shard's record column is
+// a ring of epoch-stamped segments.  Inserts append to the shard's open
+// segment; SealEpoch() (driven by EdgeAgent::EpochTick at every epoch
+// boundary) stamps the open segments with the current epoch number and
+// seals them.  When TibOptions::max_memory_bytes is set, the oldest
+// sealed epochs are retired WHOLE — no per-record tombstones — until the
+// accounted resident size is back under the ceiling; retirement prunes
+// the by-flow index entries of the dropped segments and is O(segments)
+// per shard-lock hold plus O(evicted records) of index pruning.  The
+// default (0) is unbounded — seed behavior, nothing is ever evicted and
+// sealing only partitions the columns.  Queries then cover the RETAINED
+// window only; standing-query accumulators fold a record's contribution
+// at insert time, before its segment can retire, so standing results stay
+// exact while polls become window-scoped (docs/ARCHITECTURE.md).
+//
 // Thread safety: every public method synchronizes internally; no external
-// lock is needed.  Lock hierarchy: shard locks are only ever acquired in
-// ascending shard-index order (whole-TIB walks) or one at a time (inserts,
-// per-flow lookups, parallel scan tasks), and the TIB never calls out to
-// user code while holding a shard lock except through the explicitly
-// documented visitor APIs.
+// lock is needed.  Lock hierarchy: seal_mu_ (SealEpoch / ceiling
+// enforcement / bulk mutations) is ordered before shard locks; shard
+// locks are only ever acquired in ascending shard-index order (whole-TIB
+// walks) or one at a time (inserts, per-flow lookups, parallel scan
+// tasks, seal/retire passes), and the TIB never calls out to user code
+// while holding a shard lock except through the explicitly documented
+// visitor APIs.
 //
 // Determinism: every record carries a global insertion id (dense
 // 0..size()-1 when inserts are single-threaded, a linearization otherwise).
 // Index-returning queries yield ids in ascending order and whole-TIB walks
 // visit records in id order, so query results, snapshots, and the on-disk
-// file are byte-identical at any shard count and any scan-pool width.
+// file are byte-identical at any shard count and any scan-pool width —
+// and, under eviction, identical to a fresh TIB holding only the retained
+// records (ids keep their original values over the retained window).
+// Eviction itself is deterministic: the same inserts, the same seal
+// points, and the same ceiling retire the same epochs in any process —
+// the cross-process chaos harness relies on bounded in-test twins
+// evicting in lockstep with bounded workers.
 
 #ifndef PATHDUMP_SRC_EDGE_TIB_H_
 #define PATHDUMP_SRC_EDGE_TIB_H_
@@ -33,8 +56,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -111,6 +137,33 @@ struct TibOptions {
   // results are byte-identical at any shard count — this knob only trades
   // insert/scan parallelism against per-shard overhead.
   size_t num_shards = 0;
+  // Resident-memory ceiling, in accounted bytes (TibMemoryStats::
+  // resident_bytes — a fixed per-record cost, not an allocator audit), for
+  // the segmented record columns.  0 (the default) is unbounded — seed
+  // behavior, nothing is ever evicted.  When set, the oldest SEALED
+  // epochs are retired whole until resident bytes drop back under the
+  // ceiling; enforcement runs at every SealEpoch and opportunistically
+  // from Insert the moment the ceiling is crossed, so the resident level
+  // only ever overshoots transiently (by in-flight inserts) or when no
+  // sealed segment remains to retire (the open epoch alone exceeds the
+  // ceiling — size epochs accordingly).
+  size_t max_memory_bytes = 0;
+};
+
+// Point-in-time accounting of one Tib's segmented store.  Exact per
+// instance (the registry metrics tib.bytes_resident / tib.segments_retired
+// / tib.evicted_records hold process-wide totals across instances);
+// retained_records == inserted_records - evicted_records always.
+struct TibMemoryStats {
+  size_t resident_bytes = 0;       // accounted bytes over retained records
+  size_t retained_records = 0;     // records currently queryable
+  uint64_t inserted_records = 0;   // since construction / Clear / LoadFrom
+  uint64_t evicted_records = 0;
+  uint64_t segments_retired = 0;
+  uint64_t epochs_sealed = 0;
+  uint64_t current_epoch = 0;      // epoch the open segments will seal as
+  uint64_t oldest_retained_epoch = 0;  // 0 = no sealed segment retained
+  size_t segment_count = 0;        // retained segments, summed over shards
 };
 
 // FlowBytesMap — the per-flow byte aggregation shared by TopK and
@@ -132,12 +185,28 @@ class Tib {
   // Locks exactly the owning shard.
   void Insert(const TibRecord& rec);
 
+  ~Tib();
+
   size_t size() const { return count_.load(std::memory_order_acquire); }
   size_t shard_count() const { return shards_.size(); }
 
+  // Seals every shard's open segment as the current epoch (exclusive
+  // shard locks, ascending, one at a time), advances the epoch counter,
+  // then enforces max_memory_bytes by retiring the oldest sealed epochs
+  // whole.  EdgeAgent::EpochTick calls this at every epoch boundary,
+  // AFTER ticking standing registrations, so a segment's contribution is
+  // always folded into accumulator partials before it can retire.
+  void SealEpoch();
+
+  // Accounted resident bytes (this instance).  See TibMemoryStats.
+  size_t bytes_resident() const { return resident_bytes_.load(std::memory_order_acquire); }
+  TibMemoryStats MemoryStats() const;
+
   // Record by global insertion id (a copy — the backing row may move as
-  // its shard grows).  Returns a default record for an unknown id.
-  TibRecord record(size_t id) const;
+  // its shard grows).  A typed miss (nullopt) for an unknown id —
+  // including an id whose segment has been retired; evicted rows are
+  // never reported as a (stale or default-constructed) hit.
+  std::optional<TibRecord> record(size_t id) const;
 
   // Locked snapshot of all records, in insertion-id order.
   std::vector<TibRecord> records() const;
@@ -162,7 +231,10 @@ class Tib {
 
   // Visitor over one flow's records in id order, under that single shard's
   // shared lock; the callback restrictions of ForEachRecord apply.
-  void ForEachRecordOfFlow(const FiveTuple& flow, const TimeRange& range,
+  // Returns true iff the flow has at least one RETAINED record (the range
+  // may still filter every callback out); false is the typed miss for a
+  // flow that was never inserted or whose records have all been evicted.
+  bool ForEachRecordOfFlow(const FiveTuple& flow, const TimeRange& range,
                            const std::function<void(size_t id, const TibRecord& rec)>& fn) const;
 
   // Ids of records whose path matches the (wildcardable) link query and
@@ -240,32 +312,85 @@ class Tib {
   // Rough resident size, for the §5.3 storage numbers.
   size_t ApproxBytes() const;
 
-  // Persists all records to a binary file (fixed-size rows + header), the
-  // stand-in for the paper's MongoDB on-disk store; returns bytes written
-  // (0 on failure).  Rows are written in insertion-id order, so the file
-  // bytes are independent of the shard count.  Load replaces the current
-  // contents (records get fresh dense ids 0..n-1 regardless of the shard
-  // counts on either side); returns records read or -1 on
-  // failure/corruption (including a truncated row tail).
+  // Persists the RETAINED records to a binary file (fixed-size rows +
+  // header — the seed v1 format; under eviction only retained segments
+  // are written, so the file is exactly what a window-scoped scan sees),
+  // the stand-in for the paper's MongoDB on-disk store; returns bytes
+  // written (0 on failure).  Rows are written in insertion-id order, so
+  // the file bytes are independent of the shard count.  Load replaces the
+  // current contents with one open segment per shard (records get fresh
+  // dense ids 0..n-1 regardless of the shard counts on either side) and
+  // resets the epoch counter and lifetime tallies; returns records read
+  // or -1 on failure/corruption (including a truncated row tail).
   size_t SaveTo(const std::string& path) const;
   int64_t LoadFrom(const std::string& path);
 
   void Clear();
 
  private:
-  struct Shard {
-    mutable std::shared_mutex mu;
+  // One epoch window of a shard's record column.  Sealed segments are
+  // immutable (their rows never change and they only ever leave whole);
+  // the back segment, while unsealed, is the open segment Insert appends
+  // to.  A segment is created lazily on the first insert after a seal, so
+  // empty segments never exist.
+  struct Segment {
+    uint64_t epoch = 0;  // stamped at seal; meaningless while open
+    bool sealed = false;
     std::vector<TibRecord> records;
     // Global insertion ids, parallel to `records`; strictly ascending
-    // (ids are assigned under the shard lock).
+    // across the whole shard (ids are assigned under the shard lock).
     std::vector<uint64_t> ids;
-    // Flow -> local indices into `records`, ascending.
-    std::unordered_map<FiveTuple, std::vector<uint32_t>, FiveTupleHash> by_flow;
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    // Oldest first.  base_seq is the monotone sequence number of
+    // segments.front() — it only ever increments (on retire), so a packed
+    // by_flow ref stays resolvable across retirements: deque index =
+    // (ref >> 32) - base_seq.
+    std::deque<Segment> segments;
+    uint64_t base_seq = 0;
+    // Flow -> packed (segment_seq << 32 | slot) refs, ascending.  Retire
+    // prunes exactly the prefix whose seq matches the retiring segment.
+    std::unordered_map<FiveTuple, std::vector<uint64_t>, FiveTupleHash> by_flow;
+
+    // Retained records in ascending-id order (segments oldest-first, rows
+    // in insert order).  Caller holds mu.
+    template <typename Fn>
+    void ForEachStored(Fn&& fn) const {
+      for (const Segment& seg : segments) {
+        for (size_t i = 0; i < seg.records.size(); ++i) {
+          fn(seg.ids[i], seg.records[i]);
+        }
+      }
+    }
   };
 
   size_t ShardOf(const FiveTuple& flow) const {
     return FiveTupleHash{}(flow) % shards_.size();
   }
+
+  // Accounted bytes per retained record: row + id column + (when indexed)
+  // one packed ref plus amortized hash overhead.  An accounting model, not
+  // an allocator audit — but a pure function of the build, so a bounded
+  // in-test twin evicts in lockstep with a bounded worker process fed the
+  // same inserts and seal points (the chaos interplay test relies on it).
+  size_t PerRecordBytes() const {
+    return sizeof(TibRecord) + sizeof(uint64_t) +
+           (options_.index_by_flow ? sizeof(uint64_t) + 16 : 0);
+  }
+
+  // Retires shard's front (sealed) segment: prunes its by_flow refs,
+  // updates counters and the resident gauge.  Caller holds s.mu
+  // exclusively (and seal_mu_).
+  void RetireFrontLocked(Shard& s);
+  // Retires oldest sealed epochs (globally, oldest epoch first, whole
+  // epochs at a time) while resident bytes exceed the ceiling.  Caller
+  // holds seal_mu_ and NO shard lock.
+  void EnforceCeilingLocked();
+  // Opportunistic enforcement from Insert: try-locks seal_mu_ so
+  // concurrent inserters never convoy behind one retirement pass.
+  void TryEnforceCeiling();
 
   // Runs fn(shard_index) for every shard — on the scan pool when one is
   // set, else inline.  fn takes its own shard lock.
@@ -290,6 +415,19 @@ class Tib {
   std::atomic<uint64_t> next_id_{0};
   std::atomic<uint64_t> count_{0};
   std::atomic<ThreadPool*> scan_pool_{nullptr};
+  // Serializes SealEpoch / ceiling enforcement / bulk mutations against
+  // each other.  Ordered BEFORE shard locks; never acquired while a shard
+  // lock is held.
+  std::mutex seal_mu_;
+  std::atomic<uint64_t> current_epoch_{1};
+  std::atomic<size_t> resident_bytes_{0};
+  // Lifetime tallies since construction / Clear / LoadFrom (exact:
+  // retained == inserted - evicted, the invariant the enforcement test
+  // asserts).
+  std::atomic<uint64_t> inserted_{0};
+  std::atomic<uint64_t> evicted_{0};
+  std::atomic<uint64_t> segments_retired_{0};
+  std::atomic<uint64_t> epochs_sealed_{0};
 };
 
 }  // namespace pathdump

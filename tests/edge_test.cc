@@ -300,7 +300,7 @@ TEST_F(EdgeAgentPipeline, FlowAppearsInTibAfterFin) {
   agent.FlushAll(net_->events().now());
 
   ASSERT_EQ(agent.tib().size(), 1u);
-  const TibRecord& rec = agent.tib().record(0);
+  const TibRecord rec = agent.tib().record(0).value();
   EXPECT_EQ(rec.flow, flow);
   EXPECT_EQ(rec.pkts, 7u);  // ceil(10000/1460)
   EXPECT_GE(rec.bytes, 10000u);
@@ -349,7 +349,7 @@ TEST_F(EdgeAgentPipeline, GetFlowsFiltersByLink) {
   EdgeAgent& agent = fleet_->agent(dst);
   agent.FlushAll(net_->events().now());
 
-  auto paths = agent.GetPaths(agent.tib().record(0).flow, LinkId{kInvalidNode, kInvalidNode},
+  auto paths = agent.GetPaths(agent.tib().record(0)->flow, LinkId{kInvalidNode, kInvalidNode},
                               TimeRange::All());
   ASSERT_EQ(paths.size(), 1u);
   LinkId used{paths[0][1], paths[0][2]};

@@ -142,7 +142,7 @@ TEST_F(FluidFixture, EcmpSingleRecordPerFlow) {
   EXPECT_EQ(stats.flows, 1u);
   EXPECT_EQ(stats.subflows, 1u);
   EXPECT_EQ(fleet_->agent(f.dst).tib().size(), 1u);
-  const TibRecord& rec = fleet_->agent(f.dst).tib().record(0);
+  const TibRecord rec = fleet_->agent(f.dst).tib().record(0).value();
   EXPECT_EQ(rec.bytes, 100000u);
   EXPECT_EQ(rec.path.len, 5);
 }
@@ -184,7 +184,7 @@ TEST_F(FluidFixture, PathChooserOverride) {
   f.tuple = testutil::MakeFlow(topo_, f.src, f.dst);
   fluid.Run({f}, fleet_.get(), nullptr);
   ASSERT_EQ(fleet_->agent(f.dst).tib().size(), 1u);
-  EXPECT_EQ(fleet_->agent(f.dst).tib().record(0).path.ToPath(), forced);
+  EXPECT_EQ(fleet_->agent(f.dst).tib().record(0)->path.ToPath(), forced);
 }
 
 TEST_F(FluidFixture, FaultyLinkRaisesAlarms) {

@@ -164,8 +164,8 @@ TEST(TibPersistence, SaveLoadRoundTrip) {
   ASSERT_EQ(loaded.LoadFrom(path), int64_t(tib.size()));
   ASSERT_EQ(loaded.size(), tib.size());
   for (size_t i = 0; i < tib.size(); ++i) {
-    const TibRecord& a = tib.record(i);
-    const TibRecord& b = loaded.record(i);
+    const TibRecord a = tib.record(i).value();
+    const TibRecord b = loaded.record(i).value();
     EXPECT_EQ(a.flow, b.flow);
     EXPECT_TRUE(a.path == b.path);
     EXPECT_EQ(a.stime, b.stime);
@@ -174,7 +174,7 @@ TEST(TibPersistence, SaveLoadRoundTrip) {
     EXPECT_EQ(a.pkts, b.pkts);
   }
   // Indexes were rebuilt on load.
-  const TibRecord& probe = tib.record(7);
+  const TibRecord probe = tib.record(7).value();
   EXPECT_FALSE(loaded.RecordsOfFlow(probe.flow, TimeRange::All()).empty());
   std::remove(path.c_str());
 }

@@ -153,7 +153,7 @@ TEST_F(TibShardDeterminism, SnapshotAndIdsPreserveInsertionOrder) {
   }
   // Point lookups agree with the snapshot.
   for (size_t i = 0; i < snap.size(); i += 997) {
-    EXPECT_EQ(tib.record(i), snap[i]);
+    EXPECT_EQ(tib.record(i).value(), snap[i]);
   }
   // GetFlows dedup/order is shard-count independent too.
   TibOptions one;

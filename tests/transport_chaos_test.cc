@@ -38,6 +38,7 @@
 #include "src/common/rng.h"
 #include "src/controller/controller.h"
 #include "src/controller/subscription.h"
+#include "src/edge/tib.h"
 #include "src/topology/fat_tree.h"
 #include "src/topology/link_labels.h"
 #include "src/transport/shm_ring.h"
@@ -154,6 +155,11 @@ struct ChaosTestbed {
   TransportHub hub;
   std::vector<HostId> hosts;
   std::vector<pid_t> pids;
+  // TIB memory ceiling applied to the in-test twins.  The forked
+  // workers read the same value from PATHDUMP_TIB_MAX_BYTES (set by the
+  // eviction-interplay test before the testbed forks them), so both
+  // sides retire the same epochs in lockstep.
+  size_t tib_max_bytes = 0;
 
   static TransportOptions MakeOptions() {
     TransportOptions o;
@@ -170,12 +176,13 @@ struct ChaosTestbed {
     return o;
   }
 
-  explicit ChaosTestbed(size_t num_agents)
+  explicit ChaosTestbed(size_t num_agents, size_t max_bytes = 0)
       : topo(BuildFatTree(4)),
         labels(&topo),
         codec(&topo, &labels),
         manager(&controller, MakeManagerOptions()),
         hub(&controller, &manager, MakeOptions()) {
+    tib_max_bytes = max_bytes;
     for (size_t a = 0; a < num_agents; ++a) {
       HostId h = topo.hosts()[a];
       hosts.push_back(h);
@@ -200,6 +207,7 @@ struct ChaosTestbed {
   std::unique_ptr<EdgeAgent> MakeTwin(HostId h) {
     EdgeAgentConfig cfg;
     cfg.tib_options.num_shards = kShards;
+    cfg.tib_options.max_memory_bytes = tib_max_bytes;
     return std::make_unique<EdgeAgent>(h, &topo, &codec, cfg);
   }
 
@@ -219,7 +227,28 @@ struct ChaosTestbed {
   void Epoch() {
     const uint64_t token = hub.SendEpochTick();
     ASSERT_TRUE(hub.WaitForAcks(token, 60'000'000));
+    // Twins seal in lockstep with the workers (the worker ring is FIFO,
+    // so its Ingest precedes its EpochTick exactly as the twin's Insert
+    // calls preceded this).  Under a memory ceiling both sides retire
+    // the same epochs, keeping the poll reference byte-comparable.
+    for (auto& twin : twins) {
+      twin->EpochTick();
+    }
     hub.Flush();
+  }
+
+  // Rebase every stream onto the retained window: stale-mark all
+  // sub x host pairs and ship a ResyncRequest for each.  Every request
+  // folds exactly one snapshot (snapshots unconditionally replace the
+  // stream's baseline), so callers can account folds as
+  // subs.size() * hosts.size() per sweep.
+  void ForceResyncAll(const std::vector<uint64_t>& subs) {
+    for (uint64_t id : subs) {
+      for (HostId h : hosts) {
+        manager.MarkStale(id, h);
+        hub.RequestResync(id, h);
+      }
+    }
   }
 
   // Waits until every triggered resync has completed (no stale stream,
@@ -380,6 +409,137 @@ TEST(TransportChaos, KilledAndRestartedAgentsRecoverToByteIdentity) {
       std::ofstream f(out);
       f << MetricsRegistry::Global().Snapshot().ToJson() << "\n";
     }
+  }
+}
+
+// Eviction interplay: the same kill/restart chaos, but every TIB —
+// forked workers (via PATHDUMP_TIB_MAX_BYTES, inherited across fork)
+// and their in-test twins — runs under a memory ceiling sized to ~2.5
+// epochs of ingest.  Incremental standing folds stay exact since
+// subscribe, but the poll reference forgets retired epochs, so after
+// each epoch every stream is force-resynced onto the retained window;
+// the materialized standing results must then be byte-identical to a
+// fresh poll over the (equally windowed) twins.  Kill rounds prove the
+// ISSUE's headline claim: a SIGKILL + restart rejoin still converges to
+// byte identity even when the snapshot epoch's predecessors have been
+// evicted on the surviving agents.
+TEST(TransportChaos, ResyncAfterEvictionYieldsWindowedByteIdentity) {
+  const size_t kAgents = 3;
+  const uint32_t kPerEpoch = 600;
+  const int kRounds = 6;
+  const uint64_t seed = ChaosSeed() ^ 0xE71Cu;
+
+  // Price one record with the exact twin/worker TIB options.  Resident
+  // accounting is a deterministic count-based function of the build, so
+  // a single probe insert yields the same per-record cost the workers
+  // will see, and a ceiling derived from it evicts in lockstep on both
+  // sides of the fork.
+  size_t per_record = 0;
+  {
+    TibOptions opt;
+    opt.num_shards = kShards;
+    Tib probe(opt);
+    testutil::SyntheticRecordOptions ropt;
+    ropt.ip_space = kIpSpace;
+    ropt.switch_space = kSwitchSpace;
+    probe.Insert(testutil::MakeSyntheticRecords(1, 1, ropt)[0]);
+    per_record = probe.bytes_resident();
+  }
+  ASSERT_GT(per_record, 0u);
+  const size_t ceiling = per_record * size_t(kPerEpoch) * 5 / 2;
+
+  // Workers read the ceiling from the environment at startup; set it
+  // before the testbed forks them.  KillAndRestart forks replacements
+  // later, so the guard clears it only when the test body unwinds.
+  struct EnvGuard {
+    ~EnvGuard() { unsetenv("PATHDUMP_TIB_MAX_BYTES"); }
+  } env_guard;
+  setenv("PATHDUMP_TIB_MAX_BYTES", std::to_string(ceiling).c_str(), 1);
+
+  ChaosTestbed tb(kAgents, ceiling);
+  ASSERT_TRUE(tb.hub.WaitForHellos(30'000'000)) << "agents never mapped their segments";
+
+  const std::vector<StandingQuerySpec> specs = AllSpecs();
+  std::vector<uint64_t> subs;
+  for (const StandingQuerySpec& spec : specs) {
+    subs.push_back(tb.hub.Subscribe(tb.hosts, spec));
+  }
+
+  Rng rng(seed, /*stream=*/0xE71Cu);
+  uint64_t kills = 0;
+  uint64_t min_total_folds = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::string ctx = "eviction round " + std::to_string(round);
+    tb.Ingest(kPerEpoch, uint32_t(seed) + 0x2000u * uint32_t(round + 1));
+    tb.Epoch();
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+
+    // Kill early (rounds 1 and 2) so even the restarted agents outlive
+    // the ~2.5-epoch ceiling and serve later snapshots from a partially
+    // evicted TIB — by the final rounds EVERY resync baseline crosses a
+    // retirement boundary.
+    if (round == 1 || round == 2) {
+      const size_t victim = rng.UniformInt(uint32_t(kAgents));
+      tb.KillAndRestart(victim);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+      ++kills;
+    }
+
+    // Baseline the fold counter at the sweep, not cumulatively: the
+    // rejoin's own resync requests fold too, but only when the reactor
+    // marks the victim's streams before this sweep stale-marks them
+    // (already-stale streams are not re-requested by the rejoin pass) —
+    // counting them as guaranteed would race.  The sweep's own
+    // subs x hosts snapshots always fold.
+    const uint64_t before = tb.manager.stats().snapshot_folds;
+    tb.ForceResyncAll(subs);
+    tb.AwaitSnapshotFolds(before + subs.size() * tb.hosts.size());
+    min_total_folds += subs.size() * tb.hosts.size();
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+    ASSERT_TRUE(tb.Quiesce(subs, 30'000'000)) << ctx;
+    tb.ExpectPollIdentity(specs, subs, ctx);
+  }
+  ASSERT_EQ(kills, 2u);
+
+  // The interplay is only proven if eviction actually fired everywhere:
+  // every twin — the kill victims' replacements included — must have
+  // retired whole epochs while staying under the ceiling with exact
+  // accounting.
+  for (size_t a = 0; a < kAgents; ++a) {
+    const TibMemoryStats ms = tb.twins[a]->tib().MemoryStats();
+    EXPECT_GT(ms.evicted_records, 0u) << "twin " << a;
+    EXPECT_GT(ms.segments_retired, 0u) << "twin " << a;
+    EXPECT_LE(ms.resident_bytes, ceiling) << "twin " << a;
+    EXPECT_EQ(ms.retained_records, ms.inserted_records - ms.evicted_records)
+        << "twin " << a;
+    EXPECT_GT(ms.oldest_retained_epoch, 1u) << "twin " << a;
+  }
+
+  // Recovery traffic stayed clean and every submitted delta landed in a
+  // terminal accounting bucket.
+  const TransportStats st = tb.hub.stats();
+  EXPECT_EQ(st.peers_rejoined, kills);
+  EXPECT_EQ(st.peers_dead, 0u);
+  EXPECT_EQ(st.decode_errors, 0u);
+  const SubscriptionManagerStats ss = tb.manager.stats();
+  EXPECT_GE(ss.snapshot_folds, min_total_folds);
+  EXPECT_EQ(ss.deltas_submitted,
+            ss.deltas_folded + ss.deltas_orphaned + ss.deltas_stale_discarded);
+
+  // Graceful teardown: the whole fleet exits 0 even though everything
+  // they ever resynced was a truncated window.
+  tb.hub.SendShutdown();
+  for (pid_t& pid : tb.pids) {
+    const int status = ReapWithDeadline(pid, 10'000'000);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "worker " << pid << " status " << status;
+    pid = -1;
   }
 }
 
